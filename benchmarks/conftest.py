@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The default
+budgets are scaled down so the whole suite finishes in minutes on a laptop;
+raise them with the ``REPRO_BENCH_*`` environment variables (or the
+``REPRO_*`` variables used by :class:`repro.experiments.ExperimentSettings`)
+to approach the paper's 10,000-step protocol.
+
+Runs are cached in-process, so benchmarks that share experiments (e.g.
+Table I and Figure 5) only pay for the simulations once per session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+def _bench_int(name: str, default: int) -> int:
+    try:
+        return max(int(os.environ.get(name, default)), 1)
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    """Experiment settings used by every table/figure benchmark."""
+    settings = ExperimentSettings()
+    settings.steps = _bench_int("REPRO_BENCH_STEPS", 40)
+    settings.seeds = _bench_int("REPRO_BENCH_SEEDS", 1)
+    settings.pretrain_steps = _bench_int("REPRO_BENCH_PRETRAIN_STEPS", 60)
+    settings.transfer_steps = _bench_int("REPRO_BENCH_TRANSFER_STEPS", 40)
+    settings.transfer_warmup = _bench_int("REPRO_BENCH_TRANSFER_WARMUP", 15)
+    return settings
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,26 @@
+"""Benchmark F5 — Figure 5: best-FoM learning curves on the four circuits.
+
+The paper plots, for each circuit, the running-maximum FoM of every method
+over 10,000 simulation steps, with GCN-RL converging fastest and highest.
+This benchmark regenerates the same series (at the scaled-down budget),
+prints an ASCII sketch of each panel, and checks the basic learning-curve
+invariants (monotone non-decreasing, one point per simulation step).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure5_learning_curves
+
+
+def test_figure5_learning_curves(benchmark, bench_settings):
+    figures = run_once(benchmark, figure5_learning_curves, bench_settings)
+    print()
+    for circuit, figure in figures.items():
+        print(figure.render_ascii())
+        print()
+    assert set(figures) == set(bench_settings.circuits)
+    for figure in figures.values():
+        for name, curve in figure.series.items():
+            assert len(curve) == bench_settings.steps, name
+            assert np.all(np.diff(curve) >= -1e-12), name

@@ -1,0 +1,28 @@
+"""Benchmark F7 — Figure 7: technology-transfer learning curves on Three-TIA.
+
+The paper shows, for each target node (250/130/65/45nm), the max-FoM curve of
+the transferred agent rising faster after the shared warm-up phase and
+converging above the non-transferred agent.  This benchmark regenerates the
+transfer / no-transfer curve pair per node and checks the curve invariants.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure7_technology_transfer_curves
+
+
+def test_figure7_transfer_curves(benchmark, bench_settings):
+    figures = run_once(
+        benchmark, figure7_technology_transfer_curves, bench_settings
+    )
+    print()
+    for node, figure in figures.items():
+        print(figure.render_ascii())
+        print()
+    assert set(figures) == set(bench_settings.transfer_targets)
+    for figure in figures.values():
+        assert set(figure.series) == {"Transfer", "No transfer"}
+        for curve in figure.series.values():
+            assert len(curve) == bench_settings.transfer_steps
+            assert np.all(np.diff(curve) >= -1e-12)

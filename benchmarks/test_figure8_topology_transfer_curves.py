@@ -1,0 +1,30 @@
+"""Benchmark F8 — Figure 8: topology-transfer learning curves.
+
+The paper shows that after the warm-up phase the GCN-RL transferred agent's
+max-FoM curve rises above both the NG-RL transferred agent and the
+from-scratch agent, in both transfer directions (Two-TIA <-> Three-TIA).
+This benchmark regenerates the three-curve panel for each direction.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure8_topology_transfer_curves
+
+
+def test_figure8_topology_transfer_curves(benchmark, bench_settings):
+    figures = run_once(benchmark, figure8_topology_transfer_curves, bench_settings)
+    print()
+    for direction, figure in figures.items():
+        print(figure.render_ascii())
+        print()
+    assert set(figures) == {"two_tia_to_three_tia", "three_tia_to_two_tia"}
+    for figure in figures.values():
+        assert set(figure.series) == {
+            "GCN-RL transfer",
+            "NG-RL transfer",
+            "No transfer",
+        }
+        for curve in figure.series.values():
+            assert len(curve) == bench_settings.transfer_steps
+            assert np.all(np.diff(curve) >= -1e-12)

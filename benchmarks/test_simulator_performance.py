@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the simulation substrate.
+
+The paper notes that "circuit simulation time accounts for over 95% of the
+total runtime"; these benchmarks measure the cost of one full evaluation of
+each benchmark circuit and of the individual analyses, which is what
+determines how far the search budgets can be scaled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.spice import ac_analysis, dc_operating_point, noise_analysis
+from repro.spice.ac import logspace_frequencies
+
+
+@pytest.fixture(scope="module")
+def two_tia_setup():
+    circuit_design = get_circuit("two_tia")
+    sizing = circuit_design.expert_sizing()
+    netlist = circuit_design.build_circuit(sizing)
+    op = dc_operating_point(netlist)
+    return circuit_design, sizing, netlist, op
+
+
+def test_bench_two_tia_full_evaluation(benchmark):
+    circuit = get_circuit("two_tia")
+    sizing = circuit.expert_sizing()
+    metrics = benchmark(circuit.evaluate, sizing)
+    assert metrics["simulation_failed"] == 0.0
+
+
+def test_bench_two_volt_full_evaluation(benchmark):
+    circuit = get_circuit("two_volt")
+    sizing = circuit.expert_sizing()
+    metrics = benchmark(circuit.evaluate, sizing)
+    assert metrics["simulation_failed"] == 0.0
+
+
+def test_bench_three_tia_full_evaluation(benchmark):
+    circuit = get_circuit("three_tia")
+    sizing = circuit.expert_sizing()
+    metrics = benchmark(circuit.evaluate, sizing)
+    assert metrics["simulation_failed"] == 0.0
+
+
+def test_bench_ldo_full_evaluation(benchmark):
+    circuit = get_circuit("ldo")
+    sizing = circuit.expert_sizing()
+    metrics = benchmark(circuit.evaluate, sizing)
+    assert metrics["simulation_failed"] == 0.0
+
+
+def test_bench_dc_operating_point(benchmark, two_tia_setup):
+    _, _, netlist, _ = two_tia_setup
+    op = benchmark(dc_operating_point, netlist)
+    assert op.converged
+
+
+def test_bench_ac_analysis(benchmark, two_tia_setup):
+    _, _, netlist, op = two_tia_setup
+    freqs = logspace_frequencies(1e4, 1e10, 6)
+    solution = benchmark(ac_analysis, netlist, op, freqs)
+    assert np.all(np.isfinite(solution.x))
+
+
+def test_bench_noise_analysis(benchmark, two_tia_setup):
+    _, _, netlist, op = two_tia_setup
+    freqs = logspace_frequencies(1e5, 1e9, 3)
+    solution = benchmark(noise_analysis, netlist, op, "vout", freqs)
+    assert np.all(solution.output_psd >= 0)
+
+
+def test_bench_rl_policy_update(benchmark):
+    """Cost of one DDPG update step (critic batch + actor step), no simulator."""
+    from repro.rl import AgentConfig, GCNRLAgent
+    from repro.rl.replay_buffer import ReplayBuffer
+    from repro.env import SizingEnvironment
+
+    env = SizingEnvironment(get_circuit("two_tia"))
+    config = AgentConfig(num_gcn_layers=4, hidden_dim=48, batch_size=48, warmup=1)
+    agent = GCNRLAgent(env, config, seed=0)
+    states, _ = env.observe()
+    rng = np.random.default_rng(0)
+    for _ in range(64):
+        agent.replay_buffer.add(
+            states, rng.uniform(-1, 1, size=(env.num_components, 3)), rng.uniform()
+        )
+    agent.reward_baseline = 0.5
+    loss = benchmark(agent._update_networks)
+    assert np.isfinite(loss)

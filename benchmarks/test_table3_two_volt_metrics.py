@@ -1,0 +1,22 @@
+"""Benchmark E3 — Table III: Two-Volt amplifier metric breakdown.
+
+Paper reference (180nm): GCN-RL achieves the best common-mode and
+differential phase margins and the second-highest gain and GBW while keeping
+power moderate.  The benchmark regenerates the per-method metric breakdown
+(bandwidth, CPM, DPM, power, noise, gain, GBW) plus the aggregate FoM.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3_two_volt
+
+
+def test_table3_two_volt_metrics(benchmark, bench_settings):
+    table = run_once(benchmark, table3_two_volt, bench_settings)
+    print()
+    print(table.render())
+    assert len(table.row_labels) == len(bench_settings.methods)
+    dpm_column = next(c for c in table.column_labels if c.startswith("dpm"))
+    for row in table.row_labels:
+        assert table.get(row, dpm_column) != ""
+        assert table.get(row, "FoM") != ""

@@ -1,0 +1,28 @@
+"""Benchmark E5 — Table V: topology transfer between Two-TIA and Three-TIA.
+
+Paper reference (fine-tune budget 300 steps):
+
+    arm               Two-TIA -> Three-TIA   Three-TIA -> Two-TIA
+    No Transfer       0.63 +- 0.07           2.37 +- 0.01
+    NG-RL Transfer    0.62 +- 0.09           2.40 +- 0.07
+    GCN-RL Transfer   0.78 +- 0.12           2.45 +- 0.02
+
+The reproduced claim: GCN-RL transfer is at least as good as NG-RL transfer
+(the GCN is what extracts topology-independent knowledge), and transferring
+never does much worse than training from scratch.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table5_topology_transfer
+
+
+def test_table5_topology_transfer(benchmark, bench_settings):
+    table = run_once(benchmark, table5_topology_transfer, bench_settings)
+    print()
+    print(table.render())
+    assert table.row_labels == ["No Transfer", "NG-RL Transfer", "GCN-RL Transfer"]
+    assert len(table.column_labels) == 2
+    for row in table.row_labels:
+        for column in table.column_labels:
+            assert table.get(row, column) != ""

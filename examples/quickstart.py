@@ -1,0 +1,60 @@
+"""Quickstart: size the two-stage transimpedance amplifier with GCN-RL.
+
+Runs a short GCN-RL search on the Two-TIA benchmark circuit at 180nm, then
+prints the best Figure of Merit, the corresponding performance metrics and
+the physical transistor sizes the agent chose.
+
+Usage:
+    python examples/quickstart.py [--steps 150]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.circuits import get_circuit
+from repro.env import SizingEnvironment, default_fom_config
+from repro.rl import AgentConfig, GCNRLAgent
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=150, help="simulation budget")
+    parser.add_argument("--circuit", default="two_tia", help="benchmark circuit name")
+    parser.add_argument("--technology", default="180nm", help="technology node")
+    args = parser.parse_args()
+
+    # 1) Pick a circuit and a technology node and wrap them in an environment.
+    circuit = get_circuit(args.circuit, args.technology)
+    print(circuit.describe())
+    environment = SizingEnvironment(circuit, default_fom_config(circuit))
+
+    # 2) The human-expert reference design gives a baseline FoM.
+    expert = environment.evaluate_sizing(circuit.expert_sizing())
+    print(f"\nHuman expert reference FoM: {expert.reward:.3f}")
+
+    # 3) Train the GCN-RL agent (DDPG with a GCN actor-critic).
+    config = AgentConfig(warmup=max(10, args.steps // 4))
+    agent = GCNRLAgent(environment, config, seed=0)
+    print(f"\nTraining GCN-RL for {args.steps} steps...")
+    for record in agent.train(args.steps):
+        if (record.episode + 1) % 25 == 0:
+            print(
+                f"  step {record.episode + 1:4d}  reward {record.reward:6.3f}  "
+                f"best {record.best_reward:6.3f}"
+            )
+
+    # 4) Report the best design found.
+    print(f"\nBest FoM found: {environment.best_reward:.3f}")
+    print("Best design metrics:")
+    for definition in circuit.metric_definitions():
+        value = environment.best_metrics[definition.name] * definition.display_scale
+        print(f"  {definition.name:>12s}: {value:10.4g} {definition.unit}")
+    print("\nBest transistor sizes:")
+    for name, params in environment.best_sizing.items():
+        pretty = ", ".join(f"{k}={v:.3g}" for k, v in params.items())
+        print(f"  {name:>4s}: {pretty}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Tour of the analog-simulation substrate (no RL involved).
+
+Builds a two-stage Miller op-amp netlist directly with the spice API and runs
+every analysis the sizing environment relies on: DC operating point, AC
+transfer function, output noise and a transient step response.  Useful as a
+starting point for users who want to add new circuits or new measurements.
+
+Usage:
+    python examples/simulator_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.circuits import get_circuit
+from repro.spice import (
+    ac_analysis,
+    dc_operating_point,
+    noise_analysis,
+    transient_analysis,
+)
+from repro.spice import measurements as meas
+from repro.spice.ac import logspace_frequencies
+from repro.spice.transient import step_waveform
+
+
+def main() -> None:
+    # Reuse the Two-Volt benchmark topology with its expert sizing.
+    design = get_circuit("two_volt", "180nm")
+    sizing = design.expert_sizing()
+    circuit = design.build_circuit(sizing)
+    print(circuit.summary())
+
+    # --- DC operating point -------------------------------------------------
+    op = dc_operating_point(circuit)
+    print(f"\nDC operating point converged: {op.converged} "
+          f"({op.iterations} Newton iterations)")
+    for node in ("vout", "n1", "vbn"):
+        print(f"  V({node}) = {op.voltage(node):.4f} V")
+    print(f"  supply power = {op.supply_power() * 1e3:.3f} mW")
+    for name, device in sorted(op.device_ops.items()):
+        print(f"  {name}: region={device.region:<10s} Id={device.ids * 1e6:8.2f} uA "
+              f"gm={device.gm * 1e3:.3f} mS")
+
+    # --- AC analysis ---------------------------------------------------------
+    freqs = logspace_frequencies(1e2, 1e9, 10)
+    ac = ac_analysis(circuit, op, freqs)
+    closed_loop = ac.voltage("vout")
+    print("\nClosed-loop AC response:")
+    print(f"  DC gain      : {meas.dc_gain_db(freqs, closed_loop):.2f} dB")
+    print(f"  -3dB bandwidth: {meas.bandwidth_3db(freqs, closed_loop) / 1e6:.2f} MHz")
+    print(f"  peaking      : {meas.gain_peaking_db(freqs, closed_loop):.2f} dB")
+
+    # --- Noise analysis -------------------------------------------------------
+    noise = noise_analysis(circuit, op, "vout", logspace_frequencies(1e3, 1e8, 4))
+    print("\nOutput noise:")
+    print(f"  spot density @100kHz: {noise.spot_density(1e5) * 1e9:.2f} nV/sqrt(Hz)")
+    top = max(noise.contributions.items(), key=lambda kv: kv[1][0])
+    print(f"  dominant contributor at low frequency: {top[0]}")
+
+    # --- Transient analysis ----------------------------------------------------
+    circuit["VIN"].waveform = step_waveform(2e-7, 0.9, 1.0, rise_time=1e-9)
+    tran = transient_analysis(circuit, t_stop=2e-6, dt=2e-9)
+    vout = tran.voltage("vout")
+    settle = meas.settling_time(tran.times, vout, 2e-7, tolerance=0.01)
+    print("\nTransient step response:")
+    print(f"  output moves {abs(vout[-1] - vout[0]) * 1e3:.1f} mV, "
+          f"settles in {settle * 1e9:.0f} ns (1% band)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Topology transfer: reuse knowledge from the Two-TIA on the Three-TIA.
+
+Reproduces the paper's topology-transfer experiment (Section III-E, Table V)
+at a small budget.  Both environments use the dimension-independent state
+encoding (scalar component index instead of a one-hot), so the same GCN
+actor-critic can process either topology graph.  The example compares three
+agents fine-tuned on the Three-TIA with the same budget:
+
+* GCN-RL initialised from Two-TIA weights (the paper's method),
+* NG-RL (no graph aggregation) initialised from Two-TIA weights, and
+* GCN-RL trained from scratch.
+
+Usage:
+    python examples/topology_transfer.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.rl import AgentConfig, GCNRLAgent, make_environment
+
+
+def train_source(use_gcn: bool, circuit: str, steps: int, seed: int = 0):
+    environment = make_environment(circuit, "180nm", transferable_state=True)
+    config = AgentConfig(use_gcn=use_gcn, warmup=min(30, steps // 3))
+    agent = GCNRLAgent(environment, config, seed=seed)
+    agent.train(steps)
+    return agent.state_dict(), environment.best_reward
+
+
+def finetune(target: str, steps: int, use_gcn: bool, weights=None, seed: int = 1):
+    environment = make_environment(target, "180nm", transferable_state=True)
+    config = AgentConfig(use_gcn=use_gcn, warmup=min(15, steps // 3))
+    agent = GCNRLAgent(environment, config, seed=seed)
+    if weights is not None:
+        agent.load_state_dict(weights)
+    agent.train(steps)
+    return environment.best_reward
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source", default="two_tia")
+    parser.add_argument("--target", default="three_tia")
+    parser.add_argument("--pretrain-steps", type=int, default=120)
+    parser.add_argument("--transfer-steps", type=int, default=60)
+    args = parser.parse_args()
+
+    print(f"Pre-training on {args.source} @ 180nm ({args.pretrain_steps} steps)...")
+    gcn_weights, gcn_src_fom = train_source(True, args.source, args.pretrain_steps)
+    ng_weights, ng_src_fom = train_source(False, args.source, args.pretrain_steps)
+    print(f"  source FoM: GCN-RL {gcn_src_fom:.3f}, NG-RL {ng_src_fom:.3f}")
+
+    print(f"\nFine-tuning on {args.target} ({args.transfer_steps} steps each)...")
+    gcn_transfer = finetune(args.target, args.transfer_steps, True, gcn_weights)
+    ng_transfer = finetune(args.target, args.transfer_steps, False, ng_weights)
+    scratch = finetune(args.target, args.transfer_steps, True, None)
+
+    print("\nThree-TIA results with the same fine-tuning budget (Table V protocol):")
+    print(f"  GCN-RL transfer : {gcn_transfer:.3f}")
+    print(f"  NG-RL transfer  : {ng_transfer:.3f}")
+    print(f"  no transfer     : {scratch:.3f}")
+    print(
+        "\nThe paper's claim: the GCN is what makes topology transfer work — "
+        "NG-RL transfer should sit near the no-transfer level while GCN-RL "
+        "transfer converges higher."
+    )
+
+
+if __name__ == "__main__":
+    main()

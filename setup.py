@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work without network access.
+
+The metadata lives in ``pyproject.toml``; this file only exists because the
+offline environment lacks the ``wheel`` package required by PEP 660 editable
+installs, so ``pip install -e .`` falls back to the legacy setup.py path.
+"""
+
+from setuptools import setup
+
+setup()

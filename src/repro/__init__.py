@@ -1,0 +1,17 @@
+"""GCN-RL Circuit Designer reproduction (DAC 2020).
+
+Top-level package exposing the main user-facing entry points:
+
+* :mod:`repro.technology` — synthetic multi-node PDK.
+* :mod:`repro.spice` — MNA analog circuit simulator.
+* :mod:`repro.circuits` — the four benchmark circuits and the component model.
+* :mod:`repro.env` — FoM definition and the sizing environment.
+* :mod:`repro.nn` — numpy neural-network library (Linear/GCN/Adam).
+* :mod:`repro.rl` — DDPG agent with GCN actor-critic and transfer utilities.
+* :mod:`repro.optim` — random search, ES, BO and MACE baselines.
+* :mod:`repro.experiments` — harness regenerating every paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,165 @@
+"""Abstract base class shared by the four benchmark circuits."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.components import ComponentSpec, validate_components
+from repro.circuits.graph import build_adjacency, normalized_adjacency
+from repro.circuits.parameters import ParameterSpace, Sizing
+from repro.spice.circuit import Circuit
+from repro.technology.node import TechnologyNode
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """Definition of one performance metric reported by a circuit.
+
+    Attributes:
+        name: Metric key (e.g. ``"bandwidth"``).
+        unit: Human-readable unit for reports.
+        larger_is_better: Direction used for the default FoM weight sign.
+        display_scale: Multiplier applied when printing paper-style tables
+            (e.g. ``1e-9`` to print Hz as GHz).
+        description: Short human-readable description.
+    """
+
+    name: str
+    unit: str
+    larger_is_better: bool
+    display_scale: float = 1.0
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SpecLimit:
+    """A hard specification bound on one metric (FoM is negative if violated)."""
+
+    metric: str
+    kind: str  # "min" or "max"
+    value: float
+
+    def satisfied(self, measured: float) -> bool:
+        """Whether the measured value meets this limit."""
+        if self.kind == "min":
+            return measured >= self.value
+        if self.kind == "max":
+            return measured <= self.value
+        raise ValueError(f"unknown spec kind {self.kind!r}")
+
+
+class CircuitDesign(abc.ABC):
+    """A sizeable circuit topology with a simulation-based evaluation.
+
+    Subclasses declare their components (the topology graph), their metrics,
+    and implement :meth:`build_circuit` (netlist construction for a given
+    sizing) plus :meth:`evaluate` (run the analyses and return metrics).
+    """
+
+    #: Circuit registry name, e.g. ``"two_tia"``.
+    name: str = "abstract"
+    #: Human-readable title.
+    title: str = "abstract circuit"
+
+    def __init__(self, technology: TechnologyNode):
+        self.technology = technology
+        self._components = self._define_components()
+        validate_components(self._components)
+        self.parameter_space = ParameterSpace(self._components, technology)
+
+    # --- topology ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _define_components(self) -> List[ComponentSpec]:
+        """Return the ordered list of sizeable components."""
+
+    @property
+    def components(self) -> List[ComponentSpec]:
+        """Ordered sizeable components (vertices of the topology graph)."""
+        return list(self._components)
+
+    @property
+    def num_components(self) -> int:
+        """Number of sizeable components."""
+        return len(self._components)
+
+    def adjacency(self) -> np.ndarray:
+        """Binary adjacency matrix of the topology graph."""
+        return build_adjacency(self._components)
+
+    def normalized_adjacency(self) -> np.ndarray:
+        """GCN propagation matrix for this topology."""
+        return normalized_adjacency(self.adjacency())
+
+    # --- metrics ---------------------------------------------------------------------
+    @abc.abstractmethod
+    def metric_definitions(self) -> List[MetricDef]:
+        """Definitions of every metric returned by :meth:`evaluate`."""
+
+    @property
+    def metric_names(self) -> List[str]:
+        """Names of all metrics, in canonical order."""
+        return [m.name for m in self.metric_definitions()]
+
+    def spec_limits(self) -> List[SpecLimit]:
+        """Hard specification limits (empty by default)."""
+        return []
+
+    def default_weights(self) -> Dict[str, float]:
+        """Default FoM weights: +1 if larger is better, -1 otherwise."""
+        return {
+            m.name: 1.0 if m.larger_is_better else -1.0
+            for m in self.metric_definitions()
+        }
+
+    # --- evaluation -------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_circuit(self, sizing: Sizing) -> Circuit:
+        """Construct the simulation netlist for a given sizing."""
+
+    @abc.abstractmethod
+    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
+        """Simulate the sizing and return every metric.
+
+        Implementations must be total: if an analysis fails to converge they
+        return :meth:`failure_metrics` rather than raising, so optimization
+        loops always receive a (bad) reward.
+        """
+
+    def failure_metrics(self) -> Dict[str, float]:
+        """Metric values reported when simulation fails to converge.
+
+        Larger-is-better metrics get 0, smaller-is-better metrics get a large
+        penalty value, so a failed design is never attractive.
+        """
+        metrics = {}
+        for definition in self.metric_definitions():
+            metrics[definition.name] = 0.0 if definition.larger_is_better else 1e12
+        metrics["simulation_failed"] = 1.0
+        return metrics
+
+    @abc.abstractmethod
+    def expert_sizing(self) -> Sizing:
+        """The deterministic human-expert reference design."""
+
+    # --- convenience -----------------------------------------------------------------
+    def evaluate_vector(self, vector: Sequence[float]) -> Dict[str, float]:
+        """Evaluate a flat physical-value parameter vector."""
+        sizing = self.parameter_space.vector_to_sizing(vector)
+        return self.evaluate(sizing)
+
+    def random_sizing(self, rng: np.random.Generator) -> Sizing:
+        """Draw a random refined sizing from the design space."""
+        return self.parameter_space.random_sizing(rng)
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"{self.title} [{self.name}] @ {self.technology.name}: "
+            f"{self.num_components} components, "
+            f"{self.parameter_space.dimension} parameters, "
+            f"{len(self.metric_names)} metrics"
+        )

@@ -1,0 +1,56 @@
+"""Helpers shared by the benchmark-circuit netlist builders."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.circuits.components import ComponentSpec, ComponentType
+from repro.circuits.parameters import Sizing
+from repro.spice.elements import Capacitor, MOSFET, Resistor
+from repro.technology.node import TechnologyNode
+
+
+def make_element(
+    comp: ComponentSpec, sizing: Mapping[str, Mapping[str, float]], tech: TechnologyNode
+):
+    """Instantiate the spice element for one sized component.
+
+    Args:
+        comp: Component spec (type + nets).
+        sizing: Full sizing dict; must contain an entry for ``comp.name``.
+        tech: Technology node supplying the MOSFET model cards.
+
+    Returns:
+        A :class:`repro.spice.elements.Element` ready to add to a circuit.
+    """
+    params = sizing[comp.name]
+    if comp.ctype is ComponentType.NMOS or comp.ctype is ComponentType.PMOS:
+        card = tech.nmos if comp.ctype is ComponentType.NMOS else tech.pmos
+        drain, gate, source, bulk = comp.nets
+        return MOSFET(
+            comp.name,
+            drain,
+            gate,
+            source,
+            bulk,
+            card,
+            width=params["w"],
+            length=params["l"],
+            multiplier=int(round(params["m"])),
+        )
+    if comp.ctype is ComponentType.RESISTOR:
+        n1, n2 = comp.nets
+        return Resistor(comp.name, n1, n2, params["r"])
+    n1, n2 = comp.nets
+    return Capacitor(comp.name, n1, n2, params["c"])
+
+
+def add_sized_components(circuit, components, sizing: Sizing, tech: TechnologyNode):
+    """Add every sized component of a circuit design to a spice netlist."""
+    for comp in components:
+        circuit.add(make_element(comp, sizing, tech))
+
+
+def mos_sizing(w: float, l: float, m: int = 1) -> Dict[str, float]:
+    """Shorthand for an expert MOSFET sizing entry."""
+    return {"w": w, "l": l, "m": float(m)}

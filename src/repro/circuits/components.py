@@ -1,0 +1,175 @@
+"""Component-level description of a sizeable analog circuit.
+
+A :class:`ComponentSpec` describes one vertex of the paper's topology graph:
+its type (NMOS / PMOS / resistor / capacitor), the circuit nets it touches
+(the graph edges), and an optional matching group.  Components in the same
+matching group are forced to identical sizes during action refinement, which
+reproduces the "refine circuit parameters to guarantee transistor matching"
+step of the paper's optimization loop (step 4 in Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ComponentType(Enum):
+    """The four component kinds that appear in the paper's state vector."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+    RESISTOR = "resistor"
+    CAPACITOR = "capacitor"
+
+    @property
+    def is_mosfet(self) -> bool:
+        """True for NMOS and PMOS devices."""
+        return self in (ComponentType.NMOS, ComponentType.PMOS)
+
+    @property
+    def action_names(self) -> Tuple[str, ...]:
+        """Names of the sizing parameters for this component type.
+
+        MOSFETs expose (W, L, M) as in the paper; resistors expose their
+        resistance and capacitors their capacitance.
+        """
+        if self.is_mosfet:
+            return ("w", "l", "m")
+        if self is ComponentType.RESISTOR:
+            return ("r",)
+        return ("c",)
+
+    @property
+    def action_dim(self) -> int:
+        """Number of sizing parameters for this component type."""
+        return len(self.action_names)
+
+
+#: Fixed ordering of types used for the one-hot type encoding in the RL state.
+TYPE_ORDER: Tuple[ComponentType, ...] = (
+    ComponentType.NMOS,
+    ComponentType.PMOS,
+    ComponentType.RESISTOR,
+    ComponentType.CAPACITOR,
+)
+
+#: Largest per-component action dimensionality (MOSFET: W, L, M).
+MAX_ACTION_DIM = 3
+
+
+@dataclass
+class ComponentSpec:
+    """One sizeable component of a circuit topology.
+
+    Attributes:
+        name: Unique component name (e.g. ``"T1"``, ``"RF"``).
+        ctype: Component type.
+        nets: Circuit nets this component touches; shared nets define the
+            edges of the topology graph.
+        match_group: Optional matching-group label.  All components sharing a
+            label receive identical parameters after refinement.
+        bounds: Optional per-parameter ``(low, high)`` overrides; parameters
+            not listed fall back to the technology-node limits.
+    """
+
+    name: str
+    ctype: ComponentType
+    nets: Tuple[str, ...]
+    match_group: Optional[str] = None
+    bounds: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def action_names(self) -> Tuple[str, ...]:
+        """Sizing-parameter names for this component."""
+        return self.ctype.action_names
+
+    @property
+    def action_dim(self) -> int:
+        """Number of sizing parameters for this component."""
+        return self.ctype.action_dim
+
+    def type_one_hot(self) -> List[float]:
+        """One-hot encoding of the component type (order: NMOS, PMOS, R, C)."""
+        return [1.0 if self.ctype is t else 0.0 for t in TYPE_ORDER]
+
+
+def mosfet(
+    name: str,
+    ctype: ComponentType,
+    drain: str,
+    gate: str,
+    source: str,
+    bulk: str,
+    match_group: Optional[str] = None,
+    bounds: Optional[Dict[str, Tuple[float, float]]] = None,
+) -> ComponentSpec:
+    """Convenience constructor for an NMOS/PMOS component spec."""
+    if not ctype.is_mosfet:
+        raise ValueError(f"{ctype} is not a MOSFET type")
+    return ComponentSpec(
+        name=name,
+        ctype=ctype,
+        nets=(drain, gate, source, bulk),
+        match_group=match_group,
+        bounds=dict(bounds or {}),
+    )
+
+
+def resistor(
+    name: str,
+    n1: str,
+    n2: str,
+    match_group: Optional[str] = None,
+    bounds: Optional[Dict[str, Tuple[float, float]]] = None,
+) -> ComponentSpec:
+    """Convenience constructor for a resistor component spec."""
+    return ComponentSpec(
+        name=name,
+        ctype=ComponentType.RESISTOR,
+        nets=(n1, n2),
+        match_group=match_group,
+        bounds=dict(bounds or {}),
+    )
+
+
+def capacitor(
+    name: str,
+    n1: str,
+    n2: str,
+    match_group: Optional[str] = None,
+    bounds: Optional[Dict[str, Tuple[float, float]]] = None,
+) -> ComponentSpec:
+    """Convenience constructor for a capacitor component spec."""
+    return ComponentSpec(
+        name=name,
+        ctype=ComponentType.CAPACITOR,
+        nets=(n1, n2),
+        match_group=match_group,
+        bounds=dict(bounds or {}),
+    )
+
+
+def validate_components(components: Sequence[ComponentSpec]) -> None:
+    """Validate uniqueness of names and consistency of matching groups.
+
+    Raises:
+        ValueError: On duplicate names or matching groups that mix types.
+    """
+    seen = set()
+    for comp in components:
+        if comp.name in seen:
+            raise ValueError(f"duplicate component name: {comp.name}")
+        seen.add(comp.name)
+
+    groups: Dict[str, ComponentType] = {}
+    for comp in components:
+        if comp.match_group is None:
+            continue
+        if comp.match_group not in groups:
+            groups[comp.match_group] = comp.ctype
+        elif groups[comp.match_group] is not comp.ctype:
+            raise ValueError(
+                f"matching group {comp.match_group!r} mixes component types"
+            )

@@ -1,0 +1,128 @@
+"""Topology-graph extraction: components are vertices, shared nets are edges.
+
+This reproduces step (1) of the paper's optimization loop ("embed topology
+into a graph whose vertices are components and edges are wires").  Power and
+ground nets connect almost every component and would therefore wash out the
+structural information, so they are excluded from edge creation by default
+(the supply rails still appear in the circuit netlist used for simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.components import ComponentSpec
+
+#: Nets that do not create graph edges by default.
+DEFAULT_GLOBAL_NETS: Tuple[str, ...] = ("0", "gnd", "vdd", "vss", "vdd!", "vss!")
+
+
+def build_adjacency(
+    components: Sequence[ComponentSpec],
+    exclude_nets: Optional[Iterable[str]] = None,
+) -> np.ndarray:
+    """Binary adjacency matrix of the component topology graph.
+
+    Two components are adjacent when they share at least one non-global net.
+
+    Args:
+        components: Ordered component specs; the matrix follows this order.
+        exclude_nets: Nets that never create edges (defaults to supply/ground).
+
+    Returns:
+        A symmetric ``(n, n)`` matrix of 0/1 floats with a zero diagonal.
+    """
+    excluded: Set[str] = {
+        net.lower()
+        for net in (DEFAULT_GLOBAL_NETS if exclude_nets is None else exclude_nets)
+    }
+    n = len(components)
+    adjacency = np.zeros((n, n), dtype=float)
+    net_members: Dict[str, List[int]] = {}
+    for index, comp in enumerate(components):
+        for net in comp.nets:
+            if net.lower() in excluded:
+                continue
+            net_members.setdefault(net, []).append(index)
+    for members in net_members.values():
+        for i in members:
+            for j in members:
+                if i != j:
+                    adjacency[i, j] = 1.0
+    return adjacency
+
+
+def normalized_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Kipf–Welling propagation matrix ``D̃^-1/2 (A + I) D̃^-1/2``."""
+    adjacency = np.asarray(adjacency, dtype=float)
+    n = adjacency.shape[0]
+    a_tilde = adjacency + np.eye(n)
+    degrees = a_tilde.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+    d_inv_sqrt = np.diag(inv_sqrt)
+    return d_inv_sqrt @ a_tilde @ d_inv_sqrt
+
+
+def to_networkx(
+    components: Sequence[ComponentSpec],
+    exclude_nets: Optional[Iterable[str]] = None,
+) -> nx.Graph:
+    """Export the topology graph to ``networkx`` for inspection/plotting."""
+    adjacency = build_adjacency(components, exclude_nets)
+    graph = nx.Graph()
+    for index, comp in enumerate(components):
+        graph.add_node(
+            comp.name, index=index, ctype=comp.ctype.value, nets=list(comp.nets)
+        )
+    n = len(components)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if adjacency[i, j] > 0:
+                graph.add_edge(components[i].name, components[j].name)
+    return graph
+
+
+def graph_statistics(
+    components: Sequence[ComponentSpec],
+    exclude_nets: Optional[Iterable[str]] = None,
+) -> Dict[str, float]:
+    """Basic statistics of the topology graph (used in reports and tests)."""
+    graph = to_networkx(components, exclude_nets)
+    n = graph.number_of_nodes()
+    degrees = [d for _, d in graph.degree()]
+    return {
+        "num_nodes": float(n),
+        "num_edges": float(graph.number_of_edges()),
+        "avg_degree": float(np.mean(degrees)) if degrees else 0.0,
+        "max_degree": float(max(degrees)) if degrees else 0.0,
+        "num_connected_components": float(nx.number_connected_components(graph))
+        if n
+        else 0.0,
+        "diameter": float(
+            max(
+                nx.diameter(graph.subgraph(c))
+                for c in nx.connected_components(graph)
+            )
+        )
+        if n
+        else 0.0,
+    }
+
+
+def receptive_field_depth(adjacency: np.ndarray) -> int:
+    """Smallest number of GCN layers giving every node a global receptive field.
+
+    This is the graph diameter of the largest connected component; the paper
+    uses 7 layers "to make sure the last layer has a global receptive field".
+    """
+    n = adjacency.shape[0]
+    graph = nx.from_numpy_array(np.asarray(adjacency))
+    depth = 0
+    for component in nx.connected_components(graph):
+        sub = graph.subgraph(component)
+        if sub.number_of_nodes() > 1:
+            depth = max(depth, nx.diameter(sub))
+    return max(depth, 1) if n > 1 else 1

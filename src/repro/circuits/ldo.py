@@ -1,0 +1,243 @@
+"""Low-dropout regulator (LDO) benchmark circuit.
+
+Topology following Figure 6d of the paper: a five-transistor error amplifier
+senses the output through the resistive divider R1/R2, drives a large PMOS
+pass device, and regulates the output voltage across a load capacitor.  The
+load and the supply are stepped in transient analyses to extract the settling
+times; DC sweeps give the load regulation and an AC analysis gives the PSRR.
+
+Metrics (paper Section IV-A, LDO column of Table I): settling time after a
+load increase / decrease (TL+/TL-), load regulation, settling time after a
+supply increase / decrease (TV+/TV-), PSRR, and power.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import math
+
+from repro.circuits.base import CircuitDesign, MetricDef, SpecLimit
+from repro.circuits.builders import add_sized_components, mos_sizing
+from repro.circuits.components import (
+    ComponentSpec,
+    ComponentType,
+    capacitor,
+    mosfet,
+    resistor,
+)
+from repro.circuits.parameters import Sizing
+from repro.spice import measurements as meas
+from repro.spice.ac import ac_analysis, logspace_frequencies
+from repro.spice.circuit import Circuit
+from repro.spice.dc import dc_operating_point
+from repro.spice.elements import CurrentSource, VoltageSource
+from repro.spice.transient import pulse_waveform, transient_analysis
+
+
+class LowDropoutRegulator(CircuitDesign):
+    """Low-dropout regulator with a 5-transistor error amplifier."""
+
+    name = "ldo"
+    title = "Low-Dropout Regulator"
+
+    #: Reference voltage as a fraction of the supply.
+    REFERENCE_FRACTION = 0.45
+    BIAS_CURRENT = 20e-6
+    #: Nominal and stepped load currents [A].
+    LOAD_LIGHT = 1e-3
+    LOAD_HEAVY = 5e-3
+    #: Supply step magnitude [V].
+    SUPPLY_STEP = 0.2
+    #: Transient settings.
+    TRAN_STEP = 4e-8
+    TRAN_EVENT = 1e-6
+    TRAN_SECOND_EVENT = 3e-6
+    TRAN_STOP = 5e-6
+    FREQUENCIES = logspace_frequencies(1e2, 1e9, 6)
+
+    def _define_components(self) -> List[ComponentSpec]:
+        nmos, pmos = ComponentType.NMOS, ComponentType.PMOS
+        return [
+            # Error amplifier: T1/T2 input pair, T3/T4 mirror load, T5 tail.
+            mosfet("T1", nmos, "nd1", "fb", "ntail", "0", match_group="ea_pair"),
+            mosfet("T2", nmos, "na", "vref", "ntail", "0", match_group="ea_pair"),
+            mosfet("T3", pmos, "nd1", "nd1", "vdd", "vdd", match_group="ea_mirror"),
+            mosfet("T4", pmos, "na", "nd1", "vdd", "vdd", match_group="ea_mirror"),
+            mosfet("T5", nmos, "ntail", "vbn", "0", "0"),
+            mosfet("T6", nmos, "vbn", "vbn", "0", "0"),
+            # Power stage: wide PMOS pass device.
+            mosfet(
+                "T7",
+                pmos,
+                "vout",
+                "na",
+                "vdd",
+                "vdd",
+                bounds={"w": (1e-5, 5e-3), "l": (1.8e-7, 2e-6)},
+            ),
+            # Feedback divider and output capacitor.
+            resistor("R1", "vout", "fb", bounds={"r": (1e3, 1e6)}),
+            resistor("R2", "fb", "0", bounds={"r": (1e3, 1e6)}),
+            capacitor("CL", "vout", "0", bounds={"c": (1e-12, 5e-11)}),
+        ]
+
+    def metric_definitions(self) -> List[MetricDef]:
+        return [
+            MetricDef("tl_plus", "us", False, 1e6, "settling time, load increase"),
+            MetricDef("tl_minus", "us", False, 1e6, "settling time, load decrease"),
+            MetricDef("load_regulation", "mV/mA", False, 1.0, "output shift per load"),
+            MetricDef("tv_plus", "us", False, 1e6, "settling time, supply increase"),
+            MetricDef("tv_minus", "us", False, 1e6, "settling time, supply decrease"),
+            MetricDef("psrr", "dB", True, 1.0, "power-supply rejection at DC"),
+            MetricDef("power", "mW", False, 1e3, "regulator quiescent power"),
+        ]
+
+    def spec_limits(self) -> List[SpecLimit]:
+        return [
+            SpecLimit("psrr", "min", 0.0),
+            SpecLimit("power", "max", 5e-2),
+        ]
+
+    @property
+    def reference_voltage(self) -> float:
+        """Error-amplifier reference voltage [V]."""
+        return self.REFERENCE_FRACTION * self.technology.vdd
+
+    def build_circuit(
+        self,
+        sizing: Sizing,
+        load_current: float = None,
+        load_waveform=None,
+        supply_waveform=None,
+        supply_ac: float = 0.0,
+    ) -> Circuit:
+        tech = self.technology
+        if load_current is None:
+            load_current = self.LOAD_LIGHT
+        circuit = Circuit(self.name)
+        circuit.add(
+            VoltageSource(
+                "VDD", "vdd", "0", dc=tech.vdd, ac=supply_ac, waveform=supply_waveform
+            )
+        )
+        circuit.add(VoltageSource("VREF", "vref", "0", dc=self.reference_voltage))
+        circuit.add(CurrentSource("IBIAS", "vdd", "vbn", dc=self.BIAS_CURRENT))
+        circuit.add(
+            CurrentSource(
+                "ILOAD", "vout", "0", dc=load_current, waveform=load_waveform
+            )
+        )
+        add_sized_components(circuit, self.components, sizing, tech)
+        return circuit
+
+    def _settling_pair(self, circuit, node: str) -> Dict[str, float]:
+        tran = transient_analysis(circuit, self.TRAN_STOP, self.TRAN_STEP)
+        waveform = tran.voltage(node)
+        # First event window ends just before the second event so the two
+        # settling measurements do not contaminate each other.
+        first_window = tran.times < self.TRAN_SECOND_EVENT
+        rise = meas.settling_time(
+            tran.times[first_window],
+            waveform[first_window],
+            self.TRAN_EVENT,
+            tolerance=0.005,
+        )
+        fall = meas.settling_time(
+            tran.times, waveform, self.TRAN_SECOND_EVENT, tolerance=0.005
+        )
+        return {"up": rise, "down": fall, "converged": tran.converged}
+
+    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
+        # 1) DC at light and heavy load: regulation, power, operating point.
+        light = self.build_circuit(sizing, load_current=self.LOAD_LIGHT)
+        op_light = dc_operating_point(light)
+        heavy = self.build_circuit(sizing, load_current=self.LOAD_HEAVY)
+        op_heavy = dc_operating_point(heavy)
+        if not (op_light.converged and op_heavy.converged):
+            return self.failure_metrics()
+
+        v_light = op_light.voltage("vout")
+        v_heavy = op_heavy.voltage("vout")
+        regulation = meas.load_regulation(
+            v_light, v_heavy, self.LOAD_LIGHT, self.LOAD_HEAVY
+        )
+        # Express in mV per mA as in the paper's LDO tables.
+        regulation_mv_ma = regulation * 1e-3 * 1e3
+
+        # Quiescent power excludes the power delivered to the load itself.
+        power = max(
+            op_light.supply_power() - v_light * self.LOAD_LIGHT, 1e-9
+        )
+
+        # 2) PSRR from an AC analysis with a unit AC source on the supply.
+        ac_circuit = self.build_circuit(
+            sizing, load_current=self.LOAD_LIGHT, supply_ac=1.0
+        )
+        op_ac = dc_operating_point(ac_circuit)
+        if not op_ac.converged:
+            return self.failure_metrics()
+        ac = ac_analysis(ac_circuit, op_ac, self.FREQUENCIES)
+        supply_gain = ac.voltage("vout")
+        psrr_db = -20.0 * math.log10(
+            max(float(abs(supply_gain[0])), 1e-9)
+        )
+
+        # 3) Load-step transient (up then down).
+        load_wave = pulse_waveform(
+            self.TRAN_EVENT,
+            self.TRAN_SECOND_EVENT - self.TRAN_EVENT,
+            self.LOAD_LIGHT,
+            self.LOAD_HEAVY,
+            edge_time=5e-8,
+        )
+        load_circuit = self.build_circuit(
+            sizing, load_current=self.LOAD_LIGHT, load_waveform=load_wave
+        )
+        load_settle = self._settling_pair(load_circuit, "vout")
+
+        # 4) Supply-step transient (up then down).
+        vdd = self.technology.vdd
+        supply_wave = pulse_waveform(
+            self.TRAN_EVENT,
+            self.TRAN_SECOND_EVENT - self.TRAN_EVENT,
+            vdd,
+            vdd + self.SUPPLY_STEP,
+            edge_time=5e-8,
+        )
+        supply_circuit = self.build_circuit(
+            sizing, load_current=self.LOAD_LIGHT, supply_waveform=supply_wave
+        )
+        supply_settle = self._settling_pair(supply_circuit, "vout")
+
+        if not (load_settle["converged"] and supply_settle["converged"]):
+            return self.failure_metrics()
+
+        return {
+            "tl_plus": load_settle["up"],
+            "tl_minus": load_settle["down"],
+            "load_regulation": regulation_mv_ma,
+            "tv_plus": supply_settle["up"],
+            "tv_minus": supply_settle["down"],
+            "psrr": psrr_db,
+            "power": power,
+            "simulation_failed": 0.0,
+        }
+
+    def expert_sizing(self) -> Sizing:
+        """Hand-analysis reference design for the LDO."""
+        f = self.technology.feature_size
+        return self.parameter_space.apply_matching(
+            {
+                "T1": mos_sizing(100 * f, 2.0 * f, 2),
+                "T2": mos_sizing(100 * f, 2.0 * f, 2),
+                "T3": mos_sizing(60 * f, 4.0 * f, 1),
+                "T4": mos_sizing(60 * f, 4.0 * f, 1),
+                "T5": mos_sizing(80 * f, 4.0 * f, 2),
+                "T6": mos_sizing(40 * f, 4.0 * f, 1),
+                "T7": mos_sizing(1.0e-3, 2 * f, 8),
+                "R1": {"r": 2.0e4},
+                "R2": {"r": 2.0e4},
+                "CL": {"c": 2.0e-11},
+            }
+        )

@@ -1,0 +1,53 @@
+"""Registry mapping circuit names to their design classes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, Union
+
+from repro.circuits.base import CircuitDesign
+from repro.circuits.ldo import LowDropoutRegulator
+from repro.circuits.three_tia import ThreeStageTIA
+from repro.circuits.two_tia import TwoStageTIA
+from repro.circuits.two_volt import TwoStageVoltageAmplifier
+from repro.technology.node import TechnologyNode
+from repro.technology.pdk import get_node
+
+#: All registered circuit classes, keyed by their registry name.
+CIRCUIT_CLASSES: Dict[str, Type[CircuitDesign]] = {
+    TwoStageTIA.name: TwoStageTIA,
+    TwoStageVoltageAmplifier.name: TwoStageVoltageAmplifier,
+    ThreeStageTIA.name: ThreeStageTIA,
+    LowDropoutRegulator.name: LowDropoutRegulator,
+}
+
+
+def list_circuits() -> List[str]:
+    """Names of all registered benchmark circuits."""
+    return sorted(CIRCUIT_CLASSES)
+
+
+def get_circuit(
+    name: str, technology: Union[str, TechnologyNode] = "180nm"
+) -> CircuitDesign:
+    """Instantiate a benchmark circuit in a given technology node.
+
+    Args:
+        name: Circuit registry name (see :func:`list_circuits`).
+        technology: Technology node instance or node name (default ``"180nm"``,
+            the node the paper designs in).
+
+    Returns:
+        A ready-to-evaluate :class:`CircuitDesign`.
+    """
+    key = name.lower()
+    if key not in CIRCUIT_CLASSES:
+        known = ", ".join(list_circuits())
+        raise KeyError(f"unknown circuit {name!r}; available: {known}")
+    node = technology if isinstance(technology, TechnologyNode) else get_node(technology)
+    return CIRCUIT_CLASSES[key](node)
+
+
+def register_circuit(cls: Type[CircuitDesign]) -> Type[CircuitDesign]:
+    """Register a user-defined circuit class (usable as a decorator)."""
+    CIRCUIT_CLASSES[cls.name] = cls
+    return cls

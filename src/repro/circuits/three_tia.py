@@ -1,0 +1,150 @@
+"""Three-stage transimpedance amplifier (Three-TIA) benchmark circuit.
+
+Pseudo-differential three-stage amplifier following Figure 6c of the paper:
+two identical signal paths (suffix ``a`` / ``b``) share a bias network built
+around the resistor ``RB``.  Each path converts the input current with a
+diode-connected device, amplifies it with two common-source stages using
+diode loads, and drives the load through a source follower.  Nineteen
+transistors plus RB are sized (the paper's schematic has 17, T0-T16); matched
+pairs across the two half-circuits are tied together by matching groups,
+mirroring the paper's refinement step.
+
+Metrics (paper Table I / Figure 5): bandwidth, transimpedance gain and power.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.base import CircuitDesign, MetricDef, SpecLimit
+from repro.circuits.builders import add_sized_components, mos_sizing
+from repro.circuits.components import ComponentSpec, ComponentType, mosfet, resistor
+from repro.circuits.parameters import Sizing
+from repro.spice import measurements as meas
+from repro.spice.ac import ac_analysis, logspace_frequencies
+from repro.spice.circuit import Circuit
+from repro.spice.dc import dc_operating_point
+from repro.spice.elements import Capacitor, CurrentSource, VoltageSource
+
+
+class ThreeStageTIA(CircuitDesign):
+    """Pseudo-differential three-stage transimpedance amplifier."""
+
+    name = "three_tia"
+    title = "Three-Stage Transimpedance Amplifier"
+
+    #: Fixed load capacitance on each output [F].
+    LOAD_CAPACITANCE = 300e-15
+    #: Input photodiode bias current [A].
+    INPUT_BIAS_CURRENT = 20e-6
+    FREQUENCIES = logspace_frequencies(1e4, 1e11, 6)
+
+    def _half_components(self, suffix: str) -> List[ComponentSpec]:
+        nmos, pmos = ComponentType.NMOS, ComponentType.PMOS
+        s = suffix
+        return [
+            # Stage A: diode-connected input device (current to voltage).
+            mosfet(f"T1{s}", nmos, f"nin{s}", f"nin{s}", "0", "0", match_group="input_diode"),
+            # Stage B: NMOS common source with PMOS diode load.
+            mosfet(f"T2{s}", nmos, f"na{s}", f"nin{s}", "0", "0", match_group="stage_b_drive"),
+            mosfet(f"T3{s}", pmos, f"na{s}", f"na{s}", "vdd", "vdd", match_group="stage_b_load"),
+            # Stage C: PMOS common source with NMOS diode load.
+            mosfet(f"T4{s}", pmos, f"nb{s}", f"na{s}", "vdd", "vdd", match_group="stage_c_drive"),
+            mosfet(f"T5{s}", nmos, f"nb{s}", f"nb{s}", "0", "0", match_group="stage_c_load"),
+            # Output stage: source follower with current-sink bias.
+            mosfet(f"T6{s}", nmos, "vdd", f"nb{s}", f"vout{s}", "0", match_group="follower"),
+            mosfet(f"T7{s}", nmos, f"vout{s}", "vbn", "0", "0", match_group="follower_sink"),
+            # Input bias current source mirrored from the shared bias branch.
+            mosfet(f"T0{s}", pmos, f"nin{s}", "vbp", "vdd", "vdd", match_group="input_bias"),
+        ]
+
+    def _define_components(self) -> List[ComponentSpec]:
+        nmos, pmos = ComponentType.NMOS, ComponentType.PMOS
+        components = self._half_components("a") + self._half_components("b")
+        components.extend(
+            [
+                # Shared bias network: RB sets the master current through the
+                # NMOS diode T16; T15 mirrors it into the PMOS bias rail.
+                mosfet("T16", nmos, "vbn", "vbn", "0", "0"),
+                mosfet("T15", pmos, "vbp", "vbp", "vdd", "vdd"),
+                mosfet("T14", nmos, "vbp", "vbn", "0", "0"),
+                resistor("RB", "vdd", "vbn", bounds={"r": (1e3, 1e6)}),
+            ]
+        )
+        return components
+
+    def metric_definitions(self) -> List[MetricDef]:
+        return [
+            MetricDef("bandwidth", "GHz", True, 1e-9, "-3dB differential bandwidth"),
+            MetricDef("gain", "x100 Ohm", True, 1e-2, "DC differential transimpedance"),
+            MetricDef("power", "mW", False, 1e3, "supply power"),
+            MetricDef("gbw", "THz*Ohm", True, 1e-12, "gain-bandwidth product"),
+        ]
+
+    def spec_limits(self) -> List[SpecLimit]:
+        return [
+            SpecLimit("gain", "min", 5e1),
+            SpecLimit("power", "max", 5e-2),
+        ]
+
+    def build_circuit(self, sizing: Sizing) -> Circuit:
+        tech = self.technology
+        circuit = Circuit(self.name)
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+        # Differential input stimulus: +/- half of the AC unit current.
+        circuit.add(
+            CurrentSource("IIN1", "0", "nina", dc=self.INPUT_BIAS_CURRENT, ac=0.5)
+        )
+        circuit.add(
+            CurrentSource("IIN2", "0", "ninb", dc=self.INPUT_BIAS_CURRENT, ac=-0.5)
+        )
+        circuit.add(Capacitor("CL1", "vouta", "0", self.LOAD_CAPACITANCE))
+        circuit.add(Capacitor("CL2", "voutb", "0", self.LOAD_CAPACITANCE))
+        add_sized_components(circuit, self.components, sizing, tech)
+        return circuit
+
+    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
+        circuit = self.build_circuit(sizing)
+        op = dc_operating_point(circuit)
+        if not op.converged:
+            return self.failure_metrics()
+
+        ac = ac_analysis(circuit, op, self.FREQUENCIES)
+        transimpedance = ac.differential_voltage("vouta", "voutb")
+        gain = meas.dc_gain(self.FREQUENCIES, transimpedance)
+        bandwidth = meas.bandwidth_3db(self.FREQUENCIES, transimpedance)
+        power = op.supply_power()
+        return {
+            "bandwidth": bandwidth,
+            "gain": gain,
+            "power": power,
+            "gbw": gain * bandwidth,
+            "simulation_failed": 0.0,
+        }
+
+    def expert_sizing(self) -> Sizing:
+        """Hand-analysis reference design for the three-stage TIA."""
+        f = self.technology.feature_size
+        sizing: Sizing = {}
+        for s in ("a", "b"):
+            sizing.update(
+                {
+                    f"T1{s}": mos_sizing(40 * f, 2.0 * f, 1),
+                    f"T2{s}": mos_sizing(320 * f, 2.0 * f, 4),
+                    f"T3{s}": mos_sizing(40 * f, 2.0 * f, 1),
+                    f"T4{s}": mos_sizing(400 * f, 2.0 * f, 4),
+                    f"T5{s}": mos_sizing(50 * f, 2.0 * f, 1),
+                    f"T6{s}": mos_sizing(200 * f, 2.0 * f, 2),
+                    f"T7{s}": mos_sizing(60 * f, 4.0 * f, 1),
+                    f"T0{s}": mos_sizing(120 * f, 4.0 * f, 1),
+                }
+            )
+        sizing.update(
+            {
+                "T16": mos_sizing(60 * f, 4.0 * f, 1),
+                "T15": mos_sizing(120 * f, 4.0 * f, 1),
+                "T14": mos_sizing(60 * f, 4.0 * f, 1),
+                "RB": {"r": 2.5e4},
+            }
+        )
+        return self.parameter_space.apply_matching(sizing)

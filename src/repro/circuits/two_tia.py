@@ -1,0 +1,144 @@
+"""Two-stage transimpedance amplifier (Two-TIA) benchmark circuit.
+
+Topology (following Figure 6a of the paper, adapted to the synthetic PDK):
+a common-source input stage with a current-source load, a source-follower
+output stage, shunt-shunt resistive feedback ``RF`` that sets the
+transimpedance, and a series output resistor ``R6`` driving the load
+capacitor.  Six transistors (T1–T6) are sized together with RF and R6.
+
+Metrics (paper Table II): bandwidth, transimpedance gain, power, input-referred
+current noise, peaking and the derived gain-bandwidth product.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.circuits.base import CircuitDesign, MetricDef, SpecLimit
+from repro.circuits.builders import add_sized_components, mos_sizing
+from repro.circuits.components import ComponentSpec, ComponentType, mosfet, resistor
+from repro.circuits.parameters import Sizing
+from repro.spice import measurements as meas
+from repro.spice.ac import ac_analysis, logspace_frequencies
+from repro.spice.circuit import Circuit
+from repro.spice.dc import dc_operating_point
+from repro.spice.elements import Capacitor, CurrentSource, VoltageSource
+from repro.spice.noise import noise_analysis
+
+
+class TwoStageTIA(CircuitDesign):
+    """Two-stage transimpedance amplifier with resistive shunt feedback."""
+
+    name = "two_tia"
+    title = "Two-Stage Transimpedance Amplifier"
+
+    #: Fixed (non-sized) load capacitance [F].
+    LOAD_CAPACITANCE = 500e-15
+    #: Bias current for the bias diodes [A].
+    BIAS_CURRENT = 50e-6
+    #: AC/noise analysis grid.
+    FREQUENCIES = logspace_frequencies(1e4, 1e11, 6)
+    NOISE_FREQUENCIES = logspace_frequencies(1e5, 1e10, 3)
+    #: Frequency at which input-referred noise is reported [Hz].
+    NOISE_SPOT_FREQUENCY = 1e6
+
+    def _define_components(self) -> List[ComponentSpec]:
+        nmos, pmos = ComponentType.NMOS, ComponentType.PMOS
+        return [
+            mosfet("T1", nmos, "n1", "nin", "0", "0"),
+            mosfet("T2", pmos, "n1", "vbp", "vdd", "vdd"),
+            mosfet("T3", nmos, "vdd", "n1", "nmid", "0"),
+            mosfet("T4", nmos, "nmid", "vbn", "0", "0"),
+            mosfet("T5", pmos, "vbp", "vbp", "vdd", "vdd"),
+            mosfet("T6", nmos, "vbn", "vbn", "0", "0"),
+            resistor("RF", "vout", "nin", bounds={"r": (1e2, 1e6)}),
+            resistor("R6", "nmid", "vout", bounds={"r": (1e1, 1e4)}),
+        ]
+
+    def metric_definitions(self) -> List[MetricDef]:
+        return [
+            MetricDef("bandwidth", "GHz", True, 1e-9, "-3dB transimpedance bandwidth"),
+            MetricDef("gain", "x100 Ohm", True, 1e-2, "DC transimpedance"),
+            MetricDef("power", "mW", False, 1e3, "supply power"),
+            MetricDef(
+                "noise", "pA/sqrt(Hz)", False, 1e12, "input-referred current noise"
+            ),
+            MetricDef("peaking", "dB", False, 1.0, "gain peaking above DC value"),
+            MetricDef("gbw", "THz*Ohm", True, 1e-12, "gain-bandwidth product"),
+        ]
+
+    def spec_limits(self) -> List[SpecLimit]:
+        # Loose sanity spec calibrated to the synthetic PDK: the design must
+        # actually amplify and must not burn more than 50 mW.
+        return [
+            SpecLimit("gain", "min", 1e2),
+            SpecLimit("power", "max", 5e-2),
+        ]
+
+    def build_circuit(self, sizing: Sizing) -> Circuit:
+        tech = self.technology
+        circuit = Circuit(self.name)
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+        circuit.add(
+            CurrentSource("IB1", "vbp", "0", dc=self.BIAS_CURRENT)
+        )
+        circuit.add(
+            CurrentSource("IB2", "vdd", "vbn", dc=self.BIAS_CURRENT)
+        )
+        circuit.add(CurrentSource("IIN", "0", "nin", dc=0.0, ac=1.0))
+        circuit.add(Capacitor("CL", "vout", "0", self.LOAD_CAPACITANCE))
+        add_sized_components(circuit, self.components, sizing, tech)
+        return circuit
+
+    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
+        circuit = self.build_circuit(sizing)
+        op = dc_operating_point(circuit)
+        if not op.converged:
+            return self.failure_metrics()
+
+        ac = ac_analysis(circuit, op, self.FREQUENCIES)
+        transimpedance = ac.voltage("vout")
+        gain = meas.dc_gain(self.FREQUENCIES, transimpedance)
+        bandwidth = meas.bandwidth_3db(self.FREQUENCIES, transimpedance)
+        peaking = meas.gain_peaking_db(self.FREQUENCIES, transimpedance)
+        power = op.supply_power()
+
+        noise = noise_analysis(circuit, op, "vout", self.NOISE_FREQUENCIES)
+        spot_output = noise.spot_density(self.NOISE_SPOT_FREQUENCY)
+        zt_at_spot = float(
+            np.interp(
+                self.NOISE_SPOT_FREQUENCY,
+                self.FREQUENCIES,
+                np.abs(transimpedance),
+            )
+        )
+        input_noise = spot_output / max(zt_at_spot, 1e-3)
+
+        metrics = {
+            "bandwidth": bandwidth,
+            "gain": gain,
+            "power": power,
+            "noise": input_noise,
+            "peaking": peaking,
+            "gbw": gain * bandwidth,
+            "simulation_failed": 0.0,
+        }
+        return metrics
+
+    def expert_sizing(self) -> Sizing:
+        """Hand-analysis reference design (gm/ID style sizing at 180nm scale)."""
+        f = self.technology.feature_size
+        return self.parameter_space.apply_matching(
+            {
+                "T1": mos_sizing(220 * f, 2.0 * f, 4),
+                "T2": mos_sizing(300 * f, 4.0 * f, 4),
+                "T3": mos_sizing(150 * f, 2.0 * f, 2),
+                "T4": mos_sizing(100 * f, 4.0 * f, 2),
+                "T5": mos_sizing(80 * f, 4.0 * f, 1),
+                "T6": mos_sizing(80 * f, 4.0 * f, 1),
+                "RF": {"r": 2.0e4},
+                "R6": {"r": 2.0e2},
+            }
+        )

@@ -1,0 +1,173 @@
+"""Two-stage voltage amplifier (Two-Volt) benchmark circuit.
+
+A two-stage Miller-compensated operational amplifier in a closed-loop
+inverting configuration (the paper uses a fully-differential amplifier with
+capacitive feedback and common-mode feedback; the substitution to a
+single-ended Miller op-amp with resistive feedback preserves the same metric
+trade-offs — gain vs. bandwidth vs. stability vs. power vs. noise — while
+keeping the DC bias well defined for the synthetic simulator, see DESIGN.md).
+
+Metrics (paper Table III): closed-loop bandwidth, common-mode-path phase
+margin (CPM, measured here as the unity-feedback phase margin), differential
+phase margin (DPM, the phase margin of the actual feedback loop), power,
+input-referred noise, open-loop gain and gain-bandwidth product.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.circuits.base import CircuitDesign, MetricDef, SpecLimit
+from repro.circuits.builders import add_sized_components, mos_sizing
+from repro.circuits.components import (
+    ComponentSpec,
+    ComponentType,
+    capacitor,
+    mosfet,
+    resistor,
+)
+from repro.circuits.parameters import Sizing
+from repro.spice import measurements as meas
+from repro.spice.ac import ac_analysis, logspace_frequencies
+from repro.spice.circuit import Circuit
+from repro.spice.dc import dc_operating_point
+from repro.spice.elements import Capacitor, CurrentSource, VoltageSource
+from repro.spice.noise import noise_analysis
+
+
+class TwoStageVoltageAmplifier(CircuitDesign):
+    """Two-stage Miller op-amp in an inverting closed-loop configuration."""
+
+    name = "two_volt"
+    title = "Two-Stage Voltage Amplifier"
+
+    LOAD_CAPACITANCE = 1e-12
+    BIAS_CURRENT = 25e-6
+    FREQUENCIES = logspace_frequencies(1e2, 1e10, 6)
+    NOISE_FREQUENCIES = logspace_frequencies(1e3, 1e9, 3)
+    NOISE_SPOT_FREQUENCY = 1e5
+
+    def _define_components(self) -> List[ComponentSpec]:
+        nmos, pmos = ComponentType.NMOS, ComponentType.PMOS
+        return [
+            # First stage: NMOS differential pair with PMOS mirror load.
+            mosfet("T1", nmos, "nd1", "vinn", "ntail", "0", match_group="input_pair"),
+            mosfet("T2", nmos, "n1", "vinp", "ntail", "0", match_group="input_pair"),
+            mosfet("T3", pmos, "nd1", "nd1", "vdd", "vdd", match_group="load_mirror"),
+            mosfet("T4", pmos, "n1", "nd1", "vdd", "vdd", match_group="load_mirror"),
+            # Second stage: PMOS common source with NMOS current-sink load.
+            mosfet("T5", pmos, "vout", "n1", "vdd", "vdd"),
+            mosfet("T6", nmos, "vout", "vbn", "0", "0"),
+            # Tail current source and bias diode.
+            mosfet("T7", nmos, "ntail", "vbn", "0", "0"),
+            mosfet("T8", nmos, "vbn", "vbn", "0", "0"),
+            # Miller compensation network.
+            capacitor("CC", "n1", "ncz", bounds={"c": (5e-14, 2e-11)}),
+            resistor("RZ", "ncz", "vout", bounds={"r": (1e1, 1e5)}),
+            # Feedback network setting the closed-loop gain.
+            resistor("RS", "vin", "vinn", bounds={"r": (1e3, 1e6)}),
+            resistor("RFB", "vout", "vinn", bounds={"r": (1e4, 1e7)}),
+        ]
+
+    def metric_definitions(self) -> List[MetricDef]:
+        return [
+            MetricDef("bandwidth", "MHz", True, 1e-6, "closed-loop -3dB bandwidth"),
+            MetricDef("cpm", "deg", True, 1.0, "unity-feedback phase margin"),
+            MetricDef("dpm", "deg", True, 1.0, "feedback-loop phase margin"),
+            MetricDef("power", "x1e-4 W", False, 1e4, "supply power"),
+            MetricDef(
+                "noise", "nV/sqrt(Hz)", False, 1e9, "input-referred voltage noise"
+            ),
+            MetricDef("gain", "x1000", True, 1e-3, "open-loop DC gain"),
+            MetricDef("gbw", "THz", True, 1e-12, "open-loop gain-bandwidth product"),
+        ]
+
+    def spec_limits(self) -> List[SpecLimit]:
+        return [
+            SpecLimit("gain", "min", 1e1),
+            SpecLimit("power", "max", 2e-2),
+        ]
+
+    def build_circuit(self, sizing: Sizing) -> Circuit:
+        tech = self.technology
+        vcm = 0.5 * tech.vdd
+        circuit = Circuit(self.name)
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+        circuit.add(VoltageSource("VCM", "vinp", "0", dc=vcm))
+        circuit.add(VoltageSource("VIN", "vin", "0", dc=vcm, ac=1.0))
+        circuit.add(CurrentSource("IBIAS", "vdd", "vbn", dc=self.BIAS_CURRENT))
+        circuit.add(Capacitor("CL", "vout", "0", self.LOAD_CAPACITANCE))
+        add_sized_components(circuit, self.components, sizing, tech)
+        return circuit
+
+    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
+        circuit = self.build_circuit(sizing)
+        op = dc_operating_point(circuit)
+        if not op.converged:
+            return self.failure_metrics()
+
+        ac = ac_analysis(circuit, op, self.FREQUENCIES)
+        vout = ac.voltage("vout")
+        vin = ac.voltage("vin")
+        vinn = ac.voltage("vinn")
+        vinp = ac.voltage("vinp")
+
+        closed_loop = vout / np.where(np.abs(vin) > 0, vin, 1.0)
+        bandwidth = meas.bandwidth_3db(self.FREQUENCIES, closed_loop)
+
+        # Open-loop transfer extracted from inside the closed-loop simulation.
+        diff_input = vinp - vinn
+        safe_diff = np.where(np.abs(diff_input) > 1e-18, diff_input, 1e-18)
+        open_loop = vout / safe_diff
+        open_loop_gain = meas.dc_gain(self.FREQUENCIES, open_loop)
+        gbw = meas.unity_gain_frequency(self.FREQUENCIES, open_loop)
+
+        rs = sizing["RS"]["r"]
+        rfb = sizing["RFB"]["r"]
+        beta = rs / (rs + rfb)
+        dpm = meas.phase_margin(self.FREQUENCIES, open_loop * beta)
+        cpm = meas.phase_margin(self.FREQUENCIES, open_loop)
+
+        power = op.supply_power()
+
+        noise = noise_analysis(circuit, op, "vout", self.NOISE_FREQUENCIES)
+        spot_output = noise.spot_density(self.NOISE_SPOT_FREQUENCY)
+        closed_gain_at_spot = float(
+            np.interp(
+                self.NOISE_SPOT_FREQUENCY, self.FREQUENCIES, np.abs(closed_loop)
+            )
+        )
+        input_noise = spot_output / max(closed_gain_at_spot, 1e-6)
+
+        return {
+            "bandwidth": bandwidth,
+            "cpm": cpm,
+            "dpm": dpm,
+            "power": power,
+            "noise": input_noise,
+            "gain": open_loop_gain,
+            "gbw": gbw,
+            "simulation_failed": 0.0,
+        }
+
+    def expert_sizing(self) -> Sizing:
+        """Hand-analysis reference design (classic two-stage Miller sizing)."""
+        f = self.technology.feature_size
+        return self.parameter_space.apply_matching(
+            {
+                "T1": mos_sizing(200 * f, 2.0 * f, 2),
+                "T2": mos_sizing(200 * f, 2.0 * f, 2),
+                "T3": mos_sizing(100 * f, 4.0 * f, 2),
+                "T4": mos_sizing(100 * f, 4.0 * f, 2),
+                "T5": mos_sizing(400 * f, 2.0 * f, 4),
+                "T6": mos_sizing(150 * f, 4.0 * f, 2),
+                "T7": mos_sizing(120 * f, 4.0 * f, 2),
+                "T8": mos_sizing(60 * f, 4.0 * f, 1),
+                "CC": {"c": 1.0e-12},
+                "RZ": {"r": 2.0e3},
+                "RS": {"r": 2.0e4},
+                "RFB": {"r": 2.0e5},
+            }
+        )

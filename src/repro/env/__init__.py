@@ -1,0 +1,21 @@
+"""Sizing environment: Figure-of-Merit (reward) and state/action handling."""
+
+from repro.env.environment import HistoryEntry, SizingEnvironment, StepResult
+from repro.env.fom import (
+    FoMConfig,
+    MetricNormalization,
+    SPEC_VIOLATION_FOM,
+    calibrate_normalization,
+    default_fom_config,
+)
+
+__all__ = [
+    "SizingEnvironment",
+    "StepResult",
+    "HistoryEntry",
+    "FoMConfig",
+    "MetricNormalization",
+    "SPEC_VIOLATION_FOM",
+    "calibrate_normalization",
+    "default_fom_config",
+]

@@ -1,0 +1,225 @@
+"""The transistor-sizing environment used by the RL agent and all baselines.
+
+The environment owns:
+
+* the circuit (topology, parameter space, simulator evaluation),
+* the FoM configuration (reward),
+* the per-component state vectors of the paper (Section III-C), and
+* the denormalise/refine mapping from agent actions to physical sizes.
+
+It exposes two interfaces:
+
+* a *graph interface* (``observe`` / ``step``) where actions are one vector
+  per component — used by GCN-RL and NG-RL, and
+* a *flat interface* (``evaluate_normalized_vector``) where a design is one
+  vector in ``[-1, 1]^d`` — used by random search, ES, BO and MACE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.base import CircuitDesign
+from repro.circuits.components import MAX_ACTION_DIM, TYPE_ORDER
+from repro.circuits.parameters import Sizing
+from repro.env.fom import FoMConfig, default_fom_config
+
+
+@dataclass
+class StepResult:
+    """Outcome of evaluating one design point.
+
+    Attributes:
+        reward: The FoM value (Equation 2).
+        metrics: Raw measured performance metrics.
+        sizing: The refined physical sizing that was simulated.
+        step_index: Index of this evaluation within the environment's history.
+    """
+
+    reward: float
+    metrics: Dict[str, float]
+    sizing: Sizing
+    step_index: int
+
+
+@dataclass
+class HistoryEntry:
+    """One record of the optimization history."""
+
+    step_index: int
+    reward: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class SizingEnvironment:
+    """Simulation-in-the-loop environment for transistor sizing."""
+
+    def __init__(
+        self,
+        circuit: CircuitDesign,
+        fom_config: Optional[FoMConfig] = None,
+        transferable_state: bool = False,
+        normalize_states: bool = True,
+        apply_spec: bool = True,
+    ):
+        """Create an environment around a circuit.
+
+        Args:
+            circuit: The circuit design to size.
+            fom_config: Reward definition; defaults to the circuit's standard
+                equal-weight FoM with cached normalisation.
+            transferable_state: Use the scalar component index instead of the
+                one-hot index (Section III-E) so state dimensions match across
+                topologies — required for topology transfer.
+            normalize_states: Standardise each state dimension across
+                components (zero mean, unit variance), as in the paper.
+            apply_spec: Enforce the circuit's hard spec limits in the FoM.
+        """
+        self.circuit = circuit
+        self.fom_config = fom_config or default_fom_config(
+            circuit, apply_spec=apply_spec
+        )
+        self.transferable_state = transferable_state
+        self.normalize_states = normalize_states
+        self.history: List[HistoryEntry] = []
+        self.best_reward: float = -np.inf
+        self.best_sizing: Optional[Sizing] = None
+        self.best_metrics: Optional[Dict[str, float]] = None
+
+    # --- basic properties -----------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        """Number of components (graph vertices)."""
+        return self.circuit.num_components
+
+    @property
+    def action_dim(self) -> int:
+        """Width of the fixed-size per-component action vector."""
+        return MAX_ACTION_DIM
+
+    @property
+    def state_dim(self) -> int:
+        """Width of the per-component state vector."""
+        index_dim = 1 if self.transferable_state else self.num_components
+        return index_dim + len(TYPE_ORDER) + 5
+
+    @property
+    def parameter_dimension(self) -> int:
+        """Dimensionality of the flat design vector."""
+        return self.circuit.parameter_space.dimension
+
+    # --- state construction ------------------------------------------------------------
+    def component_states(self) -> np.ndarray:
+        """Per-component state matrix ``(num_components, state_dim)``.
+
+        Each row is ``(index encoding, type one-hot, model features)`` as in
+        Equation 3 of the paper; rows are standardised across components when
+        ``normalize_states`` is enabled.
+        """
+        rows = []
+        n = self.num_components
+        for i, comp in enumerate(self.circuit.components):
+            if self.transferable_state:
+                index_part = [float(i) / max(n - 1, 1)]
+            else:
+                index_part = [1.0 if j == i else 0.0 for j in range(n)]
+            type_part = comp.type_one_hot()
+            feature_part = self.circuit.technology.feature_vector(comp.ctype.value)
+            rows.append(index_part + type_part + feature_part)
+        states = np.asarray(rows, dtype=float)
+        if self.normalize_states:
+            mean = states.mean(axis=0, keepdims=True)
+            std = states.std(axis=0, keepdims=True)
+            states = (states - mean) / np.maximum(std, 1e-8)
+        return states
+
+    def observe(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(state matrix, normalised adjacency) for the RL agent."""
+        return self.component_states(), self.circuit.normalized_adjacency()
+
+    # --- evaluation -------------------------------------------------------------------
+    def _record(self, reward: float, metrics: Dict[str, float], sizing: Sizing) -> StepResult:
+        step_index = len(self.history)
+        self.history.append(
+            HistoryEntry(step_index=step_index, reward=reward, metrics=dict(metrics))
+        )
+        if reward > self.best_reward:
+            self.best_reward = reward
+            self.best_sizing = sizing
+            self.best_metrics = dict(metrics)
+        return StepResult(
+            reward=reward, metrics=metrics, sizing=sizing, step_index=step_index
+        )
+
+    def evaluate_sizing(self, sizing: Sizing) -> StepResult:
+        """Evaluate an already-refined physical sizing."""
+        metrics = self.circuit.evaluate(sizing)
+        reward = self.fom_config.compute(metrics)
+        return self._record(reward, metrics, sizing)
+
+    def step(self, actions: np.ndarray) -> StepResult:
+        """Evaluate a per-component action matrix from the RL agent.
+
+        Args:
+            actions: Array of shape ``(num_components, action_dim)`` with
+                entries in ``[-1, 1]``.
+        """
+        actions = np.asarray(actions, dtype=float)
+        if actions.shape[0] != self.num_components:
+            raise ValueError(
+                f"expected {self.num_components} action rows, got {actions.shape[0]}"
+            )
+        action_map = {
+            comp.name: actions[i, : comp.action_dim].tolist()
+            for i, comp in enumerate(self.circuit.components)
+        }
+        sizing = self.circuit.parameter_space.actions_to_sizing(action_map)
+        return self.evaluate_sizing(sizing)
+
+    def evaluate_normalized_vector(self, vector: Sequence[float]) -> StepResult:
+        """Evaluate a flat vector in ``[-1, 1]^d`` (black-box baselines)."""
+        vector = np.asarray(vector, dtype=float)
+        defs = self.circuit.parameter_space.definitions
+        if len(vector) != len(defs):
+            raise ValueError(
+                f"expected vector of length {len(defs)}, got {len(vector)}"
+            )
+        physical = [d.denormalize(v) for d, v in zip(defs, vector)]
+        sizing = self.circuit.parameter_space.vector_to_sizing(physical)
+        return self.evaluate_sizing(sizing)
+
+    def random_step(self, rng: np.random.Generator) -> StepResult:
+        """Evaluate a uniformly random design (warm-up / random search)."""
+        sizing = self.circuit.random_sizing(rng)
+        return self.evaluate_sizing(sizing)
+
+    # --- bookkeeping ----------------------------------------------------------------
+    def reset_history(self) -> None:
+        """Clear the optimization history and the best-design record."""
+        self.history = []
+        self.best_reward = -np.inf
+        self.best_sizing = None
+        self.best_metrics = None
+
+    def rewards(self) -> np.ndarray:
+        """All recorded rewards in evaluation order."""
+        return np.asarray([entry.reward for entry in self.history], dtype=float)
+
+    def best_so_far_curve(self) -> np.ndarray:
+        """Running maximum of the reward (the paper's learning curves)."""
+        rewards = self.rewards()
+        if len(rewards) == 0:
+            return rewards
+        return np.maximum.accumulate(rewards)
+
+    def actions_for_sizing(self, sizing: Sizing) -> np.ndarray:
+        """Inverse mapping: physical sizing to a padded action matrix."""
+        action_map = self.circuit.parameter_space.sizing_to_actions(sizing)
+        actions = np.zeros((self.num_components, self.action_dim))
+        for i, comp in enumerate(self.circuit.components):
+            values = action_map[comp.name]
+            actions[i, : len(values)] = values
+        return actions

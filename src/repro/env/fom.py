@@ -1,0 +1,221 @@
+"""Figure-of-Merit (FoM) computation — Equation 2 of the paper.
+
+The FoM is a weighted sum of normalised performance metrics:
+
+``FoM = sum_i w_i * (min(m_i, m_bound_i) - m_min_i) / (m_max_i - m_min_i)``
+
+where the normalising factors ``m_min`` / ``m_max`` are obtained by random
+sampling of the design space, ``m_bound`` optionally caps metrics that do not
+need to improve further, and a negative constant is returned when a hard
+specification is violated.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.base import CircuitDesign, SpecLimit
+
+#: FoM value assigned to designs that violate the spec or fail simulation.
+SPEC_VIOLATION_FOM = -1.0
+
+
+@dataclass
+class MetricNormalization:
+    """Per-metric normalising range ``[m_min, m_max]`` (Equation 2)."""
+
+    minimum: Dict[str, float] = field(default_factory=dict)
+    maximum: Dict[str, float] = field(default_factory=dict)
+
+    def normalize(self, name: str, value: float) -> float:
+        """Normalise a raw metric value to the unit interval.
+
+        Values outside the calibrated range are clipped to [0, 1]; this keeps
+        the FoM bounded (the paper's 5000-sample min/max plays the same role)
+        and rewards balanced designs instead of single-metric outliers.
+        """
+        low = self.minimum.get(name, 0.0)
+        high = self.maximum.get(name, 1.0)
+        span = high - low
+        if span <= 0:
+            return 0.0
+        return float(min(max((value - low) / span, 0.0), 1.0))
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps({"minimum": self.minimum, "maximum": self.maximum}, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricNormalization":
+        """Deserialise from a JSON string."""
+        data = json.loads(text)
+        return cls(minimum=dict(data["minimum"]), maximum=dict(data["maximum"]))
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[Mapping[str, float]], metric_names: Sequence[str]
+    ) -> "MetricNormalization":
+        """Build normalising ranges from a list of sampled metric dicts.
+
+        Failed simulations (``simulation_failed == 1``) are excluded; extreme
+        percentiles (1st/99th) are used instead of the raw min/max so a single
+        pathological sample cannot flatten the normalised range.
+        """
+        norm = cls()
+        valid = [s for s in samples if not s.get("simulation_failed", 0.0)]
+        if not valid:
+            valid = list(samples)
+        for name in metric_names:
+            values = np.asarray(
+                [float(s[name]) for s in valid if name in s], dtype=float
+            )
+            values = values[np.isfinite(values)]
+            if len(values) == 0:
+                norm.minimum[name], norm.maximum[name] = 0.0, 1.0
+                continue
+            low = float(np.percentile(values, 1))
+            high = float(np.percentile(values, 99))
+            if high <= low:
+                high = low + max(abs(low), 1.0) * 1e-6
+            norm.minimum[name] = low
+            norm.maximum[name] = high
+        return norm
+
+
+@dataclass
+class FoMConfig:
+    """Configuration of the FoM for one circuit.
+
+    Attributes:
+        weights: Per-metric weights ``w_i`` (+1 larger-is-better by default).
+        normalization: Normalising ranges ``m_min`` / ``m_max``.
+        bounds: Optional per-metric upper bounds ``m_bound`` (in normalised
+            *raw* units) beyond which improvements stop counting.
+        spec_limits: Hard specification limits; violation yields a negative FoM.
+        spec_violation_value: The FoM value assigned on violation.
+    """
+
+    weights: Dict[str, float]
+    normalization: MetricNormalization
+    bounds: Dict[str, float] = field(default_factory=dict)
+    spec_limits: List[SpecLimit] = field(default_factory=list)
+    spec_violation_value: float = SPEC_VIOLATION_FOM
+
+    def compute(self, metrics: Mapping[str, float]) -> float:
+        """Evaluate Equation 2 for a dict of measured metrics."""
+        if metrics.get("simulation_failed", 0.0):
+            return self.spec_violation_value
+        for limit in self.spec_limits:
+            if limit.metric in metrics and not limit.satisfied(metrics[limit.metric]):
+                return self.spec_violation_value
+        fom = 0.0
+        for name, weight in self.weights.items():
+            if name not in metrics:
+                continue
+            value = float(metrics[name])
+            if not math.isfinite(value):
+                return self.spec_violation_value
+            if name in self.bounds:
+                value = min(value, self.bounds[name])
+            fom += weight * self.normalization.normalize(name, value)
+        return float(fom)
+
+    def reweighted(self, emphasis: Mapping[str, float]) -> "FoMConfig":
+        """A copy with some metric weights scaled (GCN-RL-1…5 experiments)."""
+        weights = dict(self.weights)
+        for name, factor in emphasis.items():
+            if name in weights:
+                weights[name] = weights[name] * factor
+        return FoMConfig(
+            weights=weights,
+            normalization=self.normalization,
+            bounds=dict(self.bounds),
+            spec_limits=list(self.spec_limits),
+            spec_violation_value=self.spec_violation_value,
+        )
+
+
+# --- calibration ---------------------------------------------------------------------
+
+#: In-memory cache of normalisations, keyed by (circuit name, technology name).
+_NORMALIZATION_CACHE: Dict[tuple, MetricNormalization] = {}
+
+#: Directory with pre-computed calibration files shipped with the package.
+CALIBRATION_DIR = Path(__file__).resolve().parent / "calibration"
+
+
+def _calibration_path(circuit_name: str, technology_name: str) -> Path:
+    return CALIBRATION_DIR / f"{circuit_name}_{technology_name}.json"
+
+
+def calibrate_normalization(
+    circuit: CircuitDesign,
+    num_samples: int = 200,
+    seed: int = 1234,
+    use_cache: bool = True,
+) -> MetricNormalization:
+    """Obtain the FoM normalising ranges for a circuit/technology pair.
+
+    The paper samples 5000 random designs; this implementation defaults to a
+    smaller sample (the normalisation only has to bracket the metric ranges)
+    and caches results both in memory and in JSON files shipped with the
+    package, so repeated experiments are deterministic and fast.
+    """
+    key = (circuit.name, circuit.technology.name)
+    if use_cache and key in _NORMALIZATION_CACHE:
+        return _NORMALIZATION_CACHE[key]
+
+    path = _calibration_path(circuit.name, circuit.technology.name)
+    if use_cache and path.exists():
+        norm = MetricNormalization.from_json(path.read_text())
+        _NORMALIZATION_CACHE[key] = norm
+        return norm
+
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        sizing = circuit.random_sizing(rng)
+        samples.append(circuit.evaluate(sizing))
+    norm = MetricNormalization.from_samples(samples, circuit.metric_names)
+    _NORMALIZATION_CACHE[key] = norm
+    if use_cache:
+        try:
+            CALIBRATION_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(norm.to_json())
+        except OSError:
+            pass
+    return norm
+
+
+def default_fom_config(
+    circuit: CircuitDesign,
+    normalization: Optional[MetricNormalization] = None,
+    weight_overrides: Optional[Mapping[str, float]] = None,
+    apply_spec: bool = True,
+    num_calibration_samples: int = 200,
+) -> FoMConfig:
+    """Build the default FoM configuration for a benchmark circuit.
+
+    Weights default to +1 for larger-is-better metrics and -1 otherwise (the
+    paper's equal-weight setup); ``weight_overrides`` multiplies selected
+    weights (used for the GCN-RL-1…5 single-metric-emphasis experiments).
+    """
+    if normalization is None:
+        normalization = calibrate_normalization(
+            circuit, num_samples=num_calibration_samples
+        )
+    weights = circuit.default_weights()
+    config = FoMConfig(
+        weights=weights,
+        normalization=normalization,
+        spec_limits=circuit.spec_limits() if apply_spec else [],
+    )
+    if weight_overrides:
+        config = config.reweighted(weight_overrides)
+    return config

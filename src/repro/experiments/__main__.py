@@ -1,0 +1,85 @@
+"""Command-line entry point for regenerating the paper's tables and figures.
+
+Examples:
+    python -m repro.experiments table1 --steps 100 --seeds 2
+    python -m repro.experiments figure7 --transfer-steps 80
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.figures import (
+    figure5_learning_curves,
+    figure7_technology_transfer_curves,
+    figure8_topology_transfer_curves,
+)
+from repro.experiments.tables import (
+    table1_fom_comparison,
+    table2_two_tia,
+    table3_two_volt,
+    table4_technology_transfer,
+    table5_topology_transfer,
+)
+
+TARGETS = ["table1", "table2", "table3", "table4", "table5", "figure5", "figure7", "figure8"]
+
+
+def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
+    settings = ExperimentSettings()
+    if args.steps:
+        settings.steps = args.steps
+    if args.seeds:
+        settings.seeds = args.seeds
+    if args.pretrain_steps:
+        settings.pretrain_steps = args.pretrain_steps
+    if args.transfer_steps:
+        settings.transfer_steps = args.transfer_steps
+    return settings
+
+
+def _emit_figures(figures) -> None:
+    for key, figure in figures.items():
+        print(figure.render_ascii())
+        print()
+
+
+def main(argv: List[str] = None) -> int:
+    """Run the requested experiment target(s) and print the results."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("target", choices=TARGETS + ["all"], help="what to regenerate")
+    parser.add_argument("--steps", type=int, default=None, help="search budget per run")
+    parser.add_argument("--seeds", type=int, default=None, help="runs per configuration")
+    parser.add_argument("--pretrain-steps", type=int, default=None)
+    parser.add_argument("--transfer-steps", type=int, default=None)
+    args = parser.parse_args(argv)
+    settings = _build_settings(args)
+
+    targets = TARGETS if args.target == "all" else [args.target]
+    for target in targets:
+        if target == "table1":
+            print(table1_fom_comparison(settings).render())
+        elif target == "table2":
+            print(table2_two_tia(settings).render())
+        elif target == "table3":
+            print(table3_two_volt(settings).render())
+        elif target == "table4":
+            print(table4_technology_transfer(settings).render())
+        elif target == "table5":
+            print(table5_topology_transfer(settings).render())
+        elif target == "figure5":
+            _emit_figures(figure5_learning_curves(settings))
+        elif target == "figure7":
+            _emit_figures(figure7_technology_transfer_curves(settings))
+        elif target == "figure8":
+            _emit_figures(figure8_topology_transfer_curves(settings))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Result records and aggregation helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class RunRecord:
+    """Result of one optimization run (one method, circuit, node, seed).
+
+    Attributes:
+        method: Method registry name (``"gcn_rl"``, ``"bo"``, ...).
+        circuit: Circuit registry name.
+        technology: Technology node name.
+        seed: Random seed of the run.
+        steps: Simulation budget used.
+        best_reward: Best FoM found.
+        best_metrics: Raw metrics of the best design.
+        rewards: Per-step rewards (for learning curves).
+        extra: Free-form annotations (e.g. transfer source).
+    """
+
+    method: str
+    circuit: str
+    technology: str
+    seed: int
+    steps: int
+    best_reward: float
+    best_metrics: Dict[str, float] = field(default_factory=dict)
+    rewards: List[float] = field(default_factory=list)
+    extra: Dict[str, str] = field(default_factory=dict)
+
+    def best_so_far(self) -> np.ndarray:
+        """Running maximum of the reward."""
+        if not self.rewards:
+            return np.asarray([self.best_reward])
+        return np.maximum.accumulate(np.asarray(self.rewards, dtype=float))
+
+
+@dataclass
+class AggregateResult:
+    """Mean and standard deviation of the best FoM across seeds."""
+
+    mean: float
+    std: float
+    count: int
+    best_metrics: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        if self.count <= 1:
+            return f"{self.mean:.2f}"
+        return f"{self.mean:.2f} ± {self.std:.2f}"
+
+
+def aggregate(records: Sequence[RunRecord]) -> AggregateResult:
+    """Aggregate several runs of the same configuration."""
+    if not records:
+        return AggregateResult(mean=float("nan"), std=float("nan"), count=0)
+    values = np.asarray([r.best_reward for r in records], dtype=float)
+    best = max(records, key=lambda r: r.best_reward)
+    return AggregateResult(
+        mean=float(np.mean(values)),
+        std=float(np.std(values)),
+        count=len(records),
+        best_metrics=dict(best.best_metrics),
+    )
+
+
+def mean_learning_curve(
+    records: Sequence[RunRecord], length: Optional[int] = None
+) -> np.ndarray:
+    """Average best-so-far curve across runs, truncated to a common length."""
+    if not records:
+        return np.asarray([])
+    curves = [r.best_so_far() for r in records]
+    if length is None:
+        length = min(len(c) for c in curves)
+    curves = [c[:length] for c in curves if len(c) >= length]
+    return np.mean(np.vstack(curves), axis=0)
+
+
+def max_learning_curve(
+    records: Sequence[RunRecord], length: Optional[int] = None
+) -> np.ndarray:
+    """Per-step maximum best-so-far curve across runs (as plotted in Fig. 5)."""
+    if not records:
+        return np.asarray([])
+    curves = [r.best_so_far() for r in records]
+    if length is None:
+        length = min(len(c) for c in curves)
+    curves = [c[:length] for c in curves if len(c) >= length]
+    return np.max(np.vstack(curves), axis=0)

@@ -1,0 +1,185 @@
+"""Run one optimization method on one circuit (with in-process result caching).
+
+Tables and figures share runs: Table I and Figure 5 need exactly the same
+experiments, and Table II reuses the Two-TIA runs of Table I.  To avoid
+re-simulating, every completed run is cached in-process keyed by its full
+configuration; the benchmark harness therefore pays for each configuration
+only once per session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.circuits.library import get_circuit
+from repro.env.environment import SizingEnvironment
+from repro.env.fom import default_fom_config
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.records import RunRecord
+from repro.optim.registry import get_optimizer
+from repro.rl.agent import AgentConfig, GCNRLAgent
+
+#: Methods implemented by the runner.
+RL_METHODS = ("gcn_rl", "ng_rl")
+BLACK_BOX_METHODS = ("random", "es", "bo", "mace")
+ALL_METHODS = ("human",) + BLACK_BOX_METHODS + RL_METHODS
+
+_RUN_CACHE: Dict[Tuple, RunRecord] = {}
+
+
+def clear_run_cache() -> None:
+    """Drop all cached run results (mostly useful in tests)."""
+    _RUN_CACHE.clear()
+
+
+def build_environment(
+    circuit_name: str,
+    technology: str,
+    weight_overrides: Optional[Mapping[str, float]] = None,
+    apply_spec: bool = True,
+    transferable_state: bool = False,
+) -> SizingEnvironment:
+    """Construct the standard experiment environment for a circuit."""
+    circuit = get_circuit(circuit_name, technology)
+    fom = default_fom_config(
+        circuit, weight_overrides=weight_overrides, apply_spec=apply_spec
+    )
+    return SizingEnvironment(
+        circuit, fom_config=fom, transferable_state=transferable_state
+    )
+
+
+def default_agent_config(
+    steps: int, settings: ExperimentSettings, use_gcn: bool
+) -> AgentConfig:
+    """Agent hyper-parameters used throughout the experiment harness."""
+    return AgentConfig(
+        use_gcn=use_gcn,
+        warmup=settings.rl_warmup(steps),
+        num_gcn_layers=4,
+        hidden_dim=48,
+    )
+
+
+def run_method(
+    method: str,
+    circuit_name: str,
+    technology: str = "180nm",
+    steps: int = 80,
+    seed: int = 0,
+    settings: Optional[ExperimentSettings] = None,
+    weight_overrides: Optional[Mapping[str, float]] = None,
+    apply_spec: bool = True,
+    use_cache: bool = True,
+) -> RunRecord:
+    """Run one sizing method and return its :class:`RunRecord`.
+
+    Args:
+        method: One of ``human``, ``random``, ``es``, ``bo``, ``mace``,
+            ``ng_rl`` or ``gcn_rl``.
+        circuit_name: Benchmark circuit registry name.
+        technology: Technology node name.
+        steps: Simulation budget (ignored for ``human``).
+        seed: Random seed.
+        settings: Experiment settings (warm-up schedule for the RL agents).
+        weight_overrides: Optional FoM weight multipliers (Table II variants).
+        apply_spec: Enforce the circuit's hard spec in the FoM.
+        use_cache: Reuse a previous identical run if available.
+    """
+    settings = settings or ExperimentSettings()
+    override_key = tuple(sorted((weight_overrides or {}).items()))
+    cache_key = (
+        method,
+        circuit_name,
+        technology,
+        steps,
+        seed,
+        override_key,
+        apply_spec,
+    )
+    if use_cache and cache_key in _RUN_CACHE:
+        return _RUN_CACHE[cache_key]
+
+    environment = build_environment(
+        circuit_name, technology, weight_overrides, apply_spec
+    )
+
+    if method == "human":
+        result = environment.evaluate_sizing(environment.circuit.expert_sizing())
+        record = RunRecord(
+            method=method,
+            circuit=circuit_name,
+            technology=technology,
+            seed=seed,
+            steps=1,
+            best_reward=result.reward,
+            best_metrics=dict(result.metrics),
+            rewards=[result.reward],
+        )
+    elif method in RL_METHODS:
+        config = default_agent_config(steps, settings, use_gcn=(method == "gcn_rl"))
+        agent = GCNRLAgent(environment, config=config, seed=seed)
+        agent.train(steps)
+        record = RunRecord(
+            method=method,
+            circuit=circuit_name,
+            technology=technology,
+            seed=seed,
+            steps=steps,
+            best_reward=environment.best_reward,
+            best_metrics=dict(environment.best_metrics or {}),
+            rewards=list(environment.rewards()),
+        )
+    elif method in BLACK_BOX_METHODS:
+        optimizer = get_optimizer(method, environment, seed=seed)
+        result = optimizer.run(steps)
+        record = RunRecord(
+            method=method,
+            circuit=circuit_name,
+            technology=technology,
+            seed=seed,
+            steps=steps,
+            best_reward=result.best_reward,
+            best_metrics=dict(result.best_metrics),
+            rewards=list(result.rewards),
+        )
+    else:
+        raise KeyError(f"unknown method {method!r}; expected one of {ALL_METHODS}")
+
+    if use_cache:
+        _RUN_CACHE[cache_key] = record
+    return record
+
+
+def run_methods(
+    methods,
+    circuit_name: str,
+    settings: Optional[ExperimentSettings] = None,
+    technology: Optional[str] = None,
+    steps: Optional[int] = None,
+    seeds: Optional[int] = None,
+    **kwargs,
+) -> Dict[str, list]:
+    """Run several methods across seeds; returns ``{method: [RunRecord, ...]}``."""
+    settings = settings or ExperimentSettings()
+    technology = technology or settings.technology
+    steps = steps or settings.steps
+    seeds = seeds or settings.seeds
+    results: Dict[str, list] = {}
+    for method in methods:
+        records = []
+        run_seeds = 1 if method == "human" else seeds
+        for seed in range(run_seeds):
+            records.append(
+                run_method(
+                    method,
+                    circuit_name,
+                    technology=technology,
+                    steps=steps,
+                    seed=seed,
+                    settings=settings,
+                    **kwargs,
+                )
+            )
+        results[method] = records
+    return results

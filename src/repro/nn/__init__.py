@@ -1,0 +1,37 @@
+"""A small numpy neural-network library with explicit forward/backward passes.
+
+PyTorch is not available in this environment, so this package provides the
+minimal building blocks needed by the DDPG actor-critic of the paper:
+
+* :class:`Parameter` — a weight array paired with its gradient,
+* dense layers (:class:`Linear`), activations (ReLU / Tanh / Identity),
+* the Kipf–Welling graph-convolution layer (:class:`GCNLayer`),
+* :class:`Sequential` composition, mean-squared-error loss, and
+* Adam / SGD optimizers with gradient clipping.
+
+All modules follow the same contract: ``forward(x)`` caches whatever is
+needed, ``backward(grad_output)`` accumulates parameter gradients and returns
+the gradient with respect to the input.
+"""
+
+from repro.nn.layers import Identity, Linear, ReLU, Sequential, Tanh
+from repro.nn.gcn import GCNLayer
+from repro.nn.losses import mse_loss, mse_loss_grad
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, clip_gradients
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Identity",
+    "Sequential",
+    "GCNLayer",
+    "mse_loss",
+    "mse_loss_grad",
+    "Adam",
+    "SGD",
+    "clip_gradients",
+]

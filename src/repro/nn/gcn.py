@@ -1,0 +1,83 @@
+"""Graph-convolution layer (Kipf & Welling 2017) with explicit backward pass."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter, xavier_init
+
+
+class GCNLayer(Module):
+    """One graph-convolution layer ``H' = act(Â H W + b)``.
+
+    ``Â`` is the symmetric-normalised adjacency with self-loops produced by
+    :func:`repro.circuits.graph.normalized_adjacency`.  The same weight matrix
+    is shared by every node, which is what makes the layer transferable across
+    topologies of different sizes.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+        name: str = "gcn",
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.weight = Parameter(
+            xavier_init(rng, in_features, out_features), name=f"{name}.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._input: Optional[np.ndarray] = None
+        self._adjacency: Optional[np.ndarray] = None
+        self._pre_activation: Optional[np.ndarray] = None
+
+    def _activate(self, z: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return np.maximum(z, 0.0)
+        if self.activation == "tanh":
+            return np.tanh(z)
+        return z
+
+    def _activation_grad(self, z: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return (z > 0).astype(float)
+        if self.activation == "tanh":
+            return 1.0 - np.tanh(z) ** 2
+        return np.ones_like(z)
+
+    def forward(self, h: np.ndarray, adjacency: np.ndarray) -> np.ndarray:
+        """Aggregate neighbour features and apply the shared linear map.
+
+        Args:
+            h: Node features, shape ``(num_nodes, in_features)``.
+            adjacency: Normalised adjacency ``Â``, shape ``(n, n)``.
+        """
+        h = np.asarray(h, dtype=float)
+        adjacency = np.asarray(adjacency, dtype=float)
+        self._input = h
+        self._adjacency = adjacency
+        aggregated = adjacency @ h
+        self._pre_activation = aggregated @ self.weight.value + self.bias.value
+        return self._activate(self._pre_activation)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate through activation, weights and aggregation."""
+        if self._input is None or self._pre_activation is None:
+            raise RuntimeError("backward called before forward")
+        grad_z = np.asarray(grad_output) * self._activation_grad(self._pre_activation)
+        aggregated = self._adjacency @ self._input
+        self.weight.grad += aggregated.T @ grad_z
+        self.bias.grad += grad_z.sum(axis=0)
+        grad_aggregated = grad_z @ self.weight.value.T
+        # Â is symmetric, so the adjoint of (Â @ H) w.r.t. H is Â^T = Â.
+        return self._adjacency.T @ grad_aggregated
+
+    def __call__(self, h: np.ndarray, adjacency: np.ndarray) -> np.ndarray:
+        return self.forward(h, adjacency)

@@ -1,0 +1,130 @@
+"""Dense layers, activations and sequential composition."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter, xavier_init
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x @ W + b`` applied to the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "linear",
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            xavier_init(rng, in_features, out_features), name=f"{name}.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the affine map; caches the input for the backward pass."""
+        x = np.asarray(x, dtype=float)
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients and return the input gradient."""
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=float)
+        x = self._input
+        x2d = x.reshape(-1, self.in_features)
+        g2d = grad_output.reshape(-1, self.out_features)
+        self.weight.grad += x2d.T @ g2d
+        self.bias.grad += g2d.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise ``max(x, 0)``."""
+        x = np.asarray(x, dtype=float)
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Pass gradients only where the input was positive."""
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output) * self._mask
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation (used for the actor's bounded actions)."""
+
+    def __init__(self):
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise tanh."""
+        self._output = np.tanh(np.asarray(x, dtype=float))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Gradient ``(1 - tanh^2)``."""
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output) * (1.0 - self._output**2)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Identity(Module):
+    """No-op activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Return the input unchanged."""
+        return np.asarray(x, dtype=float)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Return the output gradient unchanged."""
+        return np.asarray(grad_output, dtype=float)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, layers: List[Module]):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply every layer in order."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate through every layer in reverse order."""
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,20 @@
+"""Loss functions used by DDPG training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error between prediction and target."""
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    return float(np.mean((prediction - target) ** 2))
+
+
+def mse_loss_grad(prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`mse_loss` with respect to the prediction."""
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    n = prediction.size
+    return 2.0 * (prediction - target) / max(n, 1)

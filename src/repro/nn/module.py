@@ -1,0 +1,107 @@
+"""Base classes for parameters and modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self):
+        """Shape of the parameter array."""
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class for layers and networks.
+
+    Subclasses register their :class:`Parameter` objects as attributes (or
+    nested modules); :meth:`parameters` walks the attribute tree to collect
+    them, which is sufficient for the small networks used here.
+    """
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters of this module and its sub-modules."""
+        params: List[Parameter] = []
+        seen = set()
+        for value in vars(self).values():
+            params.extend(_collect(value, seen))
+        return params
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # --- serialisation ---------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter value, keyed by position and name."""
+        return {
+            f"{i}:{p.name}": p.value.copy() for i, p in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load values previously produced by :meth:`state_dict`.
+
+        Shapes must match exactly; parameter count mismatches raise so that
+        accidental architecture changes are caught early.
+        """
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state dict has {len(state)} entries, module has {len(params)}"
+            )
+        for i, param in enumerate(params):
+            key = f"{i}:{param.name}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            value = np.asarray(state[key], dtype=float)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: "
+                    f"{value.shape} vs {param.value.shape}"
+                )
+            param.value = value.copy()
+
+
+def _collect(obj, seen) -> List[Parameter]:
+    params: List[Parameter] = []
+    if id(obj) in seen:
+        return params
+    if isinstance(obj, Parameter):
+        seen.add(id(obj))
+        params.append(obj)
+    elif isinstance(obj, Module):
+        seen.add(id(obj))
+        params.extend(obj.parameters())
+    elif isinstance(obj, (list, tuple)):
+        for item in obj:
+            params.extend(_collect(item, seen))
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            params.extend(_collect(item, seen))
+    return params
+
+
+def xavier_init(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))

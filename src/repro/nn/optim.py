@@ -1,0 +1,93 @@
+"""Gradient-based optimizers for the numpy NN library."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def clip_gradients(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns:
+        The (pre-clipping) global gradient norm.
+    """
+    total = 0.0
+    for param in parameters:
+        total += float(np.sum(param.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm > 0:
+        scale = max_norm / (norm + 1e-12)
+        for param in parameters:
+            param.grad *= scale
+    return norm
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, parameters: Sequence[Parameter], lr: float = 1e-3, momentum: float = 0.0
+    ):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] = [
+            np.zeros_like(p.value) for p in self.parameters
+        ]
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        for param, velocity in zip(self.parameters, self._velocity):
+            velocity *= self.momentum
+            velocity -= self.lr * param.grad
+            param.value += velocity
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: List[np.ndarray] = [np.zeros_like(p.value) for p in self.parameters]
+        self._v: List[np.ndarray] = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for param in self.parameters:
+            param.zero_grad()

@@ -1,0 +1,31 @@
+"""Black-box baseline optimizers compared against GCN-RL in the paper."""
+
+from repro.optim.base import BlackBoxOptimizer, OptimizationResult
+from repro.optim.bayesian import BayesianOptimization
+from repro.optim.evolution import EvolutionStrategy
+from repro.optim.gaussian_process import (
+    GaussianProcess,
+    expected_improvement,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+from repro.optim.mace import MACE, pareto_front_indices
+from repro.optim.random_search import RandomSearch
+from repro.optim.registry import OPTIMIZER_CLASSES, get_optimizer, list_optimizers
+
+__all__ = [
+    "BlackBoxOptimizer",
+    "OptimizationResult",
+    "RandomSearch",
+    "EvolutionStrategy",
+    "BayesianOptimization",
+    "MACE",
+    "GaussianProcess",
+    "expected_improvement",
+    "probability_of_improvement",
+    "upper_confidence_bound",
+    "pareto_front_indices",
+    "OPTIMIZER_CLASSES",
+    "get_optimizer",
+    "list_optimizers",
+]

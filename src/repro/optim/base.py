@@ -1,0 +1,76 @@
+"""Common interface for the black-box baseline optimizers.
+
+Every baseline (random search, ES, BO, MACE) optimizes the FoM over the
+normalised design space ``[-1, 1]^d`` through a :class:`SizingEnvironment`;
+the environment handles denormalisation, refinement, simulation and history
+tracking so that learning curves are directly comparable with the RL agent.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.env.environment import SizingEnvironment
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimization run.
+
+    Attributes:
+        method: Registry name of the optimizer.
+        best_reward: Best FoM found.
+        best_metrics: Metrics of the best design.
+        best_sizing: Physical sizing of the best design.
+        rewards: Reward of every evaluation in order.
+        num_evaluations: Total simulator calls consumed.
+    """
+
+    method: str
+    best_reward: float
+    best_metrics: Dict[str, float]
+    best_sizing: Dict[str, Dict[str, float]]
+    rewards: List[float] = field(default_factory=list)
+    num_evaluations: int = 0
+
+    def best_so_far(self) -> np.ndarray:
+        """Running maximum of the reward (learning-curve series)."""
+        if not self.rewards:
+            return np.asarray([])
+        return np.maximum.accumulate(np.asarray(self.rewards, dtype=float))
+
+
+class BlackBoxOptimizer(abc.ABC):
+    """Base class for simulation-in-the-loop black-box optimizers."""
+
+    #: Registry name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(self, environment: SizingEnvironment, seed: int = 0):
+        self.environment = environment
+        self.rng = np.random.default_rng(seed)
+        self.dimension = environment.parameter_dimension
+
+    @abc.abstractmethod
+    def run(self, budget: int) -> OptimizationResult:
+        """Run the optimizer for ``budget`` simulator evaluations."""
+
+    def _evaluate(self, point: np.ndarray) -> float:
+        """Evaluate one normalised design point and return its reward."""
+        result = self.environment.evaluate_normalized_vector(np.clip(point, -1, 1))
+        return result.reward
+
+    def _result(self) -> OptimizationResult:
+        """Package the environment history into an :class:`OptimizationResult`."""
+        return OptimizationResult(
+            method=self.name,
+            best_reward=self.environment.best_reward,
+            best_metrics=dict(self.environment.best_metrics or {}),
+            best_sizing=dict(self.environment.best_sizing or {}),
+            rewards=list(self.environment.rewards()),
+            num_evaluations=len(self.environment.history),
+        )

@@ -1,0 +1,125 @@
+"""Evolution Strategy baseline (CMA-style (µ, λ) ES).
+
+The paper cites Hansen's CMA-ES tutorial as its ES baseline.  This module
+implements a compact covariance-matrix-adaptation ES: a multivariate Gaussian
+search distribution whose mean, step size and covariance are adapted from the
+best-ranked offspring of each generation, with box constraints handled by
+clipping to the normalised design cube.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.optim.base import BlackBoxOptimizer, OptimizationResult
+
+
+class EvolutionStrategy(BlackBoxOptimizer):
+    """(µ, λ) evolution strategy with covariance-matrix adaptation."""
+
+    name = "es"
+
+    def __init__(
+        self,
+        environment,
+        seed: int = 0,
+        population_size: Optional[int] = None,
+        initial_sigma: float = 0.4,
+    ):
+        super().__init__(environment, seed)
+        d = self.dimension
+        self.population_size = population_size or max(8, 4 + int(3 * np.log(d)))
+        self.num_parents = max(2, self.population_size // 2)
+        self.initial_sigma = initial_sigma
+
+        # Log-linear recombination weights (standard CMA weighting).
+        ranks = np.arange(1, self.num_parents + 1)
+        weights = np.log(self.num_parents + 0.5) - np.log(ranks)
+        self.weights = weights / weights.sum()
+        self.mu_eff = 1.0 / np.sum(self.weights**2)
+
+        # Adaptation constants.
+        self.c_sigma = (self.mu_eff + 2) / (d + self.mu_eff + 5)
+        self.d_sigma = (
+            1 + 2 * max(0.0, np.sqrt((self.mu_eff - 1) / (d + 1)) - 1) + self.c_sigma
+        )
+        self.c_c = (4 + self.mu_eff / d) / (d + 4 + 2 * self.mu_eff / d)
+        self.c_1 = 2 / ((d + 1.3) ** 2 + self.mu_eff)
+        self.c_mu = min(
+            1 - self.c_1,
+            2 * (self.mu_eff - 2 + 1 / self.mu_eff) / ((d + 2) ** 2 + self.mu_eff),
+        )
+        self.chi_n = np.sqrt(d) * (1 - 1 / (4 * d) + 1 / (21 * d**2))
+
+    def run(self, budget: int) -> OptimizationResult:
+        """Run generations of the ES until the evaluation budget is exhausted."""
+        d = self.dimension
+        mean = np.zeros(d)
+        sigma = self.initial_sigma
+        covariance = np.eye(d)
+        path_sigma = np.zeros(d)
+        path_c = np.zeros(d)
+        evaluations = 0
+        generation = 0
+
+        while evaluations < budget:
+            lam = min(self.population_size, budget - evaluations)
+            # Sample offspring from N(mean, sigma^2 C).
+            try:
+                chol = np.linalg.cholesky(
+                    covariance + 1e-10 * np.eye(d)
+                )
+            except np.linalg.LinAlgError:
+                covariance = np.eye(d)
+                chol = np.eye(d)
+            raw = self.rng.standard_normal((lam, d))
+            offspring = mean + sigma * raw @ chol.T
+            offspring = np.clip(offspring, -1.0, 1.0)
+
+            rewards = np.array([self._evaluate(x) for x in offspring])
+            evaluations += lam
+            if lam < self.num_parents:
+                break
+
+            order = np.argsort(-rewards)
+            parents = offspring[order[: self.num_parents]]
+            steps = (parents - mean) / max(sigma, 1e-12)
+            new_mean = mean + sigma * self.weights @ steps
+
+            # Step-size adaptation (cumulative path length control).
+            inv_chol = np.linalg.inv(chol)
+            mean_step = self.weights @ steps
+            path_sigma = (1 - self.c_sigma) * path_sigma + np.sqrt(
+                self.c_sigma * (2 - self.c_sigma) * self.mu_eff
+            ) * (inv_chol @ mean_step)
+            sigma *= np.exp(
+                (self.c_sigma / self.d_sigma)
+                * (np.linalg.norm(path_sigma) / self.chi_n - 1)
+            )
+            sigma = float(np.clip(sigma, 1e-3, 1.0))
+
+            # Covariance adaptation (rank-1 + rank-µ updates).
+            h_sigma = float(
+                np.linalg.norm(path_sigma)
+                / np.sqrt(1 - (1 - self.c_sigma) ** (2 * (generation + 1)))
+                < (1.4 + 2 / (d + 1)) * self.chi_n
+            )
+            path_c = (1 - self.c_c) * path_c + h_sigma * np.sqrt(
+                self.c_c * (2 - self.c_c) * self.mu_eff
+            ) * mean_step
+            rank_mu = sum(
+                w * np.outer(s, s) for w, s in zip(self.weights, steps)
+            )
+            covariance = (
+                (1 - self.c_1 - self.c_mu) * covariance
+                + self.c_1 * np.outer(path_c, path_c)
+                + self.c_mu * rank_mu
+            )
+            covariance = 0.5 * (covariance + covariance.T)
+
+            mean = np.clip(new_mean, -1.0, 1.0)
+            generation += 1
+
+        return self._result()

@@ -1,0 +1,123 @@
+"""MACE baseline: batch Bayesian optimization with an acquisition ensemble.
+
+MACE (Lyu et al., ICML 2018) selects each batch of query points from the
+Pareto front of several acquisition functions (EI, PI and LCB/UCB) so that
+different exploration/exploitation trade-offs are covered simultaneously.
+This implementation evaluates the three acquisitions on a shared candidate
+pool, extracts the Pareto-optimal candidates and draws one batch from that
+front per GP refit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.optim.base import BlackBoxOptimizer, OptimizationResult
+from repro.optim.gaussian_process import (
+    GaussianProcess,
+    expected_improvement,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+
+
+def pareto_front_indices(objectives: np.ndarray) -> np.ndarray:
+    """Indices of the Pareto-optimal rows (all objectives maximised)."""
+    num_points = objectives.shape[0]
+    dominated = np.zeros(num_points, dtype=bool)
+    for i in range(num_points):
+        if dominated[i]:
+            continue
+        better_eq = np.all(objectives >= objectives[i], axis=1)
+        strictly_better = np.any(objectives > objectives[i], axis=1)
+        dominators = better_eq & strictly_better
+        if np.any(dominators):
+            dominated[i] = True
+    return np.where(~dominated)[0]
+
+
+class MACE(BlackBoxOptimizer):
+    """Batch BO with a multi-objective acquisition ensemble (EI, PI, LCB)."""
+
+    name = "mace"
+
+    def __init__(
+        self,
+        environment,
+        seed: int = 0,
+        num_initial: int = 10,
+        batch_size: int = 4,
+        candidate_pool: int = 512,
+        max_training_points: int = 300,
+    ):
+        super().__init__(environment, seed)
+        self.num_initial = num_initial
+        self.batch_size = batch_size
+        self.candidate_pool = candidate_pool
+        self.max_training_points = max_training_points
+        self._x: List[np.ndarray] = []
+        self._y: List[float] = []
+
+    def _training_set(self):
+        x = np.asarray(self._x, dtype=float)
+        y = np.asarray(self._y, dtype=float)
+        if len(x) > self.max_training_points:
+            order = np.argsort(-y)
+            keep = order[: self.max_training_points // 2]
+            rest = order[self.max_training_points // 2 :]
+            extra = self.rng.choice(
+                rest, size=self.max_training_points - len(keep), replace=False
+            )
+            idx = np.concatenate([keep, extra])
+            return x[idx], y[idx]
+        return x, y
+
+    def _select_batch(self, gp: GaussianProcess, batch: int) -> np.ndarray:
+        incumbent = np.asarray(self._x[int(np.argmax(self._y))])
+        uniform = self.rng.uniform(
+            -1.0, 1.0, size=(self.candidate_pool // 2, self.dimension)
+        )
+        local = incumbent + 0.2 * self.rng.standard_normal(
+            (self.candidate_pool - len(uniform), self.dimension)
+        )
+        candidates = np.clip(np.vstack([uniform, local]), -1.0, 1.0)
+        mean, std = gp.predict(candidates)
+        best = float(np.max(self._y))
+        acquisitions = np.column_stack(
+            [
+                expected_improvement(mean, std, best),
+                probability_of_improvement(mean, std, best),
+                upper_confidence_bound(mean, std),
+            ]
+        )
+        front = pareto_front_indices(acquisitions)
+        if len(front) >= batch:
+            chosen = self.rng.choice(front, size=batch, replace=False)
+        else:
+            extra = self.rng.choice(
+                len(candidates), size=batch - len(front), replace=False
+            )
+            chosen = np.concatenate([front, extra])
+        return candidates[chosen]
+
+    def run(self, budget: int) -> OptimizationResult:
+        """Run MACE for ``budget`` evaluations."""
+        num_initial = min(self.num_initial, budget)
+        for _ in range(num_initial):
+            point = self.rng.uniform(-1.0, 1.0, size=self.dimension)
+            self._x.append(point)
+            self._y.append(self._evaluate(point))
+
+        remaining = budget - num_initial
+        while remaining > 0:
+            x_train, y_train = self._training_set()
+            gp = GaussianProcess().fit(x_train, y_train)
+            batch = self._select_batch(gp, min(self.batch_size, remaining))
+            for point in batch:
+                self._x.append(point)
+                self._y.append(self._evaluate(point))
+            remaining -= len(batch)
+
+        return self._result()

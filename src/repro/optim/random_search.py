@@ -1,0 +1,18 @@
+"""Uniform random search over the normalised design space."""
+
+from __future__ import annotations
+
+from repro.optim.base import BlackBoxOptimizer, OptimizationResult
+
+
+class RandomSearch(BlackBoxOptimizer):
+    """Baseline that samples design points uniformly at random."""
+
+    name = "random"
+
+    def run(self, budget: int) -> OptimizationResult:
+        """Evaluate ``budget`` uniformly random designs."""
+        for _ in range(budget):
+            point = self.rng.uniform(-1.0, 1.0, size=self.dimension)
+            self._evaluate(point)
+        return self._result()

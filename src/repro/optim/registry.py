@@ -1,0 +1,36 @@
+"""Registry of black-box optimizers, keyed by the names used in the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.env.environment import SizingEnvironment
+from repro.optim.base import BlackBoxOptimizer
+from repro.optim.bayesian import BayesianOptimization
+from repro.optim.evolution import EvolutionStrategy
+from repro.optim.mace import MACE
+from repro.optim.random_search import RandomSearch
+
+#: All registered optimizer classes.
+OPTIMIZER_CLASSES: Dict[str, Type[BlackBoxOptimizer]] = {
+    RandomSearch.name: RandomSearch,
+    EvolutionStrategy.name: EvolutionStrategy,
+    BayesianOptimization.name: BayesianOptimization,
+    MACE.name: MACE,
+}
+
+
+def list_optimizers() -> List[str]:
+    """Names of all registered black-box optimizers."""
+    return sorted(OPTIMIZER_CLASSES)
+
+
+def get_optimizer(
+    name: str, environment: SizingEnvironment, seed: int = 0, **kwargs
+) -> BlackBoxOptimizer:
+    """Instantiate a black-box optimizer by name."""
+    key = name.lower()
+    if key not in OPTIMIZER_CLASSES:
+        known = ", ".join(list_optimizers())
+        raise KeyError(f"unknown optimizer {name!r}; available: {known}")
+    return OPTIMIZER_CLASSES[key](environment, seed=seed, **kwargs)

@@ -1,0 +1,31 @@
+"""Reinforcement-learning agent (DDPG + GCN) and transfer utilities."""
+
+from repro.rl.agent import AgentConfig, GCNRLAgent, TrainingRecord
+from repro.rl.networks import GCNActor, GCNCritic
+from repro.rl.noise import TruncatedGaussianNoise
+from repro.rl.replay_buffer import ReplayBuffer, Transition
+from repro.rl.transfer import (
+    load_agent_weights,
+    make_environment,
+    pretrain_agent,
+    save_agent_weights,
+    transfer_to_technology,
+    transfer_to_topology,
+)
+
+__all__ = [
+    "AgentConfig",
+    "GCNRLAgent",
+    "TrainingRecord",
+    "GCNActor",
+    "GCNCritic",
+    "TruncatedGaussianNoise",
+    "ReplayBuffer",
+    "Transition",
+    "make_environment",
+    "pretrain_agent",
+    "save_agent_weights",
+    "load_agent_weights",
+    "transfer_to_technology",
+    "transfer_to_topology",
+]

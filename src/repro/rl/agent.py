@@ -1,0 +1,262 @@
+"""DDPG agent with GCN actor-critic (Algorithm 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits.components import MAX_ACTION_DIM, TYPE_ORDER
+from repro.env.environment import SizingEnvironment, StepResult
+from repro.nn.losses import mse_loss, mse_loss_grad
+from repro.nn.optim import Adam, clip_gradients
+from repro.rl.networks import GCNActor, GCNCritic
+from repro.rl.noise import TruncatedGaussianNoise
+from repro.rl.replay_buffer import ReplayBuffer
+
+
+@dataclass
+class AgentConfig:
+    """Hyper-parameters of the GCN-RL / NG-RL agent.
+
+    Attributes:
+        hidden_dim: Width of the hidden layers.
+        num_gcn_layers: Number of stacked GCN layers (7 in the paper).
+        use_gcn: If False, graph aggregation is disabled (NG-RL ablation).
+        actor_lr / critic_lr: Adam learning rates.
+        batch_size: Replay-buffer samples per policy update (``Ns``).
+        warmup: Number of random warm-up episodes (``W``).
+        buffer_capacity: Replay-buffer size.
+        reward_baseline_decay: Exponential-moving-average factor for the
+            reward baseline ``B``.
+        noise_sigma / noise_sigma_final / noise_decay: Exploration noise.
+        grad_clip: Global-norm gradient clip for both networks.
+        updates_per_episode: Gradient updates performed after each episode.
+    """
+
+    hidden_dim: int = 64
+    num_gcn_layers: int = 7
+    use_gcn: bool = True
+    actor_lr: float = 5e-3
+    critic_lr: float = 5e-3
+    batch_size: int = 48
+    warmup: int = 30
+    buffer_capacity: int = 10000
+    reward_baseline_decay: float = 0.95
+    noise_sigma: float = 0.7
+    noise_sigma_final: float = 0.08
+    noise_decay: float = 0.97
+    grad_clip: float = 5.0
+    updates_per_episode: int = 5
+
+
+@dataclass
+class TrainingRecord:
+    """Per-episode training log entry."""
+
+    episode: int
+    reward: float
+    best_reward: float
+    critic_loss: float = float("nan")
+    exploration_sigma: float = float("nan")
+    warmup: bool = False
+
+
+class GCNRLAgent:
+    """GCN-RL circuit designer agent (DDPG with a GCN actor-critic).
+
+    The same class implements the NG-RL ablation (``config.use_gcn=False``)
+    and supports knowledge transfer by saving/loading its actor-critic
+    weights and re-attaching to a different environment.
+    """
+
+    def __init__(
+        self,
+        environment: SizingEnvironment,
+        config: Optional[AgentConfig] = None,
+        seed: int = 0,
+    ):
+        self.config = config or AgentConfig()
+        self.rng = np.random.default_rng(seed)
+        self.environment = environment
+        self.state_dim = environment.state_dim
+        self.action_dim = MAX_ACTION_DIM
+
+        net_rng = np.random.default_rng(seed + 1)
+        self.actor = GCNActor(
+            self.state_dim,
+            hidden_dim=self.config.hidden_dim,
+            num_gcn_layers=self.config.num_gcn_layers,
+            action_dim=self.action_dim,
+            use_gcn=self.config.use_gcn,
+            rng=net_rng,
+        )
+        self.critic = GCNCritic(
+            self.state_dim,
+            hidden_dim=self.config.hidden_dim,
+            num_gcn_layers=self.config.num_gcn_layers,
+            action_dim=self.action_dim,
+            use_gcn=self.config.use_gcn,
+            rng=net_rng,
+        )
+        self.actor_optimizer = Adam(self.actor.parameters(), lr=self.config.actor_lr)
+        self.critic_optimizer = Adam(
+            self.critic.parameters(), lr=self.config.critic_lr
+        )
+        self.noise = TruncatedGaussianNoise(
+            initial_sigma=self.config.noise_sigma,
+            final_sigma=self.config.noise_sigma_final,
+            decay=self.config.noise_decay,
+        )
+        self.replay_buffer = ReplayBuffer(self.config.buffer_capacity)
+        self.reward_baseline: Optional[float] = None
+        self.training_log: List[TrainingRecord] = []
+        self._episode = 0
+
+    # --- environment handling -----------------------------------------------------
+    def attach_environment(self, environment: SizingEnvironment) -> None:
+        """Point the agent at a new environment (knowledge transfer).
+
+        The new environment must produce state vectors of the same width; use
+        ``transferable_state=True`` environments when transferring between
+        topologies with different component counts.
+        """
+        if environment.state_dim != self.state_dim:
+            raise ValueError(
+                "state dimension mismatch: "
+                f"agent expects {self.state_dim}, environment provides "
+                f"{environment.state_dim} (use transferable_state=True for "
+                "topology transfer)"
+            )
+        self.environment = environment
+        self.replay_buffer.clear()
+        self.reward_baseline = None
+        self.noise.reset()
+        self._episode = 0
+
+    def _type_indices(self) -> np.ndarray:
+        return np.asarray(
+            [
+                TYPE_ORDER.index(comp.ctype)
+                for comp in self.environment.circuit.components
+            ],
+            dtype=int,
+        )
+
+    # --- acting -----------------------------------------------------------------------
+    def act(self, explore: bool = False) -> np.ndarray:
+        """Compute the actor's action matrix for the current environment."""
+        states, adjacency = self.environment.observe()
+        actions = self.actor.forward(states, adjacency, self._type_indices())
+        if explore:
+            actions = self.noise.perturb(actions, self.rng)
+        return actions
+
+    def random_actions(self) -> np.ndarray:
+        """Uniformly random action matrix (warm-up phase)."""
+        return self.rng.uniform(
+            -1.0, 1.0, size=(self.environment.num_components, self.action_dim)
+        )
+
+    # --- learning ---------------------------------------------------------------------
+    def _update_baseline(self, reward: float) -> float:
+        decay = self.config.reward_baseline_decay
+        if self.reward_baseline is None:
+            self.reward_baseline = reward
+        else:
+            self.reward_baseline = decay * self.reward_baseline + (1 - decay) * reward
+        return self.reward_baseline
+
+    def _update_networks(self) -> float:
+        """One critic + actor update from a replay-buffer batch."""
+        if len(self.replay_buffer) < 2:
+            return float("nan")
+        batch = self.replay_buffer.sample(self.config.batch_size, self.rng)
+        adjacency = self.environment.circuit.normalized_adjacency()
+        type_indices = self._type_indices()
+        baseline = self.reward_baseline or 0.0
+
+        # --- critic update: minimise (R - B - Q(S, A))^2 over the batch.
+        self.critic.zero_grad()
+        critic_loss = 0.0
+        for transition in batch:
+            target = transition.reward - baseline
+            prediction = self.critic.forward(
+                transition.states, transition.actions, adjacency, type_indices
+            )
+            critic_loss += mse_loss(np.array([prediction]), np.array([target]))
+            grad = mse_loss_grad(np.array([prediction]), np.array([target]))
+            self.critic.backward(float(grad[0]) / len(batch))
+        critic_loss /= len(batch)
+        clip_gradients(self.critic.parameters(), self.config.grad_clip)
+        self.critic_optimizer.step()
+
+        # --- actor update: ascend dQ/da through the deterministic policy.
+        states, _ = self.environment.observe()
+        self.actor.zero_grad()
+        self.critic.zero_grad()
+        actions = self.actor.forward(states, adjacency, type_indices)
+        self.critic.forward(states, actions, adjacency, type_indices)
+        _, grad_actions = self.critic.backward(1.0)
+        # Gradient ascent on Q: feed -dQ/da so the Adam step minimises -Q.
+        self.actor.backward(-grad_actions)
+        clip_gradients(self.actor.parameters(), self.config.grad_clip)
+        self.actor_optimizer.step()
+        # The critic's parameter gradients from the actor pass are discarded.
+        self.critic.zero_grad()
+        return float(critic_loss)
+
+    def train_episode(self) -> TrainingRecord:
+        """Run one optimization episode (one circuit simulation)."""
+        states, _ = self.environment.observe()
+        warmup = self._episode < self.config.warmup
+        if warmup:
+            actions = self.random_actions()
+        else:
+            actions = self.act(explore=True)
+        result: StepResult = self.environment.step(actions)
+        self.replay_buffer.add(states, actions, result.reward)
+        self._update_baseline(result.reward)
+
+        critic_loss = float("nan")
+        if not warmup:
+            for _ in range(self.config.updates_per_episode):
+                critic_loss = self._update_networks()
+            self.noise.step()
+
+        record = TrainingRecord(
+            episode=self._episode,
+            reward=result.reward,
+            best_reward=self.environment.best_reward,
+            critic_loss=critic_loss,
+            exploration_sigma=self.noise.sigma,
+            warmup=warmup,
+        )
+        self.training_log.append(record)
+        self._episode += 1
+        return record
+
+    def train(self, num_episodes: int) -> List[TrainingRecord]:
+        """Run ``num_episodes`` episodes and return their training records."""
+        return [self.train_episode() for _ in range(num_episodes)]
+
+    # --- results / persistence -----------------------------------------------------------
+    @property
+    def best_reward(self) -> float:
+        """Best FoM found so far in the attached environment."""
+        return self.environment.best_reward
+
+    @property
+    def best_sizing(self):
+        """Best sizing found so far in the attached environment."""
+        return self.environment.best_sizing
+
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Weights of both networks (used for knowledge transfer)."""
+        return {"actor": self.actor.state_dict(), "critic": self.critic.state_dict()}
+
+    def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
+        """Load actor/critic weights saved by :meth:`state_dict`."""
+        self.actor.load_state_dict(state["actor"])
+        self.critic.load_state_dict(state["critic"])

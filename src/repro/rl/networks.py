@@ -1,0 +1,203 @@
+"""GCN actor and critic networks (Figure 3 of the paper).
+
+Both networks share the same skeleton: a first fully-connected layer shared
+by every component, a stack of graph-convolution layers whose weights are
+shared across nodes, and component-type-specific heads.  The actor decodes
+per-node hidden features into bounded action vectors; the critic encodes the
+actions, aggregates over the graph and predicts the scalar reward.
+
+Setting ``use_gcn=False`` replaces the graph aggregation with the identity
+matrix, which yields the paper's NG-RL ablation (same capacity, no topology
+information).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.components import MAX_ACTION_DIM, TYPE_ORDER
+from repro.nn.gcn import GCNLayer
+from repro.nn.layers import Linear, ReLU, Tanh
+from repro.nn.module import Module
+
+NUM_TYPES = len(TYPE_ORDER)
+
+
+def _identity_adjacency(num_nodes: int) -> np.ndarray:
+    return np.eye(num_nodes)
+
+
+class GCNActor(Module):
+    """Actor network mapping per-node states to per-node actions in [-1, 1]."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        hidden_dim: int = 64,
+        num_gcn_layers: int = 7,
+        action_dim: int = MAX_ACTION_DIM,
+        use_gcn: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.state_dim = state_dim
+        self.hidden_dim = hidden_dim
+        self.action_dim = action_dim
+        self.use_gcn = use_gcn
+        self.input_layer = Linear(state_dim, hidden_dim, rng, name="actor.input")
+        self.input_activation = ReLU()
+        self.gcn_layers = [
+            GCNLayer(hidden_dim, hidden_dim, "relu", rng, name=f"actor.gcn{i}")
+            for i in range(num_gcn_layers)
+        ]
+        # One decoder per component type (NMOS, PMOS, R, C).
+        self.decoders = [
+            Linear(hidden_dim, action_dim, rng, name=f"actor.decoder{i}")
+            for i in range(NUM_TYPES)
+        ]
+        self.output_activation = Tanh()
+        self._type_indices: Optional[np.ndarray] = None
+        self._decoder_inputs: Optional[np.ndarray] = None
+
+    def forward(
+        self,
+        states: np.ndarray,
+        adjacency: np.ndarray,
+        type_indices: Sequence[int],
+    ) -> np.ndarray:
+        """Compute actions for every node.
+
+        Args:
+            states: Node state matrix ``(n, state_dim)``.
+            adjacency: Normalised adjacency ``(n, n)``.
+            type_indices: Component-type index (into ``TYPE_ORDER``) per node.
+
+        Returns:
+            Action matrix ``(n, action_dim)`` with entries in ``[-1, 1]``.
+        """
+        states = np.asarray(states, dtype=float)
+        n = states.shape[0]
+        propagation = adjacency if self.use_gcn else _identity_adjacency(n)
+        h = self.input_activation(self.input_layer(states))
+        for layer in self.gcn_layers:
+            h = layer(h, propagation)
+        self._decoder_inputs = h
+        self._type_indices = np.asarray(type_indices, dtype=int)
+        pre_action = np.zeros((n, self.action_dim))
+        for t, decoder in enumerate(self.decoders):
+            mask = self._type_indices == t
+            if np.any(mask):
+                pre_action[mask] = decoder(h[mask])
+        return self.output_activation(pre_action)
+
+    def backward(self, grad_actions: np.ndarray) -> np.ndarray:
+        """Backpropagate a gradient w.r.t. the actions into all parameters."""
+        if self._decoder_inputs is None or self._type_indices is None:
+            raise RuntimeError("backward called before forward")
+        grad_pre = self.output_activation.backward(grad_actions)
+        grad_h = np.zeros_like(self._decoder_inputs)
+        for t, decoder in enumerate(self.decoders):
+            mask = self._type_indices == t
+            if np.any(mask):
+                # Re-run the decoder forward on the masked rows so its cached
+                # input matches, then backpropagate the masked gradient.
+                decoder.forward(self._decoder_inputs[mask])
+                grad_h[mask] = decoder.backward(grad_pre[mask])
+        for layer in reversed(self.gcn_layers):
+            grad_h = layer.backward(grad_h)
+        grad_h = self.input_activation.backward(grad_h)
+        return self.input_layer.backward(grad_h)
+
+
+class GCNCritic(Module):
+    """Critic network predicting the reward of a (state, action) graph."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        hidden_dim: int = 64,
+        num_gcn_layers: int = 7,
+        action_dim: int = MAX_ACTION_DIM,
+        use_gcn: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng(1)
+        self.state_dim = state_dim
+        self.hidden_dim = hidden_dim
+        self.action_dim = action_dim
+        self.use_gcn = use_gcn
+        self.state_encoder = Linear(state_dim, hidden_dim, rng, name="critic.state")
+        # Component-type-specific action encoders (Figure 3, "unique weight").
+        self.action_encoders = [
+            Linear(action_dim, hidden_dim, rng, name=f"critic.action{i}")
+            for i in range(NUM_TYPES)
+        ]
+        self.input_activation = ReLU()
+        self.gcn_layers = [
+            GCNLayer(hidden_dim, hidden_dim, "relu", rng, name=f"critic.gcn{i}")
+            for i in range(num_gcn_layers)
+        ]
+        self.output_layer = Linear(hidden_dim, 1, rng, name="critic.output")
+        self._type_indices: Optional[np.ndarray] = None
+        self._states: Optional[np.ndarray] = None
+        self._actions: Optional[np.ndarray] = None
+        self._num_nodes: int = 0
+
+    def forward(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        adjacency: np.ndarray,
+        type_indices: Sequence[int],
+    ) -> float:
+        """Predict the scalar reward of a full set of node actions."""
+        states = np.asarray(states, dtype=float)
+        actions = np.asarray(actions, dtype=float)
+        n = states.shape[0]
+        self._num_nodes = n
+        self._states = states
+        self._actions = actions
+        self._type_indices = np.asarray(type_indices, dtype=int)
+        propagation = adjacency if self.use_gcn else _identity_adjacency(n)
+
+        encoded = self.state_encoder(states)
+        action_encoded = np.zeros_like(encoded)
+        for t, encoder in enumerate(self.action_encoders):
+            mask = self._type_indices == t
+            if np.any(mask):
+                action_encoded[mask] = encoder(actions[mask])
+        h = self.input_activation(encoded + action_encoded)
+        for layer in self.gcn_layers:
+            h = layer(h, propagation)
+        node_values = self.output_layer(h)
+        return float(node_values.mean())
+
+    def backward(self, grad_q: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Backpropagate the scalar gradient ``dL/dQ``.
+
+        Returns:
+            ``(grad_states, grad_actions)`` — the gradient of the predicted
+            value w.r.t. the input states and actions.  The action gradient is
+            what DDPG feeds into the actor update.
+        """
+        if self._states is None or self._actions is None:
+            raise RuntimeError("backward called before forward")
+        n = self._num_nodes
+        grad_node_values = np.full((n, 1), grad_q / n)
+        grad_h = self.output_layer.backward(grad_node_values)
+        for layer in reversed(self.gcn_layers):
+            grad_h = layer.backward(grad_h)
+        grad_sum = self.input_activation.backward(grad_h)
+
+        # State path.
+        grad_states = self.state_encoder.backward(grad_sum)
+        # Action path (per-type encoders).
+        grad_actions = np.zeros_like(self._actions, dtype=float)
+        for t, encoder in enumerate(self.action_encoders):
+            mask = self._type_indices == t
+            if np.any(mask):
+                encoder.forward(self._actions[mask])
+                grad_actions[mask] = encoder.backward(grad_sum[mask])
+        return grad_states, grad_actions

@@ -1,0 +1,55 @@
+"""Exploration noise for the DDPG agent.
+
+The paper uses "a truncated norm noise with exponential decay": Gaussian
+noise added to the actor's output, truncated so the perturbed action stays in
+``[-1, 1]``, with the standard deviation decaying exponentially over the
+exploration episodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TruncatedGaussianNoise:
+    """Truncated Gaussian exploration noise with exponential decay."""
+
+    def __init__(
+        self,
+        initial_sigma: float = 0.5,
+        final_sigma: float = 0.05,
+        decay: float = 0.99,
+        low: float = -1.0,
+        high: float = 1.0,
+    ):
+        """Configure the noise process.
+
+        Args:
+            initial_sigma: Standard deviation at the first exploration step.
+            final_sigma: Floor below which the deviation never decays.
+            decay: Multiplicative decay applied after each exploration step.
+            low: Lower truncation bound of the perturbed action.
+            high: Upper truncation bound of the perturbed action.
+        """
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.initial_sigma = initial_sigma
+        self.final_sigma = final_sigma
+        self.decay = decay
+        self.low = low
+        self.high = high
+        self.sigma = initial_sigma
+
+    def reset(self) -> None:
+        """Restore the initial standard deviation."""
+        self.sigma = self.initial_sigma
+
+    def step(self) -> None:
+        """Decay the standard deviation by one exploration step."""
+        self.sigma = max(self.sigma * self.decay, self.final_sigma)
+
+    def perturb(self, actions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Add truncated Gaussian noise to an action array."""
+        actions = np.asarray(actions, dtype=float)
+        noisy = actions + rng.normal(0.0, self.sigma, size=actions.shape)
+        return np.clip(noisy, self.low, self.high)

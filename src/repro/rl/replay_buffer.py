@@ -1,0 +1,67 @@
+"""Replay buffer storing (state, action, reward) transitions.
+
+The sizing task is a single-step (contextual-bandit style) RL problem: the
+state of a circuit/technology pair is fixed and every episode evaluates one
+full set of actions, so transitions carry no successor state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Transition:
+    """One stored experience tuple."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    reward: float
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO replay buffer with uniform sampling."""
+
+    def __init__(self, capacity: int = 10000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._storage: List[Transition] = []
+        self._next_index = 0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def add(self, states: np.ndarray, actions: np.ndarray, reward: float) -> None:
+        """Store a transition, overwriting the oldest entry when full."""
+        transition = Transition(
+            states=np.asarray(states, dtype=float).copy(),
+            actions=np.asarray(actions, dtype=float).copy(),
+            reward=float(reward),
+        )
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._next_index] = transition
+            self._next_index = (self._next_index + 1) % self.capacity
+
+    def sample(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Sequence[Transition]:
+        """Sample ``batch_size`` transitions uniformly with replacement."""
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = rng.integers(0, len(self._storage), size=batch_size)
+        return [self._storage[i] for i in indices]
+
+    def rewards(self) -> np.ndarray:
+        """All stored rewards (useful for diagnostics and tests)."""
+        return np.asarray([t.reward for t in self._storage], dtype=float)
+
+    def clear(self) -> None:
+        """Remove every stored transition."""
+        self._storage = []
+        self._next_index = 0

@@ -1,0 +1,123 @@
+"""Knowledge-transfer utilities (Section III-E of the paper).
+
+Two transfer scenarios are supported:
+
+* **Technology transfer** — the same circuit in a different technology node.
+  State dimensions are unchanged, so the pretrained agent is simply
+  re-attached to the new environment and fine-tuned with a small budget.
+* **Topology transfer** — a different circuit.  Both environments must be
+  built with ``transferable_state=True`` so the per-component state width is
+  topology-independent (scalar index instead of one-hot); the GCN layers and
+  per-type heads then transfer directly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.circuits.library import get_circuit
+from repro.env.environment import SizingEnvironment
+from repro.env.fom import default_fom_config
+from repro.rl.agent import AgentConfig, GCNRLAgent
+
+
+def save_agent_weights(agent: GCNRLAgent, path: Union[str, Path]) -> Path:
+    """Serialise an agent's actor/critic weights to ``path`` (pickle)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        pickle.dump(agent.state_dict(), handle)
+    return path
+
+
+def load_agent_weights(agent: GCNRLAgent, path: Union[str, Path]) -> GCNRLAgent:
+    """Load actor/critic weights into an existing agent."""
+    with Path(path).open("rb") as handle:
+        state = pickle.load(handle)
+    agent.load_state_dict(state)
+    return agent
+
+
+def make_environment(
+    circuit_name: str,
+    technology: str = "180nm",
+    transferable_state: bool = False,
+    apply_spec: bool = True,
+) -> SizingEnvironment:
+    """Build a standard sizing environment for a benchmark circuit."""
+    circuit = get_circuit(circuit_name, technology)
+    fom = default_fom_config(circuit, apply_spec=apply_spec)
+    return SizingEnvironment(
+        circuit, fom_config=fom, transferable_state=transferable_state
+    )
+
+
+def pretrain_agent(
+    circuit_name: str,
+    technology: str = "180nm",
+    episodes: int = 300,
+    config: Optional[AgentConfig] = None,
+    transferable_state: bool = False,
+    seed: int = 0,
+) -> GCNRLAgent:
+    """Train a fresh agent on a source circuit/technology pair."""
+    environment = make_environment(
+        circuit_name, technology, transferable_state=transferable_state
+    )
+    agent = GCNRLAgent(environment, config=config, seed=seed)
+    agent.train(episodes)
+    return agent
+
+
+def transfer_to_technology(
+    agent: GCNRLAgent,
+    circuit_name: str,
+    target_technology: str,
+    episodes: int,
+    apply_spec: bool = True,
+) -> GCNRLAgent:
+    """Fine-tune a pretrained agent on the same circuit in a new node.
+
+    The agent keeps its actor-critic weights (the transferred knowledge) but
+    its replay buffer, reward baseline and exploration schedule are reset,
+    matching the paper's transfer protocol.
+    """
+    environment = make_environment(
+        circuit_name,
+        target_technology,
+        transferable_state=agent.environment.transferable_state,
+        apply_spec=apply_spec,
+    )
+    agent.attach_environment(environment)
+    agent.train(episodes)
+    return agent
+
+
+def transfer_to_topology(
+    agent: GCNRLAgent,
+    target_circuit: str,
+    technology: str,
+    episodes: int,
+    apply_spec: bool = True,
+) -> GCNRLAgent:
+    """Fine-tune a pretrained agent on a different circuit topology.
+
+    Requires the source agent to have been trained with
+    ``transferable_state=True`` (scalar component index), otherwise the state
+    widths of the two topologies differ and the transfer is rejected.
+    """
+    if not agent.environment.transferable_state:
+        raise ValueError(
+            "topology transfer requires an agent trained with "
+            "transferable_state=True"
+        )
+    environment = make_environment(
+        target_circuit, technology, transferable_state=True, apply_spec=apply_spec
+    )
+    agent.attach_environment(environment)
+    agent.train(episodes)
+    return agent

@@ -1,0 +1,129 @@
+"""Small-signal AC analysis around a DC operating point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.spice.circuit import Circuit
+from repro.spice.dc import DCSolution
+from repro.spice.elements import SystemStamper
+
+
+@dataclass
+class ACSolution:
+    """Result of an AC sweep.
+
+    Attributes:
+        circuit: The analysed circuit.
+        frequencies: Sweep frequencies [Hz].
+        x: Complex MNA solutions, shape ``(num_freqs, num_unknowns)``.
+    """
+
+    circuit: Circuit
+    frequencies: np.ndarray
+    x: np.ndarray
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage phasor of ``node`` across the sweep."""
+        index = self.circuit.node(node)
+        if index < 0:
+            return np.zeros(len(self.frequencies), dtype=complex)
+        return self.x[:, index]
+
+    def differential_voltage(self, node_p: str, node_n: str) -> np.ndarray:
+        """Complex differential voltage ``V(node_p) - V(node_n)``."""
+        return self.voltage(node_p) - self.voltage(node_n)
+
+    def magnitude(self, node: str) -> np.ndarray:
+        """Voltage magnitude of ``node`` across the sweep."""
+        return np.abs(self.voltage(node))
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """Voltage magnitude of ``node`` in dB."""
+        return 20.0 * np.log10(np.maximum(self.magnitude(node), 1e-30))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        """Voltage phase of ``node`` in degrees (unwrapped)."""
+        return np.degrees(np.unwrap(np.angle(self.voltage(node))))
+
+
+def logspace_frequencies(
+    f_start: float = 1.0, f_stop: float = 1e10, points_per_decade: int = 10
+) -> np.ndarray:
+    """A logarithmic frequency grid like SPICE's ``.ac dec`` sweep."""
+    decades = np.log10(f_stop / f_start)
+    num = max(int(round(decades * points_per_decade)) + 1, 2)
+    return np.logspace(np.log10(f_start), np.log10(f_stop), num)
+
+
+def build_ac_matrix(
+    circuit: Circuit, op: DCSolution, omega: float
+) -> tuple:
+    """Assemble the complex MNA matrix and source vector at ``omega`` [rad/s]."""
+    n = circuit.num_unknowns
+    matrix = np.zeros((n, n), dtype=complex)
+    rhs = np.zeros(n, dtype=complex)
+    stamper = SystemStamper(matrix, rhs)
+    for element in circuit.elements:
+        element.stamp_ac(stamper, omega, op.device_ops)
+    # A tiny gmin keeps nodes isolated by capacitors solvable at DC-ish freqs.
+    for i in range(circuit.num_nodes):
+        matrix[i, i] += 1e-12
+    return matrix, rhs
+
+
+def ac_analysis(
+    circuit: Circuit,
+    op: DCSolution,
+    frequencies: Optional[Sequence[float]] = None,
+) -> ACSolution:
+    """Run an AC sweep with the AC magnitudes attached to the sources.
+
+    Args:
+        circuit: The circuit to analyse (AC stimulus comes from elements whose
+            ``ac`` attribute is non-zero).
+        op: A converged DC operating point of the same circuit.
+        frequencies: Sweep frequencies [Hz]; defaults to 1 Hz – 10 GHz at
+            10 points/decade.
+
+    Returns:
+        The :class:`ACSolution` with one complex solution per frequency.
+    """
+    circuit.ensure_indices()
+    if frequencies is None:
+        frequencies = logspace_frequencies()
+    freqs = np.asarray(list(frequencies), dtype=float)
+    n = circuit.num_unknowns
+    solutions = np.zeros((len(freqs), n), dtype=complex)
+    for i, frequency in enumerate(freqs):
+        omega = 2.0 * np.pi * frequency
+        matrix, rhs = build_ac_matrix(circuit, op, omega)
+        try:
+            solutions[i] = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError:
+            solutions[i] = np.linalg.lstsq(matrix, rhs, rcond=None)[0]
+    return ACSolution(circuit=circuit, frequencies=freqs, x=solutions)
+
+
+def transfer_function(
+    circuit: Circuit,
+    op: DCSolution,
+    output_node: str,
+    frequencies: Optional[Sequence[float]] = None,
+    output_node_neg: Optional[str] = None,
+) -> Dict[str, np.ndarray]:
+    """Convenience wrapper returning frequency, complex gain at ``output_node``.
+
+    The stimulus is whatever AC sources are present in the circuit (normally a
+    single source with ``ac=1``), so the returned quantity is the transfer
+    function from that stimulus to the output.
+    """
+    solution = ac_analysis(circuit, op, frequencies)
+    if output_node_neg is None:
+        gain = solution.voltage(output_node)
+    else:
+        gain = solution.differential_voltage(output_node, output_node_neg)
+    return {"frequencies": solution.frequencies, "gain": gain}

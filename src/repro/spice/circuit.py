@@ -1,0 +1,138 @@
+"""Circuit container: node registry, element list and MNA bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.spice.elements import Element, MOSFET
+
+GROUND_NAMES = ("0", "gnd", "GND", "vss!", "0v")
+
+
+class Circuit:
+    """A flat netlist of elements with named nodes.
+
+    Node ``"0"`` (aliases: ``"gnd"``, ``"GND"``) is ground.  Elements are
+    added with :meth:`add` and node/branch indices are (re-)resolved lazily
+    before every analysis, so elements may be added or re-sized at any time.
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.elements: List[Element] = []
+        self._by_name: Dict[str, Element] = {}
+        self._node_index: Dict[str, int] = {}
+        self._num_nodes = 0
+        self._num_branches = 0
+        self._dirty = True
+
+    # --- construction ---------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add an element; element names must be unique within the circuit."""
+        if element.name in self._by_name:
+            raise ValueError(f"duplicate element name: {element.name}")
+        self.elements.append(element)
+        self._by_name[element.name] = element
+        self._dirty = True
+        return element
+
+    def extend(self, elements: Iterable[Element]) -> None:
+        """Add several elements at once."""
+        for element in elements:
+            self.add(element)
+
+    def __getitem__(self, name: str) -> Element:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def mosfets(self) -> List[MOSFET]:
+        """All MOSFET elements in the circuit, in insertion order."""
+        return [e for e in self.elements if isinstance(e, MOSFET)]
+
+    # --- index resolution -------------------------------------------------------
+    @staticmethod
+    def _is_ground(node_name: str) -> bool:
+        return node_name in GROUND_NAMES or node_name.lower() == "gnd"
+
+    def rebuild_indices(self) -> None:
+        """Assign MNA indices to every node and source branch."""
+        self._node_index = {}
+        counter = 0
+        for element in self.elements:
+            for node_name in element.node_names:
+                if self._is_ground(node_name):
+                    continue
+                if node_name not in self._node_index:
+                    self._node_index[node_name] = counter
+                    counter += 1
+        self._num_nodes = counter
+
+        branch_counter = 0
+        for element in self.elements:
+            indices = [
+                -1 if self._is_ground(n) else self._node_index[n]
+                for n in element.node_names
+            ]
+            branch_index = -1
+            if element.num_branches:
+                branch_index = self._num_nodes + branch_counter
+                branch_counter += element.num_branches
+            element.bind(indices, branch_index)
+        self._num_branches = branch_counter
+        self._dirty = False
+
+    def mark_dirty(self) -> None:
+        """Force index resolution before the next analysis (after edits)."""
+        self._dirty = True
+
+    def ensure_indices(self) -> None:
+        """Rebuild indices if the circuit changed since the last analysis."""
+        if self._dirty:
+            self.rebuild_indices()
+
+    # --- introspection -----------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        self.ensure_indices()
+        return self._num_nodes
+
+    @property
+    def num_unknowns(self) -> int:
+        """Size of the MNA system (nodes + source branch currents)."""
+        self.ensure_indices()
+        return self._num_nodes + self._num_branches
+
+    @property
+    def node_names(self) -> List[str]:
+        """All non-ground node names in index order."""
+        self.ensure_indices()
+        ordered = sorted(self._node_index.items(), key=lambda kv: kv[1])
+        return [name for name, _ in ordered]
+
+    def node(self, name: str) -> int:
+        """MNA index for node ``name`` (-1 for ground)."""
+        self.ensure_indices()
+        if self._is_ground(name):
+            return -1
+        if name not in self._node_index:
+            raise KeyError(f"unknown node {name!r} in circuit {self.title!r}")
+        return self._node_index[name]
+
+    def branch(self, element_name: str) -> int:
+        """MNA index of the branch current of a voltage-source-like element."""
+        self.ensure_indices()
+        element = self._by_name[element_name]
+        if element.branch_index < 0:
+            raise KeyError(f"element {element_name!r} has no branch current")
+        return element.branch_index
+
+    def summary(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        kinds: Dict[str, int] = {}
+        for element in self.elements:
+            kinds[type(element).__name__] = kinds.get(type(element).__name__, 0) + 1
+        parts = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        return f"Circuit({self.title!r}: {self.num_nodes} nodes, {parts})"

@@ -1,0 +1,199 @@
+"""Nonlinear DC operating-point solver (Newton with gmin and source stepping)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.spice.circuit import Circuit
+from repro.spice.elements import SystemStamper, VoltageSource
+from repro.technology.mosfet_model import OperatingPoint
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the DC operating point cannot be found."""
+
+
+@dataclass
+class DCSolution:
+    """Result of a DC operating-point analysis.
+
+    Attributes:
+        circuit: The analysed circuit (node lookups go through it).
+        x: Full MNA solution vector (node voltages then branch currents).
+        converged: Whether Newton iteration met its tolerances.
+        iterations: Total Newton iterations used (across homotopy steps).
+        device_ops: Per-MOSFET operating points, keyed by element name.
+    """
+
+    circuit: Circuit
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    device_ops: Dict[str, OperatingPoint] = field(default_factory=dict)
+
+    def voltage(self, node: str) -> float:
+        """DC voltage of a node (ground returns 0)."""
+        index = self.circuit.node(node)
+        return 0.0 if index < 0 else float(self.x[index])
+
+    def branch_current(self, element_name: str) -> float:
+        """Branch current of a voltage-source-like element."""
+        return float(self.x[self.circuit.branch(element_name)])
+
+    def supply_power(self) -> float:
+        """Total power delivered by all DC voltage sources [W]."""
+        power = 0.0
+        for element in self.circuit.elements:
+            if isinstance(element, VoltageSource) and abs(element.dc) > 0:
+                current = self.x[element.branch_index]
+                # Branch current is defined flowing from + to - through the
+                # external circuit, so delivered power is -V*I of the branch.
+                power += -element.dc * float(current)
+        return abs(power)
+
+
+def _assemble(
+    circuit: Circuit,
+    x: np.ndarray,
+    gmin: float,
+    source_scale: float,
+) -> tuple:
+    n = circuit.num_unknowns
+    jacobian = np.zeros((n, n), dtype=float)
+    residual = np.zeros(n, dtype=float)
+    stamper = SystemStamper(jacobian, np.zeros(n))
+    for element in circuit.elements:
+        element.stamp_dc(stamper, residual, x, source_scale=source_scale)
+    if gmin > 0:
+        for i in range(circuit.num_nodes):
+            jacobian[i, i] += gmin
+            residual[i] += gmin * x[i]
+    return jacobian, residual
+
+
+def _newton(
+    circuit: Circuit,
+    x0: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    max_iterations: int,
+    abstol: float,
+    vtol: float,
+    max_step: float,
+) -> tuple:
+    x = x0.copy()
+    for iteration in range(1, max_iterations + 1):
+        jacobian, residual = _assemble(circuit, x, gmin, source_scale)
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError:
+            jacobian += np.eye(len(x)) * 1e-9
+            delta = np.linalg.lstsq(jacobian, -residual, rcond=None)[0]
+        # Limit the node-voltage update to keep the square-law model in a
+        # well-behaved region (SPICE-style damping).
+        num_nodes = circuit.num_nodes
+        step = delta.copy()
+        node_step = step[:num_nodes]
+        biggest = np.max(np.abs(node_step)) if num_nodes else 0.0
+        if biggest > max_step:
+            node_step *= max_step / biggest
+        x = x + step
+        if (
+            np.max(np.abs(residual)) < abstol
+            and np.max(np.abs(node_step)) < vtol
+        ):
+            return x, True, iteration
+    return x, False, max_iterations
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    initial_guess: Optional[np.ndarray] = None,
+    max_iterations: int = 150,
+    abstol: float = 1e-9,
+    vtol: float = 1e-7,
+    max_step: float = 0.4,
+    raise_on_failure: bool = False,
+) -> DCSolution:
+    """Find the DC operating point of ``circuit``.
+
+    The solver first attempts plain Newton–Raphson from ``initial_guess`` (or
+    a flat mid-rail guess).  On failure it falls back to gmin stepping and
+    then source stepping, mirroring the strategy of production SPICE engines.
+
+    Args:
+        circuit: The circuit to solve.
+        initial_guess: Optional starting MNA vector (e.g. a previous solution).
+        max_iterations: Newton iterations per homotopy step.
+        abstol: Residual-current tolerance [A].
+        vtol: Node-voltage update tolerance [V].
+        max_step: Maximum per-iteration node-voltage change [V].
+        raise_on_failure: Raise :class:`ConvergenceError` instead of returning
+            a non-converged solution.
+
+    Returns:
+        A :class:`DCSolution`; check ``converged`` before trusting values.
+    """
+    circuit.ensure_indices()
+    n = circuit.num_unknowns
+    if initial_guess is not None and len(initial_guess) == n:
+        x0 = np.asarray(initial_guess, dtype=float).copy()
+    else:
+        x0 = np.zeros(n, dtype=float)
+        # Seed node voltages at half of the largest supply for faster convergence.
+        vmax = max(
+            (abs(e.dc) for e in circuit.elements if isinstance(e, VoltageSource)),
+            default=0.0,
+        )
+        x0[: circuit.num_nodes] = 0.5 * vmax
+
+    total_iterations = 0
+
+    # Strategy 1: plain Newton with a small gmin.
+    x, converged, iters = _newton(
+        circuit, x0, 1e-12, 1.0, max_iterations, abstol, vtol, max_step
+    )
+    total_iterations += iters
+
+    # Strategy 2: gmin stepping.
+    if not converged:
+        x_try = x0.copy()
+        ok = True
+        for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12):
+            x_try, ok, iters = _newton(
+                circuit, x_try, gmin, 1.0, max_iterations, abstol, vtol, max_step
+            )
+            total_iterations += iters
+            if not ok:
+                break
+        if ok:
+            x, converged = x_try, True
+
+    # Strategy 3: source stepping.
+    if not converged:
+        x_try = np.zeros(n, dtype=float)
+        ok = True
+        for scale in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            x_try, ok, iters = _newton(
+                circuit, x_try, 1e-12, scale, max_iterations, abstol, vtol, max_step
+            )
+            total_iterations += iters
+            if not ok:
+                break
+        if ok:
+            x, converged = x_try, True
+
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"DC operating point did not converge for circuit {circuit.title!r}"
+        )
+
+    solution = DCSolution(
+        circuit=circuit, x=x, converged=converged, iterations=total_iterations
+    )
+    for mosfet in circuit.mosfets():
+        solution.device_ops[mosfet.name] = mosfet.operating_point(x)
+    return solution

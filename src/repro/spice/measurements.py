@@ -1,0 +1,229 @@
+"""Measurement helpers that turn raw analysis results into circuit metrics.
+
+These mirror the ``.measure`` statements a designer would write in an HSPICE
+or Spectre deck: DC gain, -3dB bandwidth, gain-bandwidth product, phase
+margin, peaking, PSRR, settling times and regulation figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def dc_gain(frequencies: np.ndarray, gain: np.ndarray) -> float:
+    """Low-frequency gain magnitude (value at the lowest analysed frequency)."""
+    magnitude = np.abs(np.asarray(gain))
+    return float(magnitude[0])
+
+
+def dc_gain_db(frequencies: np.ndarray, gain: np.ndarray) -> float:
+    """Low-frequency gain in dB."""
+    return 20.0 * math.log10(max(dc_gain(frequencies, gain), 1e-30))
+
+
+def bandwidth_3db(frequencies: np.ndarray, gain: np.ndarray) -> float:
+    """-3 dB bandwidth relative to the low-frequency gain [Hz].
+
+    Returns the highest analysed frequency if the response never drops 3 dB
+    (i.e. the bandwidth exceeds the sweep).
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    magnitude = np.abs(np.asarray(gain))
+    reference = max(magnitude[0], 1e-30)
+    threshold = reference / math.sqrt(2.0)
+    below = np.where(magnitude < threshold)[0]
+    if len(below) == 0:
+        return float(freqs[-1])
+    i = below[0]
+    if i == 0:
+        return float(freqs[0])
+    # Log-linear interpolation between the last point above and first below.
+    f1, f2 = freqs[i - 1], freqs[i]
+    m1, m2 = magnitude[i - 1], magnitude[i]
+    if m1 == m2:
+        return float(f1)
+    frac = (m1 - threshold) / (m1 - m2)
+    return float(10 ** (np.log10(f1) + frac * (np.log10(f2) - np.log10(f1))))
+
+
+def gain_bandwidth_product(frequencies: np.ndarray, gain: np.ndarray) -> float:
+    """DC gain times -3 dB bandwidth."""
+    return dc_gain(frequencies, gain) * bandwidth_3db(frequencies, gain)
+
+
+def unity_gain_frequency(frequencies: np.ndarray, gain: np.ndarray) -> float:
+    """Frequency at which the gain magnitude crosses 1 (0 dB) [Hz]."""
+    freqs = np.asarray(frequencies, dtype=float)
+    magnitude = np.abs(np.asarray(gain))
+    if magnitude[0] <= 1.0:
+        return float(freqs[0])
+    below = np.where(magnitude < 1.0)[0]
+    if len(below) == 0:
+        return float(freqs[-1])
+    i = below[0]
+    f1, f2 = freqs[i - 1], freqs[i]
+    m1, m2 = magnitude[i - 1], magnitude[i]
+    if m1 == m2:
+        return float(f1)
+    frac = (m1 - 1.0) / (m1 - m2)
+    return float(10 ** (np.log10(f1) + frac * (np.log10(f2) - np.log10(f1))))
+
+
+def phase_margin(frequencies: np.ndarray, gain: np.ndarray) -> float:
+    """Phase margin of a (negative-feedback) loop gain, in degrees.
+
+    Computed as ``180 + phase(loop gain)`` at the unity-gain frequency, with
+    the phase unwrapped from the low-frequency end.  The result is clipped to
+    ``[0, 180]`` degrees, the convention used in the paper's tables.
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    gain_arr = np.asarray(gain)
+    magnitude = np.abs(gain_arr)
+    phase = np.degrees(np.unwrap(np.angle(gain_arr)))
+    # Normalise so the low-frequency phase sits near 0 (modulo inversions).
+    phase = phase - round(phase[0] / 360.0) * 360.0
+    fu = unity_gain_frequency(freqs, gain_arr)
+    if magnitude[0] <= 1.0:
+        return 180.0
+    phase_at_fu = float(np.interp(np.log10(fu), np.log10(freqs), phase))
+    margin = 180.0 + phase_at_fu
+    return float(min(max(margin, 0.0), 180.0))
+
+
+def gain_peaking_db(frequencies: np.ndarray, gain: np.ndarray) -> float:
+    """Peaking above the DC gain, in dB (0 if the response is monotone)."""
+    magnitude = np.abs(np.asarray(gain))
+    reference = max(magnitude[0], 1e-30)
+    peak = float(np.max(magnitude))
+    if peak <= reference:
+        return 0.0
+    return 20.0 * math.log10(peak / reference)
+
+
+def psrr_db(
+    frequencies: np.ndarray,
+    signal_gain: np.ndarray,
+    supply_gain: np.ndarray,
+    at_frequency: Optional[float] = None,
+) -> float:
+    """Power-supply rejection ratio ``20 log10(|A_signal| / |A_supply|)`` [dB]."""
+    freqs = np.asarray(frequencies, dtype=float)
+    signal = np.abs(np.asarray(signal_gain))
+    supply = np.maximum(np.abs(np.asarray(supply_gain)), 1e-30)
+    ratio = signal / supply
+    if at_frequency is None:
+        value = ratio[0]
+    else:
+        value = np.interp(np.log10(at_frequency), np.log10(freqs), ratio)
+    return float(20.0 * math.log10(max(value, 1e-30)))
+
+
+def settling_time(
+    times: np.ndarray,
+    waveform: np.ndarray,
+    t_event: float,
+    tolerance: float = 0.01,
+    final_value: Optional[float] = None,
+) -> float:
+    """Time after ``t_event`` for the waveform to stay within ``tolerance``.
+
+    The tolerance band is relative to the post-event steady-state excursion;
+    if the waveform never settles the full remaining window is returned.
+
+    Args:
+        times: Time points [s].
+        waveform: Sampled waveform (same length as ``times``).
+        t_event: Time of the disturbance (load/supply step) [s].
+        tolerance: Fractional band around the final value.
+        final_value: Steady-state value; defaults to the last sample.
+
+    Returns:
+        Settling time in seconds (0 if the waveform never leaves the band).
+    """
+    times = np.asarray(times, dtype=float)
+    waveform = np.asarray(waveform, dtype=float)
+    mask = times >= t_event
+    if not np.any(mask):
+        return 0.0
+    t_window = times[mask]
+    v_window = waveform[mask]
+    target = float(v_window[-1]) if final_value is None else float(final_value)
+    band = max(abs(target) * tolerance, 1e-6)
+    outside = np.abs(v_window - target) > band
+    if not np.any(outside):
+        return 0.0
+    last_outside = np.where(outside)[0][-1]
+    if last_outside + 1 >= len(t_window):
+        return float(t_window[-1] - t_event)
+    return float(t_window[last_outside + 1] - t_event)
+
+
+def overshoot(
+    times: np.ndarray, waveform: np.ndarray, t_event: float
+) -> float:
+    """Peak deviation from the final value after ``t_event`` (absolute volts)."""
+    times = np.asarray(times, dtype=float)
+    waveform = np.asarray(waveform, dtype=float)
+    mask = times >= t_event
+    if not np.any(mask):
+        return 0.0
+    window = waveform[mask]
+    return float(np.max(np.abs(window - window[-1])))
+
+
+def load_regulation(
+    v_light: float, v_heavy: float, i_light: float, i_heavy: float
+) -> float:
+    """Load regulation |dVout/dIload| [V/A]."""
+    di = abs(i_heavy - i_light)
+    if di <= 0:
+        return 0.0
+    return abs(v_heavy - v_light) / di
+
+
+def line_regulation(
+    v_out_low: float, v_out_high: float, v_in_low: float, v_in_high: float
+) -> float:
+    """Line regulation |dVout/dVin| (dimensionless)."""
+    dv_in = abs(v_in_high - v_in_low)
+    if dv_in <= 0:
+        return 0.0
+    return abs(v_out_high - v_out_low) / dv_in
+
+
+def spot_noise(
+    frequencies: np.ndarray, psd: np.ndarray, frequency: float
+) -> float:
+    """Noise density [unit/sqrt(Hz)] interpolated from a PSD at ``frequency``."""
+    density = np.sqrt(np.maximum(np.asarray(psd), 0.0))
+    return float(np.interp(frequency, np.asarray(frequencies), density))
+
+
+def crossover_frequencies(
+    frequencies: np.ndarray, gain: np.ndarray, level: float = 1.0
+) -> Sequence[float]:
+    """All frequencies where the gain magnitude crosses ``level``."""
+    freqs = np.asarray(frequencies, dtype=float)
+    magnitude = np.abs(np.asarray(gain))
+    crossings = []
+    for i in range(1, len(freqs)):
+        m1, m2 = magnitude[i - 1], magnitude[i]
+        if (m1 - level) * (m2 - level) < 0:
+            frac = (m1 - level) / (m1 - m2)
+            log_f = np.log10(freqs[i - 1]) + frac * (
+                np.log10(freqs[i]) - np.log10(freqs[i - 1])
+            )
+            crossings.append(float(10**log_f))
+    return crossings
+
+
+def stability_summary(
+    frequencies: np.ndarray, loop_gain: np.ndarray
+) -> Tuple[float, float]:
+    """(phase margin [deg], unity-gain frequency [Hz]) of a loop gain."""
+    return phase_margin(frequencies, loop_gain), unity_gain_frequency(
+        frequencies, loop_gain
+    )

@@ -1,0 +1,119 @@
+"""Output-referred noise analysis using the adjoint-network method."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.spice.ac import build_ac_matrix, logspace_frequencies
+from repro.spice.circuit import Circuit
+from repro.spice.dc import DCSolution
+from repro.spice.elements import NoiseContribution
+
+
+@dataclass
+class NoiseSolution:
+    """Result of a noise analysis.
+
+    Attributes:
+        frequencies: Analysis frequencies [Hz].
+        output_psd: Output-referred voltage noise PSD [V^2/Hz] per frequency.
+        contributions: Per-source output PSD [V^2/Hz], keyed by source name.
+    """
+
+    frequencies: np.ndarray
+    output_psd: np.ndarray
+    contributions: Dict[str, np.ndarray]
+
+    def output_spectral_density(self) -> np.ndarray:
+        """Output noise voltage spectral density [V/sqrt(Hz)]."""
+        return np.sqrt(np.maximum(self.output_psd, 0.0))
+
+    def integrated_output_noise(self) -> float:
+        """Total RMS output noise voltage integrated over the sweep [Vrms]."""
+        psd = np.maximum(self.output_psd, 0.0)
+        return float(np.sqrt(np.trapezoid(psd, self.frequencies)))
+
+    def input_referred_psd(self, gain_magnitude: np.ndarray) -> np.ndarray:
+        """Input-referred PSD given the signal-path gain magnitude per frequency."""
+        gain_sq = np.maximum(np.asarray(gain_magnitude) ** 2, 1e-30)
+        return self.output_psd / gain_sq
+
+    def spot_density(self, frequency: float) -> float:
+        """Output noise density [V/sqrt(Hz)] interpolated at ``frequency``."""
+        density = self.output_spectral_density()
+        return float(np.interp(frequency, self.frequencies, density))
+
+
+def _collect_noise_sources(
+    circuit: Circuit, op: DCSolution
+) -> List[NoiseContribution]:
+    sources: List[NoiseContribution] = []
+    for element in circuit.elements:
+        sources.extend(element.noise_contributions(op.device_ops))
+    return sources
+
+
+def noise_analysis(
+    circuit: Circuit,
+    op: DCSolution,
+    output_node: str,
+    frequencies: Optional[Sequence[float]] = None,
+    output_node_neg: Optional[str] = None,
+) -> NoiseSolution:
+    """Compute the output-referred noise PSD at ``output_node``.
+
+    For each frequency the adjoint system ``A^T y = e_out`` is solved once;
+    the transfer impedance from a noise-current injection between nodes
+    ``(a, b)`` to the output voltage is then ``y_a - y_b``, so every noise
+    source is handled with a single extra dot product.
+
+    Args:
+        circuit: Circuit to analyse.
+        op: Converged DC operating point.
+        output_node: Node whose voltage noise is reported.
+        frequencies: Frequencies [Hz]; defaults to 1 Hz – 10 GHz log sweep.
+        output_node_neg: Optional negative output node for differential outputs.
+
+    Returns:
+        A :class:`NoiseSolution`.
+    """
+    circuit.ensure_indices()
+    if frequencies is None:
+        frequencies = logspace_frequencies()
+    freqs = np.asarray(list(frequencies), dtype=float)
+
+    sources = _collect_noise_sources(circuit, op)
+    out_index = circuit.node(output_node)
+    out_neg_index = circuit.node(output_node_neg) if output_node_neg else -1
+
+    total = np.zeros(len(freqs), dtype=float)
+    contributions = {source.name: np.zeros(len(freqs)) for source in sources}
+
+    n = circuit.num_unknowns
+    selector = np.zeros(n, dtype=complex)
+    if out_index >= 0:
+        selector[out_index] = 1.0
+    if out_neg_index >= 0:
+        selector[out_neg_index] = -1.0
+
+    for i, frequency in enumerate(freqs):
+        omega = 2.0 * np.pi * frequency
+        matrix, _ = build_ac_matrix(circuit, op, omega)
+        try:
+            adjoint = np.linalg.solve(matrix.T, selector)
+        except np.linalg.LinAlgError:
+            adjoint = np.linalg.lstsq(matrix.T, selector, rcond=None)[0]
+        for source in sources:
+            za = adjoint[source.node_a] if source.node_a >= 0 else 0.0
+            zb = adjoint[source.node_b] if source.node_b >= 0 else 0.0
+            transfer_sq = abs(za - zb) ** 2
+            psd = transfer_sq * source.psd(frequency)
+            contributions[source.name][i] = psd
+            total[i] += psd
+
+    return NoiseSolution(
+        frequencies=freqs, output_psd=total, contributions=contributions
+    )

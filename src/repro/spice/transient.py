@@ -1,0 +1,172 @@
+"""Transient analysis with backward-Euler integration and Newton per step."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.spice.circuit import Circuit
+from repro.spice.dc import DCSolution, dc_operating_point
+from repro.spice.elements import SystemStamper
+
+
+@dataclass
+class TransientSolution:
+    """Result of a transient analysis.
+
+    Attributes:
+        circuit: The analysed circuit.
+        times: Simulation time points [s].
+        x: MNA solutions, shape ``(num_times, num_unknowns)``.
+        converged: Whether every timestep's Newton iteration converged.
+    """
+
+    circuit: Circuit
+    times: np.ndarray
+    x: np.ndarray
+    converged: bool
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Voltage waveform of ``node``."""
+        index = self.circuit.node(node)
+        if index < 0:
+            return np.zeros(len(self.times))
+        return self.x[:, index]
+
+    def final_voltage(self, node: str) -> float:
+        """Voltage of ``node`` at the last time point."""
+        return float(self.voltage(node)[-1])
+
+
+def _solve_timestep(
+    circuit: Circuit,
+    x_guess: np.ndarray,
+    x_prev: np.ndarray,
+    dt: float,
+    time: float,
+    max_iterations: int,
+    abstol: float,
+    vtol: float,
+    max_step: float,
+) -> tuple:
+    x = x_guess.copy()
+    n = circuit.num_unknowns
+    for _ in range(max_iterations):
+        jacobian = np.zeros((n, n), dtype=float)
+        residual = np.zeros(n, dtype=float)
+        stamper = SystemStamper(jacobian, np.zeros(n))
+        for element in circuit.elements:
+            element.stamp_transient(stamper, residual, x, x_prev, dt, time)
+        for i in range(circuit.num_nodes):
+            jacobian[i, i] += 1e-12
+            residual[i] += 1e-12 * x[i]
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError:
+            delta = np.linalg.lstsq(jacobian, -residual, rcond=None)[0]
+        node_step = delta[: circuit.num_nodes]
+        biggest = np.max(np.abs(node_step)) if circuit.num_nodes else 0.0
+        if biggest > max_step:
+            node_step *= max_step / biggest
+        x = x + delta
+        if np.max(np.abs(residual)) < abstol and biggest < vtol:
+            return x, True
+    return x, False
+
+
+def transient_analysis(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    initial_op: Optional[DCSolution] = None,
+    max_iterations: int = 60,
+    abstol: float = 1e-8,
+    vtol: float = 1e-6,
+    max_step: float = 0.5,
+) -> TransientSolution:
+    """Integrate the circuit from its DC operating point to ``t_stop``.
+
+    Sources with waveforms are evaluated at each timestep; all other elements
+    contribute their DC/companion stamps.  The initial condition is the DC
+    operating point with waveform sources evaluated at ``t = 0``.
+
+    Args:
+        circuit: Circuit to simulate.
+        t_stop: End time [s].
+        dt: Fixed timestep [s].
+        initial_op: Optional pre-computed operating point to start from.
+        max_iterations: Newton iterations per timestep.
+        abstol: Residual-current tolerance [A].
+        vtol: Voltage-update tolerance [V].
+        max_step: Per-iteration node-voltage step limit [V].
+
+    Returns:
+        A :class:`TransientSolution` with a waveform per node.
+    """
+    circuit.ensure_indices()
+    if initial_op is None:
+        initial_op = dc_operating_point(circuit)
+    num_steps = max(int(round(t_stop / dt)), 1)
+    times = np.linspace(0.0, num_steps * dt, num_steps + 1)
+    n = circuit.num_unknowns
+    solutions = np.zeros((len(times), n), dtype=float)
+    solutions[0] = initial_op.x
+
+    all_converged = initial_op.converged
+    x_prev = initial_op.x.copy()
+    for step in range(1, len(times)):
+        time = times[step]
+        x, converged = _solve_timestep(
+            circuit,
+            x_prev,
+            x_prev,
+            dt,
+            time,
+            max_iterations,
+            abstol,
+            vtol,
+            max_step,
+        )
+        all_converged = all_converged and converged
+        solutions[step] = x
+        x_prev = x
+
+    return TransientSolution(
+        circuit=circuit, times=times, x=solutions, converged=all_converged
+    )
+
+
+def step_waveform(
+    t_step: float, before: float, after: float, rise_time: float = 1e-9
+):
+    """A step stimulus ``before -> after`` at ``t_step`` with linear rise."""
+
+    def waveform(t: float) -> float:
+        if t <= t_step:
+            return before
+        if t >= t_step + rise_time:
+            return after
+        frac = (t - t_step) / rise_time
+        return before + frac * (after - before)
+
+    return waveform
+
+
+def pulse_waveform(
+    t_start: float,
+    duration: float,
+    low: float,
+    high: float,
+    edge_time: float = 1e-9,
+):
+    """A rectangular pulse from ``low`` to ``high`` with linear edges."""
+
+    rise = step_waveform(t_start, low, high, edge_time)
+    fall = step_waveform(t_start + duration, 0.0, low - high, edge_time)
+
+    def waveform(t: float) -> float:
+        return rise(t) + fall(t)
+
+    return waveform

@@ -1,0 +1,40 @@
+"""Synthetic process design kit (PDK) used by the GCN-RL reproduction.
+
+The paper sizes circuits in commercial 180nm technology and ports designs
+between 250, 180, 130, 65 and 45nm nodes.  Commercial PDKs are proprietary,
+so this package provides a synthetic but physically-consistent family of
+technology nodes.  Each :class:`TechnologyNode` carries:
+
+* level-1 style MOSFET model cards for NMOS and PMOS devices (threshold
+  voltage, mobility, oxide thickness, channel-length modulation, velocity
+  saturation, flicker-noise coefficient, ...),
+* the per-node *model feature vector* ``(Vsat, Vth0, Vfb, u0, Uc)`` that the
+  paper uses as part of the RL state,
+* sizing bounds and grids (minimum length/width, manufacturing grid), and
+* supply voltage and passive-component ranges.
+
+The node parameters follow standard constant-field scaling trends so that a
+design ported from 180nm to 45nm sees qualitatively realistic shifts (lower
+supply, lower threshold, thinner oxide, higher transconductance per width).
+"""
+
+from repro.technology.mosfet_model import MOSFETModelCard, small_signal_params
+from repro.technology.node import DeviceLimits, PassiveLimits, TechnologyNode
+from repro.technology.pdk import (
+    AVAILABLE_NODES,
+    get_node,
+    list_nodes,
+    register_node,
+)
+
+__all__ = [
+    "MOSFETModelCard",
+    "small_signal_params",
+    "DeviceLimits",
+    "PassiveLimits",
+    "TechnologyNode",
+    "AVAILABLE_NODES",
+    "get_node",
+    "list_nodes",
+    "register_node",
+]

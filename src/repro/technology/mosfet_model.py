@@ -1,0 +1,205 @@
+"""Level-1 style MOSFET model cards and small-signal parameter extraction.
+
+The simulator in :mod:`repro.spice` evaluates a square-law (SPICE level-1)
+MOSFET with channel-length modulation and a simple velocity-saturation
+correction.  The model card also exposes the five "model features" that the
+paper feeds to the RL agent state vector: ``Vsat``, ``Vth0``, ``Vfb``, ``u0``
+and ``Uc``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+EPS_OX = 3.45e-11  # permittivity of SiO2 [F/m]
+BOLTZMANN_Q = 0.02585  # thermal voltage kT/q at 300K [V]
+
+
+@dataclass(frozen=True)
+class MOSFETModelCard:
+    """Model card for one MOSFET flavour (NMOS or PMOS) in one technology node.
+
+    All quantities are in SI units unless noted.  The card is intentionally
+    close to a SPICE level-1 card augmented with the mobility-degradation and
+    velocity-saturation coefficients that appear in the paper's state vector.
+
+    Attributes:
+        name: Human-readable card name, e.g. ``"nmos_180"``.
+        polarity: ``+1`` for NMOS, ``-1`` for PMOS.
+        vth0: Zero-bias threshold voltage magnitude [V].
+        u0: Low-field mobility [m^2/Vs].
+        tox: Gate-oxide thickness [m].
+        lambda_: Channel-length modulation coefficient at unit length [1/V*um].
+        vsat: Saturation velocity [m/s].
+        vfb: Flat-band voltage [V].
+        uc: Mobility degradation coefficient w.r.t. vertical field [m/V].
+        gamma: Body-effect coefficient [sqrt(V)].
+        phi: Surface potential [V].
+        cj: Junction capacitance per area [F/m^2].
+        cgso: Gate-source overlap capacitance per width [F/m].
+        kf: Flicker-noise coefficient.
+        af: Flicker-noise exponent.
+    """
+
+    name: str
+    polarity: int
+    vth0: float
+    u0: float
+    tox: float
+    lambda_: float
+    vsat: float
+    vfb: float
+    uc: float
+    gamma: float = 0.45
+    phi: float = 0.85
+    cj: float = 1.0e-3
+    cgso: float = 2.0e-10
+    kf: float = 1.0e-25
+    af: float = 1.0
+
+    @property
+    def cox(self) -> float:
+        """Oxide capacitance per unit area [F/m^2]."""
+        return EPS_OX / self.tox
+
+    @property
+    def kp(self) -> float:
+        """Transconductance parameter ``u0 * Cox`` [A/V^2]."""
+        return self.u0 * self.cox
+
+    def feature_vector(self) -> Dict[str, float]:
+        """The five model features used in the paper's RL state vector."""
+        return {
+            "vsat": self.vsat,
+            "vth0": self.vth0,
+            "vfb": self.vfb,
+            "u0": self.u0,
+            "uc": self.uc,
+        }
+
+    def effective_mobility(self, vgs_overdrive: float) -> float:
+        """Mobility reduced by the vertical field (simple Uc degradation)."""
+        degradation = 1.0 + self.uc * max(vgs_overdrive, 0.0) / self.tox
+        return self.u0 / degradation
+
+    def lambda_for_length(self, length: float) -> float:
+        """Channel-length modulation for a device of gate length ``length`` [m]."""
+        length_um = max(length, 1e-9) * 1e6
+        return self.lambda_ / length_um
+
+
+@dataclass
+class OperatingPoint:
+    """Small-signal operating point of a single MOSFET."""
+
+    region: str
+    ids: float
+    vgs: float
+    vds: float
+    vth: float
+    gm: float = 0.0
+    gds: float = 0.0
+    gmb: float = 0.0
+    cgs: float = 0.0
+    cgd: float = 0.0
+    cdb: float = 0.0
+    field_extra: Dict[str, float] = field(default_factory=dict)
+
+
+def small_signal_params(
+    card: MOSFETModelCard,
+    width: float,
+    length: float,
+    vgs: float,
+    vds: float,
+    vsb: float = 0.0,
+) -> OperatingPoint:
+    """Evaluate the square-law model and return the small-signal parameters.
+
+    Voltages are given in the device's own polarity convention (i.e. already
+    multiplied by the polarity for PMOS), so ``vgs`` and ``vds`` are positive
+    for a conducting device of either flavour.
+
+    Args:
+        card: Model card of the device.
+        width: Gate width [m].
+        length: Gate length [m].
+        vgs: Gate-source voltage (polarity-normalised) [V].
+        vds: Drain-source voltage (polarity-normalised) [V].
+        vsb: Source-bulk voltage (polarity-normalised) [V].
+
+    Returns:
+        An :class:`OperatingPoint` with drain current and derivatives.
+    """
+    vth = card.vth0
+    if vsb > 0:
+        vth = card.vth0 + card.gamma * (
+            math.sqrt(card.phi + vsb) - math.sqrt(card.phi)
+        )
+    vov = vgs - vth
+    lam = card.lambda_for_length(length)
+    beta = card.effective_mobility(vov) * card.cox * width / length
+
+    cgs_ov = card.cgso * width
+    cgd_ov = card.cgso * width
+    c_channel = card.cox * width * length
+
+    if vov <= 0:
+        # Sub-threshold: model as a tiny exponential leakage so DC Newton
+        # iterations see a smooth (non-zero-derivative) characteristic.
+        i_leak = beta * BOLTZMANN_Q**2 * math.exp(vov / (1.5 * BOLTZMANN_Q))
+        ids = i_leak * (1.0 - math.exp(-max(vds, 0.0) / BOLTZMANN_Q))
+        gm = i_leak / (1.5 * BOLTZMANN_Q)
+        gds = i_leak * math.exp(-max(vds, 0.0) / BOLTZMANN_Q) / BOLTZMANN_Q
+        return OperatingPoint(
+            region="cutoff",
+            ids=ids,
+            vgs=vgs,
+            vds=vds,
+            vth=vth,
+            gm=gm,
+            gds=max(gds, 1e-12),
+            gmb=0.2 * gm,
+            cgs=cgs_ov,
+            cgd=cgd_ov,
+            cdb=card.cj * width * length,
+        )
+
+    # Velocity-saturation limited overdrive.
+    vdsat_vel = card.vsat * length / max(card.effective_mobility(vov), 1e-6)
+    vdsat = min(vov, vdsat_vel) if vdsat_vel > 0 else vov
+
+    if vds >= vdsat:
+        ids = 0.5 * beta * vdsat * (2 * vov - vdsat) * (1.0 + lam * vds)
+        gm = beta * vdsat * (1.0 + lam * vds)
+        gds = 0.5 * beta * vdsat * (2 * vov - vdsat) * lam
+        region = "saturation"
+        cgs = cgs_ov + 2.0 / 3.0 * c_channel
+        cgd = cgd_ov
+    else:
+        ids = beta * (vov * vds - 0.5 * vds * vds) * (1.0 + lam * vds)
+        gm = beta * vds * (1.0 + lam * vds)
+        gds = beta * (vov - vds) * (1.0 + lam * vds) + beta * (
+            vov * vds - 0.5 * vds * vds
+        ) * lam
+        region = "triode"
+        cgs = cgs_ov + 0.5 * c_channel
+        cgd = cgd_ov + 0.5 * c_channel
+
+    gmb = 0.2 * gm
+    cdb = card.cj * width * length
+    return OperatingPoint(
+        region=region,
+        ids=ids,
+        vgs=vgs,
+        vds=vds,
+        vth=vth,
+        gm=gm,
+        gds=max(gds, 1e-12),
+        gmb=gmb,
+        cgs=cgs,
+        cgd=cgd,
+        cdb=cdb,
+    )

@@ -1,0 +1,122 @@
+"""Technology-node abstraction for the synthetic PDK."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.technology.mosfet_model import MOSFETModelCard
+
+
+@dataclass(frozen=True)
+class DeviceLimits:
+    """Sizing limits for MOSFETs in a technology node (meters)."""
+
+    min_length: float
+    max_length: float
+    min_width: float
+    max_width: float
+    grid: float
+    min_multiplier: int = 1
+    max_multiplier: int = 32
+
+    def clamp_length(self, value: float) -> float:
+        """Clamp and snap a gate length to the manufacturing grid."""
+        return _snap(value, self.min_length, self.max_length, self.grid)
+
+    def clamp_width(self, value: float) -> float:
+        """Clamp and snap a gate width to the manufacturing grid."""
+        return _snap(value, self.min_width, self.max_width, self.grid)
+
+    def clamp_multiplier(self, value: float) -> int:
+        """Clamp and round a device multiplier (number of fingers)."""
+        rounded = int(round(value))
+        return max(self.min_multiplier, min(self.max_multiplier, rounded))
+
+
+@dataclass(frozen=True)
+class PassiveLimits:
+    """Value limits for resistors and capacitors in a technology node."""
+
+    min_resistance: float
+    max_resistance: float
+    min_capacitance: float
+    max_capacitance: float
+
+    def clamp_resistance(self, value: float) -> float:
+        """Clamp a resistance to the supported range."""
+        return min(max(value, self.min_resistance), self.max_resistance)
+
+    def clamp_capacitance(self, value: float) -> float:
+        """Clamp a capacitance to the supported range."""
+        return min(max(value, self.min_capacitance), self.max_capacitance)
+
+
+def _snap(value: float, lower: float, upper: float, grid: float) -> float:
+    clamped = min(max(value, lower), upper)
+    if grid <= 0:
+        return clamped
+    snapped = round(clamped / grid) * grid
+    return min(max(snapped, lower), upper)
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A synthetic technology node.
+
+    Attributes:
+        name: Node name, e.g. ``"180nm"``.
+        feature_size: Minimum drawn gate length [m].
+        vdd: Nominal supply voltage [V].
+        nmos: NMOS model card.
+        pmos: PMOS model card.
+        mos_limits: MOSFET sizing limits.
+        passive_limits: Resistor/capacitor value limits.
+    """
+
+    name: str
+    feature_size: float
+    vdd: float
+    nmos: MOSFETModelCard
+    pmos: MOSFETModelCard
+    mos_limits: DeviceLimits
+    passive_limits: PassiveLimits
+
+    def model_card(self, device_type: str) -> MOSFETModelCard:
+        """Return the model card for ``"nmos"`` or ``"pmos"`` devices."""
+        key = device_type.lower()
+        if key == "nmos":
+            return self.nmos
+        if key == "pmos":
+            return self.pmos
+        raise KeyError(f"unknown MOSFET flavour: {device_type!r}")
+
+    def feature_vector(self, device_type: str) -> List[float]:
+        """Model-feature vector (Vsat, Vth0, Vfb, u0, Uc) for the RL state.
+
+        Resistors and capacitors have no MOSFET model card; the paper sets
+        their model features to zero, which is reproduced here.
+        """
+        key = device_type.lower()
+        if key in ("resistor", "capacitor", "r", "c"):
+            return [0.0, 0.0, 0.0, 0.0, 0.0]
+        card = self.model_card(key)
+        features = card.feature_vector()
+        return [
+            features["vsat"],
+            features["vth0"],
+            features["vfb"],
+            features["u0"],
+            features["uc"],
+        ]
+
+    def describe(self) -> Dict[str, float]:
+        """A compact numeric summary of the node (used in reports/tests)."""
+        return {
+            "feature_size": self.feature_size,
+            "vdd": self.vdd,
+            "nmos_vth0": self.nmos.vth0,
+            "pmos_vth0": self.pmos.vth0,
+            "nmos_kp": self.nmos.kp,
+            "pmos_kp": self.pmos.kp,
+        }

@@ -1,0 +1,169 @@
+"""Registry of synthetic technology nodes (250, 180, 130, 65 and 45nm).
+
+The node parameters follow classic scaling trends: smaller nodes have thinner
+oxide (larger Cox), lower supply and threshold voltages, shorter minimum
+lengths and slightly lower channel-length-modulation output resistance.  The
+absolute values are representative of published generic PDKs rather than any
+proprietary foundry kit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.technology.mosfet_model import MOSFETModelCard
+from repro.technology.node import DeviceLimits, PassiveLimits, TechnologyNode
+
+#: Per-node scalar parameters used to construct the model cards.
+_NODE_TABLE: Dict[str, Dict[str, float]] = {
+    "250nm": {
+        "feature": 250e-9,
+        "vdd": 2.5,
+        "nmos_vth": 0.55,
+        "pmos_vth": 0.60,
+        "tox": 5.7e-9,
+        "nmos_u0": 0.0430,
+        "pmos_u0": 0.0155,
+        "lambda": 0.045,
+        "vsat": 8.0e4,
+        "nmos_vfb": -0.95,
+        "pmos_vfb": 0.90,
+        "uc": 3.2e-10,
+        "kf": 3.0e-25,
+    },
+    "180nm": {
+        "feature": 180e-9,
+        "vdd": 1.8,
+        "nmos_vth": 0.45,
+        "pmos_vth": 0.50,
+        "tox": 4.1e-9,
+        "nmos_u0": 0.0380,
+        "pmos_u0": 0.0135,
+        "lambda": 0.060,
+        "vsat": 9.0e4,
+        "nmos_vfb": -0.90,
+        "pmos_vfb": 0.85,
+        "uc": 4.0e-10,
+        "kf": 2.5e-25,
+    },
+    "130nm": {
+        "feature": 130e-9,
+        "vdd": 1.5,
+        "nmos_vth": 0.38,
+        "pmos_vth": 0.42,
+        "tox": 3.2e-9,
+        "nmos_u0": 0.0340,
+        "pmos_u0": 0.0120,
+        "lambda": 0.080,
+        "vsat": 9.5e4,
+        "nmos_vfb": -0.88,
+        "pmos_vfb": 0.84,
+        "uc": 5.0e-10,
+        "kf": 2.0e-25,
+    },
+    "65nm": {
+        "feature": 65e-9,
+        "vdd": 1.2,
+        "nmos_vth": 0.32,
+        "pmos_vth": 0.35,
+        "tox": 2.1e-9,
+        "nmos_u0": 0.0280,
+        "pmos_u0": 0.0100,
+        "lambda": 0.110,
+        "vsat": 1.05e5,
+        "nmos_vfb": -0.85,
+        "pmos_vfb": 0.82,
+        "uc": 7.0e-10,
+        "kf": 1.5e-25,
+    },
+    "45nm": {
+        "feature": 45e-9,
+        "vdd": 1.1,
+        "nmos_vth": 0.30,
+        "pmos_vth": 0.32,
+        "tox": 1.7e-9,
+        "nmos_u0": 0.0250,
+        "pmos_u0": 0.0090,
+        "lambda": 0.130,
+        "vsat": 1.10e5,
+        "nmos_vfb": -0.83,
+        "pmos_vfb": 0.80,
+        "uc": 9.0e-10,
+        "kf": 1.2e-25,
+    },
+}
+
+
+def _build_node(name: str, spec: Dict[str, float]) -> TechnologyNode:
+    nmos = MOSFETModelCard(
+        name=f"nmos_{name}",
+        polarity=+1,
+        vth0=spec["nmos_vth"],
+        u0=spec["nmos_u0"],
+        tox=spec["tox"],
+        lambda_=spec["lambda"],
+        vsat=spec["vsat"],
+        vfb=spec["nmos_vfb"],
+        uc=spec["uc"],
+        kf=spec["kf"],
+    )
+    pmos = MOSFETModelCard(
+        name=f"pmos_{name}",
+        polarity=-1,
+        vth0=spec["pmos_vth"],
+        u0=spec["pmos_u0"],
+        tox=spec["tox"],
+        lambda_=1.2 * spec["lambda"],
+        vsat=0.85 * spec["vsat"],
+        vfb=spec["pmos_vfb"],
+        uc=spec["uc"],
+        kf=2.0 * spec["kf"],
+    )
+    feature = spec["feature"]
+    mos_limits = DeviceLimits(
+        min_length=feature,
+        max_length=20 * feature,
+        min_width=2 * feature,
+        max_width=2000 * feature,
+        grid=feature / 10.0,
+    )
+    passive_limits = PassiveLimits(
+        min_resistance=10.0,
+        max_resistance=1.0e6,
+        min_capacitance=1.0e-15,
+        max_capacitance=5.0e-11,
+    )
+    return TechnologyNode(
+        name=name,
+        feature_size=feature,
+        vdd=spec["vdd"],
+        nmos=nmos,
+        pmos=pmos,
+        mos_limits=mos_limits,
+        passive_limits=passive_limits,
+    )
+
+
+#: All nodes available out of the box, keyed by name.
+AVAILABLE_NODES: Dict[str, TechnologyNode] = {
+    name: _build_node(name, spec) for name, spec in _NODE_TABLE.items()
+}
+
+
+def get_node(name: str) -> TechnologyNode:
+    """Look up a technology node by name (e.g. ``"180nm"``)."""
+    key = name.lower()
+    if key not in AVAILABLE_NODES:
+        known = ", ".join(sorted(AVAILABLE_NODES))
+        raise KeyError(f"unknown technology node {name!r}; available: {known}")
+    return AVAILABLE_NODES[key]
+
+
+def list_nodes() -> List[str]:
+    """Names of all registered nodes, largest feature size first."""
+    return sorted(AVAILABLE_NODES, key=lambda n: -AVAILABLE_NODES[n].feature_size)
+
+
+def register_node(node: TechnologyNode) -> None:
+    """Register a custom technology node (e.g. a user-calibrated PDK)."""
+    AVAILABLE_NODES[node.name.lower()] = node

@@ -1,0 +1,191 @@
+"""Tests for the component model and parameter spaces (incl. property tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.components import (
+    ComponentType,
+    MAX_ACTION_DIM,
+    TYPE_ORDER,
+    capacitor,
+    mosfet,
+    resistor,
+    validate_components,
+)
+from repro.circuits.parameters import ParameterDef, ParameterSpace
+from repro.technology import get_node
+
+
+class TestComponentSpecs:
+    def test_mosfet_action_names(self):
+        assert ComponentType.NMOS.action_names == ("w", "l", "m")
+        assert ComponentType.PMOS.action_dim == 3
+
+    def test_passive_action_names(self):
+        assert ComponentType.RESISTOR.action_names == ("r",)
+        assert ComponentType.CAPACITOR.action_names == ("c",)
+
+    def test_max_action_dim_covers_all_types(self):
+        assert MAX_ACTION_DIM == max(t.action_dim for t in TYPE_ORDER)
+
+    def test_type_one_hot_is_valid(self):
+        comp = mosfet("T1", ComponentType.PMOS, "d", "g", "s", "b")
+        one_hot = comp.type_one_hot()
+        assert sum(one_hot) == 1.0
+        assert one_hot[TYPE_ORDER.index(ComponentType.PMOS)] == 1.0
+
+    def test_mosfet_constructor_rejects_passive_type(self):
+        with pytest.raises(ValueError):
+            mosfet("T1", ComponentType.RESISTOR, "d", "g", "s", "b")
+
+    def test_validate_rejects_duplicate_names(self):
+        comps = [resistor("R1", "a", "b"), resistor("R1", "b", "c")]
+        with pytest.raises(ValueError):
+            validate_components(comps)
+
+    def test_validate_rejects_mixed_type_match_group(self):
+        comps = [
+            resistor("R1", "a", "b", match_group="m"),
+            capacitor("C1", "a", "b", match_group="m"),
+        ]
+        with pytest.raises(ValueError):
+            validate_components(comps)
+
+    def test_validate_accepts_consistent_group(self):
+        comps = [
+            mosfet("T1", ComponentType.NMOS, "d", "g", "s", "b", match_group="pair"),
+            mosfet("T2", ComponentType.NMOS, "d2", "g2", "s", "b", match_group="pair"),
+        ]
+        validate_components(comps)
+
+
+@pytest.fixture(scope="module")
+def simple_space():
+    tech = get_node("180nm")
+    comps = [
+        mosfet("T1", ComponentType.NMOS, "d", "g", "s", "b", match_group="pair"),
+        mosfet("T2", ComponentType.NMOS, "d2", "g2", "s", "b", match_group="pair"),
+        resistor("R1", "d", "out"),
+        capacitor("C1", "out", "0"),
+    ]
+    return ParameterSpace(comps, tech)
+
+
+class TestParameterDef:
+    def test_denormalize_bounds(self):
+        p = ParameterDef("X", "r", 10.0, 1000.0, log_scale=True)
+        assert p.denormalize(-1.0) == pytest.approx(10.0)
+        assert p.denormalize(1.0) == pytest.approx(1000.0)
+        assert p.denormalize(0.0) == pytest.approx(100.0)
+
+    def test_denormalize_linear_scale(self):
+        p = ParameterDef("X", "m", 1.0, 9.0, log_scale=False)
+        assert p.denormalize(0.0) == pytest.approx(5.0)
+
+    def test_denormalize_clips_out_of_range_actions(self):
+        p = ParameterDef("X", "r", 10.0, 1000.0)
+        assert p.denormalize(-5.0) == pytest.approx(10.0)
+        assert p.denormalize(5.0) == pytest.approx(1000.0)
+
+    def test_integer_parameter_rounds(self):
+        p = ParameterDef("X", "m", 1.0, 32.0, log_scale=False, integer=True)
+        assert p.denormalize(0.013) == round(p.denormalize(0.013))
+
+    def test_grid_snapping(self):
+        p = ParameterDef("X", "w", 1e-6, 1e-5, log_scale=False, grid=1e-7)
+        value = p.refine(3.456e-6)
+        assert abs(value / 1e-7 - round(value / 1e-7)) < 1e-9
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_normalize_denormalize_roundtrip(self, action):
+        p = ParameterDef("X", "r", 10.0, 1e6, log_scale=True)
+        value = p.denormalize(action)
+        back = p.normalize(value)
+        assert back == pytest.approx(action, abs=1e-6)
+
+    @given(st.floats(min_value=-3.0, max_value=3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_denormalized_value_always_in_bounds(self, action):
+        p = ParameterDef("X", "w", 3.6e-7, 3.6e-4, log_scale=True, grid=1.8e-8)
+        value = p.denormalize(action)
+        assert p.lower <= value <= p.upper
+
+
+class TestParameterSpace:
+    def test_dimension_counts_all_parameters(self, simple_space):
+        # 2 MOSFETs x 3 + 1 resistor + 1 capacitor = 8
+        assert simple_space.dimension == 8
+
+    def test_vector_roundtrip(self, simple_space, rng):
+        sizing = simple_space.random_sizing(rng)
+        vector = simple_space.sizing_to_vector(sizing)
+        back = simple_space.vector_to_sizing(vector)
+        assert simple_space.sizing_to_vector(back) == pytest.approx(vector, rel=1e-9)
+
+    def test_vector_length_mismatch_raises(self, simple_space):
+        with pytest.raises(ValueError):
+            simple_space.vector_to_sizing([1.0, 2.0])
+
+    def test_matching_group_forces_equal_sizes(self, simple_space, rng):
+        sizing = simple_space.random_sizing(rng)
+        assert sizing["T1"] == sizing["T2"]
+
+    def test_actions_to_sizing_respects_matching(self, simple_space):
+        actions = {
+            "T1": [1.0, 1.0, 1.0],
+            "T2": [-1.0, -1.0, -1.0],
+            "R1": [0.0],
+            "C1": [0.0],
+        }
+        sizing = simple_space.actions_to_sizing(actions)
+        assert sizing["T1"]["w"] == pytest.approx(sizing["T2"]["w"])
+        assert sizing["T1"]["l"] == pytest.approx(sizing["T2"]["l"])
+
+    def test_center_sizing_is_within_bounds(self, simple_space):
+        sizing = simple_space.center_sizing()
+        lower, upper = simple_space.bounds_arrays()
+        vector = simple_space.sizing_to_vector(sizing)
+        assert np.all(vector >= lower - 1e-12)
+        assert np.all(vector <= upper + 1e-12)
+
+    def test_clip_vector(self, simple_space):
+        lower, upper = simple_space.bounds_arrays()
+        clipped = simple_space.clip_vector(upper * 10)
+        assert np.all(clipped <= upper + 1e-12)
+
+    def test_multiplier_is_integer_valued(self, simple_space, rng):
+        sizing = simple_space.random_sizing(rng)
+        assert sizing["T1"]["m"] == int(sizing["T1"]["m"])
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_sizing_always_within_bounds(self, seed):
+        tech = get_node("180nm")
+        comps = [
+            mosfet("T1", ComponentType.NMOS, "d", "g", "s", "b"),
+            resistor("R1", "d", "out"),
+        ]
+        space = ParameterSpace(comps, tech)
+        sizing = space.random_sizing(np.random.default_rng(seed))
+        vector = space.sizing_to_vector(sizing)
+        lower, upper = space.bounds_arrays()
+        assert np.all(vector >= lower - 1e-12)
+        assert np.all(vector <= upper + 1e-12)
+
+    def test_sizing_to_actions_roundtrip(self, simple_space, rng):
+        sizing = simple_space.random_sizing(rng)
+        actions = simple_space.sizing_to_actions(sizing)
+        back = simple_space.actions_to_sizing(actions)
+        for name in sizing:
+            for key in sizing[name]:
+                assert back[name][key] == pytest.approx(
+                    sizing[name][key], rel=1e-6, abs=1e-12
+                )
+
+    def test_component_definitions_lookup(self, simple_space):
+        defs = simple_space.component_definitions("R1")
+        assert len(defs) == 1
+        assert defs[0].name == "r"

@@ -1,0 +1,177 @@
+"""Tests for the experiment harness (runner, records, tables, figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    CIRCUIT_LABELS,
+    ExperimentSettings,
+    METHOD_LABELS,
+    RunRecord,
+    Table,
+    aggregate,
+    clear_run_cache,
+    figure5_learning_curves,
+    max_learning_curve,
+    mean_learning_curve,
+    run_method,
+    run_methods,
+    table1_fom_comparison,
+)
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.figures import FigureData
+
+
+def tiny_settings(**overrides):
+    settings = ExperimentSettings()
+    settings.steps = 6
+    settings.seeds = 1
+    settings.pretrain_steps = 6
+    settings.transfer_steps = 5
+    settings.transfer_warmup = 2
+    settings.circuits = ["two_tia"]
+    settings.methods = ["human", "random", "gcn_rl"]
+    for key, value in overrides.items():
+        setattr(settings, key, value)
+    return settings
+
+
+class TestSettings:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STEPS", "123")
+        assert ExperimentSettings().steps == 123
+
+    def test_invalid_env_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STEPS", "not_a_number")
+        assert ExperimentSettings().steps == 80
+
+    def test_rl_warmup_bounded(self):
+        settings = ExperimentSettings()
+        assert settings.rl_warmup(10) < 10
+        assert settings.rl_warmup(10000) >= 5
+
+    def test_labels_cover_all_defaults(self):
+        settings = ExperimentSettings()
+        assert set(settings.methods) <= set(METHOD_LABELS)
+        assert set(settings.circuits) <= set(CIRCUIT_LABELS)
+
+
+class TestRecords:
+    def _records(self):
+        return [
+            RunRecord("random", "two_tia", "180nm", 0, 5, 1.0, rewards=[0.2, 1.0, 0.5]),
+            RunRecord("random", "two_tia", "180nm", 1, 5, 2.0, rewards=[0.1, 2.0, 1.5]),
+        ]
+
+    def test_aggregate_mean_std(self):
+        agg = aggregate(self._records())
+        assert agg.mean == pytest.approx(1.5)
+        assert agg.std == pytest.approx(0.5)
+        assert "±" in str(agg)
+
+    def test_aggregate_empty(self):
+        agg = aggregate([])
+        assert agg.count == 0
+
+    def test_best_so_far_monotone(self):
+        record = self._records()[0]
+        curve = record.best_so_far()
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_mean_and_max_learning_curves(self):
+        records = self._records()
+        mean_curve = mean_learning_curve(records)
+        max_curve = max_learning_curve(records)
+        assert len(mean_curve) == 3
+        assert np.all(max_curve >= mean_curve - 1e-12)
+
+
+class TestRunner:
+    def test_human_method_single_evaluation(self):
+        record = run_method("human", "two_tia", steps=10, use_cache=False)
+        assert record.steps == 1
+        assert record.best_metrics["gain"] > 0
+
+    def test_random_method_runs_requested_steps(self):
+        record = run_method("random", "two_tia", steps=4, seed=0, use_cache=False)
+        assert len(record.rewards) == 4
+
+    def test_rl_method_runs(self):
+        settings = tiny_settings()
+        record = run_method(
+            "gcn_rl", "two_tia", steps=5, seed=0, settings=settings, use_cache=False
+        )
+        assert len(record.rewards) == 5
+        assert np.isfinite(record.best_reward)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            run_method("gradient_descent", "two_tia", use_cache=False)
+
+    def test_run_cache_returns_same_object(self):
+        clear_run_cache()
+        first = run_method("random", "two_tia", steps=3, seed=7)
+        second = run_method("random", "two_tia", steps=3, seed=7)
+        assert first is second
+        clear_run_cache()
+
+    def test_run_methods_uses_single_seed_for_human(self):
+        settings = tiny_settings(methods=["human", "random"], seeds=2)
+        results = run_methods(settings.methods, "two_tia", settings)
+        assert len(results["human"]) == 1
+        assert len(results["random"]) == 2
+
+
+class TestTablesAndFigures:
+    def test_table_render_alignment(self):
+        table = Table("T", ["row_a"], ["col"])
+        table.set("row_a", "col", "1.0")
+        text = table.render()
+        assert "row_a" in text and "col" in text and "1.0" in text
+
+    def test_table1_structure_with_tiny_budget(self):
+        clear_run_cache()
+        settings = tiny_settings()
+        table = table1_fom_comparison(settings)
+        assert table.row_labels == ["Human", "Random", "GCN-RL"]
+        assert table.column_labels == ["Two-TIA"]
+        assert table.get("Random", "Two-TIA") != ""
+        clear_run_cache()
+
+    def test_figure5_series_shapes(self):
+        clear_run_cache()
+        settings = tiny_settings(methods=["random", "gcn_rl"])
+        figures = figure5_learning_curves(settings)
+        figure = figures["two_tia"]
+        assert set(figure.series) == {"Random", "GCN-RL"}
+        for series in figure.series.values():
+            assert len(series) == settings.steps
+        clear_run_cache()
+
+    def test_figure_csv_and_ascii_export(self):
+        figure = FigureData("demo", "step", "fom")
+        figure.add_series("A", np.array([0.0, 0.5, 1.0]))
+        figure.add_series("B", np.array([0.1, 0.2, 0.3]))
+        csv = figure.to_csv()
+        assert csv.splitlines()[0] == "step,A,B"
+        ascii_plot = figure.render_ascii(width=20, height=5)
+        assert "legend" in ascii_plot
+
+    def test_empty_figure_renders(self):
+        figure = FigureData("empty", "x", "y")
+        assert "no data" in figure.render_ascii()
+        assert figure.to_csv().startswith("step")
+
+
+class TestCLI:
+    def test_cli_table1_smoke(self, capsys, monkeypatch):
+        clear_run_cache()
+        monkeypatch.setenv("REPRO_STEPS", "4")
+        monkeypatch.setenv("REPRO_SEEDS", "1")
+        monkeypatch.setenv("REPRO_CIRCUITS", "two_tia")
+        monkeypatch.setenv("REPRO_METHODS", "human,random")
+        exit_code = cli_main(["table1", "--steps", "4", "--seeds", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table I" in captured.out
+        clear_run_cache()

@@ -1,0 +1,202 @@
+"""Tests for the FoM (Equation 2) and the sizing environment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import get_circuit
+from repro.circuits.base import SpecLimit
+from repro.env import (
+    FoMConfig,
+    MetricNormalization,
+    SPEC_VIOLATION_FOM,
+    SizingEnvironment,
+    calibrate_normalization,
+    default_fom_config,
+)
+
+
+def make_norm():
+    return MetricNormalization(
+        minimum={"gain": 0.0, "power": 0.0}, maximum={"gain": 100.0, "power": 1.0}
+    )
+
+
+class TestMetricNormalization:
+    def test_normalize_maps_range_to_unit_interval(self):
+        norm = make_norm()
+        assert norm.normalize("gain", 0.0) == 0.0
+        assert norm.normalize("gain", 100.0) == 1.0
+        assert norm.normalize("gain", 50.0) == pytest.approx(0.5)
+
+    def test_normalize_clips_outliers(self):
+        norm = make_norm()
+        assert norm.normalize("gain", 1e9) == 1.0
+        assert norm.normalize("gain", -5.0) == 0.0
+
+    def test_json_roundtrip(self):
+        norm = make_norm()
+        restored = MetricNormalization.from_json(norm.to_json())
+        assert restored.minimum == norm.minimum
+        assert restored.maximum == norm.maximum
+
+    def test_from_samples_excludes_failures(self):
+        samples = [
+            {"gain": 10.0, "simulation_failed": 0.0},
+            {"gain": 20.0, "simulation_failed": 0.0},
+            {"gain": 1e12, "simulation_failed": 1.0},
+        ]
+        norm = MetricNormalization.from_samples(samples, ["gain"])
+        assert norm.maximum["gain"] < 1e6
+
+    def test_from_samples_handles_constant_metric(self):
+        samples = [{"gain": 5.0}, {"gain": 5.0}]
+        norm = MetricNormalization.from_samples(samples, ["gain"])
+        assert norm.maximum["gain"] > norm.minimum["gain"]
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_values_always_in_unit_interval(self, values):
+        samples = [{"m": v} for v in values]
+        norm = MetricNormalization.from_samples(samples, ["m"])
+        for v in values:
+            assert 0.0 <= norm.normalize("m", v) <= 1.0
+
+
+class TestFoMConfig:
+    def test_weighted_sum(self):
+        config = FoMConfig(
+            weights={"gain": 1.0, "power": -1.0}, normalization=make_norm()
+        )
+        fom = config.compute({"gain": 100.0, "power": 0.5})
+        assert fom == pytest.approx(1.0 - 0.5)
+
+    def test_spec_violation_returns_negative_value(self):
+        config = FoMConfig(
+            weights={"gain": 1.0},
+            normalization=make_norm(),
+            spec_limits=[SpecLimit("gain", "min", 50.0)],
+        )
+        assert config.compute({"gain": 10.0}) == SPEC_VIOLATION_FOM
+        assert config.compute({"gain": 60.0}) > 0
+
+    def test_simulation_failure_returns_negative_value(self):
+        config = FoMConfig(weights={"gain": 1.0}, normalization=make_norm())
+        assert config.compute({"gain": 10.0, "simulation_failed": 1.0}) == SPEC_VIOLATION_FOM
+
+    def test_bound_caps_metric_contribution(self):
+        config = FoMConfig(
+            weights={"gain": 1.0},
+            normalization=make_norm(),
+            bounds={"gain": 50.0},
+        )
+        assert config.compute({"gain": 100.0}) == pytest.approx(0.5)
+
+    def test_nan_metric_is_rejected(self):
+        config = FoMConfig(weights={"gain": 1.0}, normalization=make_norm())
+        assert config.compute({"gain": float("nan")}) == SPEC_VIOLATION_FOM
+
+    def test_reweighted_scales_selected_metric(self):
+        config = FoMConfig(
+            weights={"gain": 1.0, "power": -1.0}, normalization=make_norm()
+        )
+        emphasised = config.reweighted({"gain": 10.0})
+        assert emphasised.weights["gain"] == 10.0
+        assert emphasised.weights["power"] == -1.0
+        assert config.weights["gain"] == 1.0  # original untouched
+
+    def test_missing_metric_is_ignored(self):
+        config = FoMConfig(
+            weights={"gain": 1.0, "unknown": 1.0}, normalization=make_norm()
+        )
+        assert config.compute({"gain": 100.0}) == pytest.approx(1.0)
+
+
+class TestCalibration:
+    def test_calibration_cached_and_deterministic(self, two_tia):
+        first = calibrate_normalization(two_tia, num_samples=5)
+        second = calibrate_normalization(two_tia, num_samples=5)
+        assert first.minimum == second.minimum
+
+    def test_default_fom_config_uses_circuit_weights(self, two_tia):
+        config = default_fom_config(two_tia)
+        assert config.weights == two_tia.default_weights()
+
+    def test_weight_overrides_applied(self, two_tia):
+        config = default_fom_config(two_tia, weight_overrides={"bandwidth": 10.0})
+        assert config.weights["bandwidth"] == 10.0
+
+
+class TestSizingEnvironment:
+    def test_state_matrix_shape(self, two_tia_env):
+        states, adjacency = two_tia_env.observe()
+        n = two_tia_env.num_components
+        assert states.shape == (n, two_tia_env.state_dim)
+        assert adjacency.shape == (n, n)
+
+    def test_state_dim_one_hot_vs_transferable(self, two_tia):
+        one_hot_env = SizingEnvironment(two_tia)
+        transferable_env = SizingEnvironment(two_tia, transferable_state=True)
+        assert one_hot_env.state_dim == two_tia.num_components + 4 + 5
+        assert transferable_env.state_dim == 1 + 4 + 5
+
+    def test_transferable_state_dim_is_topology_independent(self):
+        env_a = SizingEnvironment(get_circuit("two_tia"), transferable_state=True)
+        env_b = SizingEnvironment(get_circuit("three_tia"), transferable_state=True)
+        assert env_a.state_dim == env_b.state_dim
+
+    def test_states_are_standardised(self, two_tia_env):
+        states, _ = two_tia_env.observe()
+        means = states.mean(axis=0)
+        assert np.all(np.abs(means) < 1e-8)
+
+    def test_step_records_history_and_best(self, two_tia_env):
+        two_tia_env.reset_history()
+        actions = np.zeros((two_tia_env.num_components, two_tia_env.action_dim))
+        result = two_tia_env.step(actions)
+        assert len(two_tia_env.history) == 1
+        assert two_tia_env.best_reward == result.reward
+        assert two_tia_env.best_sizing is not None
+
+    def test_step_with_wrong_shape_raises(self, two_tia_env):
+        with pytest.raises(ValueError):
+            two_tia_env.step(np.zeros((2, 3)))
+
+    def test_evaluate_normalized_vector_matches_actions(self, two_tia_env):
+        two_tia_env.reset_history()
+        n, d = two_tia_env.num_components, two_tia_env.action_dim
+        actions = np.full((n, d), 0.3)
+        via_actions = two_tia_env.step(actions)
+        # Build the equivalent flat vector.
+        defs = two_tia_env.circuit.parameter_space.definitions
+        vector = np.full(len(defs), 0.3)
+        via_vector = two_tia_env.evaluate_normalized_vector(vector)
+        assert via_vector.reward == pytest.approx(via_actions.reward, rel=1e-9)
+
+    def test_best_so_far_curve_is_monotone(self, two_tia_env, rng):
+        two_tia_env.reset_history()
+        for _ in range(5):
+            two_tia_env.random_step(rng)
+        curve = two_tia_env.best_so_far_curve()
+        assert len(curve) == 5
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_actions_for_sizing_roundtrip(self, two_tia_env):
+        sizing = two_tia_env.circuit.expert_sizing()
+        actions = two_tia_env.actions_for_sizing(sizing)
+        assert actions.shape == (
+            two_tia_env.num_components,
+            two_tia_env.action_dim,
+        )
+        assert np.all(actions >= -1.0) and np.all(actions <= 1.0)
+
+    def test_vector_length_mismatch_raises(self, two_tia_env):
+        with pytest.raises(ValueError):
+            two_tia_env.evaluate_normalized_vector([0.0, 0.1])

@@ -1,0 +1,234 @@
+"""Tests for the numpy NN library: layers, GCN, losses, optimizers.
+
+The backward passes are verified against finite-difference gradients, which
+is the critical correctness property for the DDPG updates built on top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    GCNLayer,
+    Identity,
+    Linear,
+    ReLU,
+    SGD,
+    Sequential,
+    Tanh,
+    clip_gradients,
+    mse_loss,
+    mse_loss_grad,
+)
+from repro.nn.module import Module, Parameter, xavier_init
+
+
+def numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = f()
+        flat[i] = old - eps
+        down = f()
+        flat[i] = old
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        layer = Linear(3, 2, np.random.default_rng(0))
+        x = np.ones((4, 3))
+        out = layer(x)
+        assert out.shape == (4, 2)
+        expected = x @ layer.weight.value + layer.bias.value
+        assert np.allclose(out, expected)
+
+    def test_backward_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+
+        def loss():
+            return mse_loss(layer.forward(x), target)
+
+        layer.zero_grad()
+        prediction = layer.forward(x)
+        layer.backward(mse_loss_grad(prediction, target))
+        numeric = numeric_grad(loss, layer.weight.value)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-5)
+
+    def test_backward_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(3, 2, rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss():
+            return mse_loss(layer.forward(x), target)
+
+        prediction = layer.forward(x)
+        grad_input = layer.backward(mse_loss_grad(prediction, target))
+        numeric = numeric_grad(loss, x)
+        assert np.allclose(grad_input, numeric, atol=1e-5)
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestActivations:
+    def test_relu_forward_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+        out = relu(x)
+        assert np.array_equal(out, [[0.0, 2.0], [3.0, 0.0]])
+        grad = relu.backward(np.ones_like(x))
+        assert np.array_equal(grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_tanh_gradient_matches_numeric(self):
+        tanh = Tanh()
+        x = np.array([[0.3, -0.7, 1.2]])
+        out = tanh(x)
+        grad = tanh.backward(np.ones_like(x))
+        assert np.allclose(grad, 1 - out**2)
+
+    def test_identity_passthrough(self):
+        layer = Identity()
+        x = np.array([[1.0, -2.0]])
+        assert np.array_equal(layer(x), x)
+        assert np.array_equal(layer.backward(x), x)
+
+    def test_sequential_composition_gradcheck(self):
+        rng = np.random.default_rng(3)
+        net = Sequential([Linear(3, 5, rng), ReLU(), Linear(5, 2, rng), Tanh()])
+        x = rng.standard_normal((6, 3))
+        target = rng.standard_normal((6, 2))
+
+        def loss():
+            return mse_loss(net.forward(x), target)
+
+        net.zero_grad()
+        prediction = net.forward(x)
+        net.backward(mse_loss_grad(prediction, target))
+        first_linear = net.layers[0]
+        numeric = numeric_grad(loss, first_linear.weight.value)
+        assert np.allclose(first_linear.weight.grad, numeric, atol=1e-5)
+
+
+class TestGCNLayer:
+    def _setup(self, activation="relu"):
+        rng = np.random.default_rng(4)
+        layer = GCNLayer(4, 3, activation=activation, rng=rng)
+        adjacency = np.array(
+            [[0.5, 0.5, 0.0], [0.5, 0.4, 0.3], [0.0, 0.3, 0.7]], dtype=float
+        )
+        h = rng.standard_normal((3, 4))
+        target = rng.standard_normal((3, 3))
+        return layer, adjacency, h, target
+
+    def test_forward_aggregates_neighbours(self):
+        layer, adjacency, h, _ = self._setup(activation="none")
+        out = layer(h, adjacency)
+        expected = adjacency @ h @ layer.weight.value + layer.bias.value
+        assert np.allclose(out, expected)
+
+    def test_weight_gradient_matches_numeric(self):
+        layer, adjacency, h, target = self._setup()
+
+        def loss():
+            return mse_loss(layer.forward(h, adjacency), target)
+
+        layer.zero_grad()
+        prediction = layer.forward(h, adjacency)
+        layer.backward(mse_loss_grad(prediction, target))
+        numeric = numeric_grad(loss, layer.weight.value)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-5)
+
+    def test_input_gradient_matches_numeric(self):
+        layer, adjacency, h, target = self._setup(activation="tanh")
+
+        def loss():
+            return mse_loss(layer.forward(h, adjacency), target)
+
+        prediction = layer.forward(h, adjacency)
+        grad_input = layer.backward(mse_loss_grad(prediction, target))
+        numeric = numeric_grad(loss, h)
+        assert np.allclose(grad_input, numeric, atol=1e-5)
+
+    def test_identity_adjacency_reduces_to_dense_layer(self):
+        layer, _, h, _ = self._setup(activation="none")
+        out = layer(h, np.eye(3))
+        expected = h @ layer.weight.value + layer.bias.value
+        assert np.allclose(out, expected)
+
+
+class TestModuleAndOptim:
+    def test_parameters_collected_recursively(self):
+        class Net(Module):
+            def __init__(self):
+                self.block = Sequential([Linear(2, 3), ReLU(), Linear(3, 1)])
+                self.extra = Parameter(np.zeros(4), name="extra")
+
+        net = Net()
+        params = net.parameters()
+        assert len(params) == 5  # 2x(weight+bias) + extra
+
+    def test_state_dict_roundtrip(self):
+        net = Sequential([Linear(2, 3), Linear(3, 1)])
+        state = net.state_dict()
+        for param in net.parameters():
+            param.value += 1.0
+        net.load_state_dict(state)
+        fresh = Sequential([Linear(2, 3), Linear(3, 1)])
+        fresh.load_state_dict(state)
+        x = np.ones((1, 2))
+        assert np.allclose(net.forward(x), fresh.forward(x))
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        net = Sequential([Linear(2, 3)])
+        other = Sequential([Linear(3, 3)])
+        with pytest.raises((ValueError, KeyError)):
+            net.load_state_dict(other.state_dict())
+
+    def test_adam_minimises_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            param.zero_grad()
+            param.grad += 2 * param.value
+            optimizer.step()
+        assert np.allclose(param.value, 0.0, atol=1e-2)
+
+    def test_sgd_with_momentum_minimises_quadratic(self):
+        param = Parameter(np.array([2.0]))
+        optimizer = SGD([param], lr=0.05, momentum=0.5)
+        for _ in range(200):
+            param.zero_grad()
+            param.grad += 2 * param.value
+            optimizer.step()
+        assert abs(param.value[0]) < 1e-2
+
+    def test_clip_gradients_scales_norm(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.array([3.0, 4.0, 0.0, 0.0])
+        norm = clip_gradients([param], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_xavier_init_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_init(rng, 10, 20)
+        bound = np.sqrt(6.0 / 30)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_mse_loss_and_grad(self):
+        prediction = np.array([1.0, 2.0])
+        target = np.array([0.0, 0.0])
+        assert mse_loss(prediction, target) == pytest.approx(2.5)
+        assert np.allclose(mse_loss_grad(prediction, target), [1.0, 2.0])

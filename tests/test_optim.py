@@ -1,0 +1,144 @@
+"""Tests for the black-box baseline optimizers (random, ES, BO, MACE)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.env import SizingEnvironment
+from repro.env.environment import StepResult
+from repro.optim import (
+    BayesianOptimization,
+    EvolutionStrategy,
+    GaussianProcess,
+    MACE,
+    RandomSearch,
+    expected_improvement,
+    get_optimizer,
+    list_optimizers,
+    pareto_front_indices,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+
+
+class QuadraticEnvironment(SizingEnvironment):
+    """Synthetic environment: reward peaks at a known point of the cube."""
+
+    def __init__(self, circuit, optimum=0.3):
+        super().__init__(circuit)
+        self.optimum = optimum
+
+    def evaluate_normalized_vector(self, vector) -> StepResult:
+        vector = np.asarray(vector, dtype=float)
+        reward = 1.0 - float(np.mean((vector - self.optimum) ** 2))
+        index = len(self.history)
+        self._record(reward, {"synthetic": reward}, {})
+        return StepResult(reward=reward, metrics={}, sizing={}, step_index=index)
+
+
+@pytest.fixture()
+def quadratic_env():
+    return QuadraticEnvironment(get_circuit("two_tia"))
+
+
+class TestRegistry:
+    def test_all_paper_baselines_registered(self):
+        assert set(list_optimizers()) == {"random", "es", "bo", "mace"}
+
+    def test_get_optimizer_unknown_raises(self, quadratic_env):
+        with pytest.raises(KeyError):
+            get_optimizer("simulated_annealing", quadratic_env)
+
+    def test_get_optimizer_builds_instance(self, quadratic_env):
+        assert isinstance(get_optimizer("es", quadratic_env), EvolutionStrategy)
+
+
+class TestGaussianProcess:
+    def test_gp_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(20, 3))
+        y = np.sin(x.sum(axis=1))
+        gp = GaussianProcess().fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.max(np.abs(mean - y)) < 0.15
+        assert np.all(std >= 0)
+
+    def test_gp_uncertainty_grows_away_from_data(self):
+        x = np.zeros((5, 2))
+        y = np.zeros(5)
+        gp = GaussianProcess().fit(x, y, tune=False)
+        _, std_near = gp.predict(np.zeros((1, 2)))
+        _, std_far = gp.predict(np.full((1, 2), 5.0))
+        assert std_far[0] > std_near[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_acquisition_functions_prefer_high_mean(self):
+        mean = np.array([0.0, 1.0])
+        std = np.array([0.1, 0.1])
+        assert expected_improvement(mean, std, best=0.5)[1] > expected_improvement(
+            mean, std, best=0.5
+        )[0]
+        assert probability_of_improvement(mean, std, 0.5)[1] > 0.5
+        assert upper_confidence_bound(mean, std)[1] > upper_confidence_bound(mean, std)[0]
+
+    def test_pareto_front_identifies_non_dominated(self):
+        objectives = np.array(
+            [
+                [1.0, 0.0],
+                [0.0, 1.0],
+                [0.5, 0.5],
+                [0.1, 0.1],  # dominated by [0.5, 0.5]
+            ]
+        )
+        front = set(pareto_front_indices(objectives))
+        assert front == {0, 1, 2}
+
+
+class TestOptimizersOnSyntheticTask:
+    BUDGET = 40
+
+    def _run(self, cls, env, **kwargs):
+        optimizer = cls(env, seed=0, **kwargs)
+        return optimizer.run(self.BUDGET)
+
+    def test_random_search_budget_respected(self, quadratic_env):
+        result = self._run(RandomSearch, quadratic_env)
+        assert result.num_evaluations == self.BUDGET
+        assert len(result.rewards) == self.BUDGET
+
+    def test_es_beats_random_on_smooth_quadratic(self):
+        env_es = QuadraticEnvironment(get_circuit("two_tia"))
+        env_rnd = QuadraticEnvironment(get_circuit("two_tia"))
+        es = EvolutionStrategy(env_es, seed=0).run(80)
+        rnd = RandomSearch(env_rnd, seed=0).run(80)
+        assert es.best_reward >= rnd.best_reward - 0.02
+
+    def test_bo_improves_over_initial_design(self, quadratic_env):
+        result = self._run(BayesianOptimization, quadratic_env, num_initial=8)
+        initial_best = max(result.rewards[:8])
+        assert result.best_reward >= initial_best
+
+    def test_mace_runs_in_batches_and_respects_budget(self, quadratic_env):
+        result = self._run(MACE, quadratic_env, num_initial=8, batch_size=4)
+        assert result.num_evaluations == self.BUDGET
+
+    def test_best_so_far_curves_are_monotone(self, quadratic_env):
+        result = self._run(RandomSearch, quadratic_env)
+        curve = result.best_so_far()
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_all_methods_find_reasonable_optimum(self):
+        for cls in (RandomSearch, EvolutionStrategy, BayesianOptimization, MACE):
+            env = QuadraticEnvironment(get_circuit("two_tia"))
+            result = cls(env, seed=1).run(40)
+            assert result.best_reward > 0.7, cls.name
+
+    def test_result_contains_best_metrics_and_sizing_on_real_env(self, two_tia_env):
+        two_tia_env.reset_history()
+        result = RandomSearch(two_tia_env, seed=0).run(3)
+        assert result.num_evaluations == 3
+        assert result.best_sizing
+        assert "gain" in result.best_metrics

@@ -1,0 +1,288 @@
+"""Tests for the RL stack: noise, replay buffer, actor/critic, DDPG agent."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.circuits.components import TYPE_ORDER
+from repro.env import SizingEnvironment
+from repro.env.environment import StepResult
+from repro.rl import (
+    AgentConfig,
+    GCNActor,
+    GCNCritic,
+    GCNRLAgent,
+    ReplayBuffer,
+    TruncatedGaussianNoise,
+    make_environment,
+)
+
+
+class TestNoise:
+    def test_sigma_decays_towards_floor(self):
+        noise = TruncatedGaussianNoise(initial_sigma=1.0, final_sigma=0.1, decay=0.5)
+        for _ in range(20):
+            noise.step()
+        assert noise.sigma == pytest.approx(0.1)
+
+    def test_reset_restores_initial_sigma(self):
+        noise = TruncatedGaussianNoise(initial_sigma=0.4)
+        noise.step()
+        noise.reset()
+        assert noise.sigma == 0.4
+
+    def test_perturbed_actions_stay_in_bounds(self, rng):
+        noise = TruncatedGaussianNoise(initial_sigma=5.0)
+        actions = np.zeros((10, 3))
+        noisy = noise.perturb(actions, rng)
+        assert np.all(noisy >= -1.0) and np.all(noisy <= 1.0)
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianNoise(decay=1.5)
+
+
+class TestReplayBuffer:
+    def test_add_and_sample(self, rng):
+        buffer = ReplayBuffer(capacity=10)
+        for i in range(5):
+            buffer.add(np.zeros((3, 4)), np.zeros((3, 3)), float(i))
+        assert len(buffer) == 5
+        batch = buffer.sample(8, rng)
+        assert len(batch) == 8
+
+    def test_capacity_overwrites_oldest(self):
+        buffer = ReplayBuffer(capacity=3)
+        for i in range(5):
+            buffer.add(np.zeros((1, 1)), np.zeros((1, 1)), float(i))
+        assert len(buffer) == 3
+        assert set(buffer.rewards()) == {2.0, 3.0, 4.0}
+
+    def test_sample_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            ReplayBuffer().sample(1, rng)
+
+    def test_clear(self):
+        buffer = ReplayBuffer()
+        buffer.add(np.zeros((1, 1)), np.zeros((1, 1)), 1.0)
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+    def test_stored_arrays_are_copies(self):
+        buffer = ReplayBuffer()
+        states = np.zeros((2, 2))
+        buffer.add(states, np.zeros((2, 1)), 0.0)
+        states[0, 0] = 99.0
+        assert buffer.sample(1, np.random.default_rng(0))[0].states[0, 0] == 0.0
+
+
+def small_graph_inputs(seed=0, n=5, state_dim=7):
+    rng = np.random.default_rng(seed)
+    states = rng.standard_normal((n, state_dim))
+    adjacency = np.eye(n)
+    adjacency[0, 1] = adjacency[1, 0] = 0.5
+    type_indices = [0, 1, 2, 3, 0]
+    return states, adjacency, type_indices
+
+
+class TestActorCritic:
+    def test_actor_output_shape_and_range(self):
+        states, adjacency, types = small_graph_inputs()
+        actor = GCNActor(state_dim=7, hidden_dim=16, num_gcn_layers=2)
+        actions = actor.forward(states, adjacency, types)
+        assert actions.shape == (5, 3)
+        assert np.all(np.abs(actions) <= 1.0)
+
+    def test_critic_returns_scalar(self):
+        states, adjacency, types = small_graph_inputs()
+        critic = GCNCritic(state_dim=7, hidden_dim=16, num_gcn_layers=2)
+        q = critic.forward(states, np.zeros((5, 3)), adjacency, types)
+        assert isinstance(q, float)
+
+    def test_critic_action_gradient_matches_numeric(self):
+        states, adjacency, types = small_graph_inputs(seed=3)
+        critic = GCNCritic(state_dim=7, hidden_dim=12, num_gcn_layers=2)
+        actions = np.random.default_rng(4).uniform(-0.5, 0.5, size=(5, 3))
+
+        critic.forward(states, actions, adjacency, types)
+        _, grad_actions = critic.backward(1.0)
+
+        eps = 1e-6
+        numeric = np.zeros_like(actions)
+        for i in range(actions.shape[0]):
+            for j in range(actions.shape[1]):
+                up, down = actions.copy(), actions.copy()
+                up[i, j] += eps
+                down[i, j] -= eps
+                q_up = critic.forward(states, up, adjacency, types)
+                q_down = critic.forward(states, down, adjacency, types)
+                numeric[i, j] = (q_up - q_down) / (2 * eps)
+        assert np.allclose(grad_actions, numeric, atol=1e-5)
+
+    def test_actor_parameter_gradient_matches_numeric(self):
+        states, adjacency, types = small_graph_inputs(seed=5)
+        actor = GCNActor(state_dim=7, hidden_dim=10, num_gcn_layers=1)
+        grad_out = np.ones((5, 3))
+
+        actor.zero_grad()
+        actor.forward(states, adjacency, types)
+        actor.backward(grad_out)
+        analytic = actor.input_layer.weight.grad.copy()
+
+        def objective():
+            return float(np.sum(actor.forward(states, adjacency, types)))
+
+        eps = 1e-6
+        weight = actor.input_layer.weight.value
+        numeric = np.zeros_like(weight)
+        for i in range(weight.shape[0]):
+            for j in range(weight.shape[1]):
+                old = weight[i, j]
+                weight[i, j] = old + eps
+                up = objective()
+                weight[i, j] = old - eps
+                down = objective()
+                weight[i, j] = old
+                numeric[i, j] = (up - down) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_ng_variant_ignores_adjacency(self):
+        states, adjacency, types = small_graph_inputs()
+        actor = GCNActor(state_dim=7, hidden_dim=16, num_gcn_layers=2, use_gcn=False)
+        with_graph = actor.forward(states, adjacency, types)
+        without_graph = actor.forward(states, np.eye(5), types)
+        assert np.allclose(with_graph, without_graph)
+
+    def test_gcn_variant_uses_adjacency(self):
+        states, adjacency, types = small_graph_inputs()
+        actor = GCNActor(state_dim=7, hidden_dim=16, num_gcn_layers=2, use_gcn=True)
+        dense = np.full((5, 5), 0.2)
+        assert not np.allclose(
+            actor.forward(states, adjacency, types),
+            actor.forward(states, dense, types),
+        )
+
+    def test_state_dict_transfers_between_instances(self):
+        states, adjacency, types = small_graph_inputs()
+        actor_a = GCNActor(7, 16, 2, rng=np.random.default_rng(1))
+        actor_b = GCNActor(7, 16, 2, rng=np.random.default_rng(2))
+        actor_b.load_state_dict(actor_a.state_dict())
+        assert np.allclose(
+            actor_a.forward(states, adjacency, types),
+            actor_b.forward(states, adjacency, types),
+        )
+
+
+class SyntheticEnvironment(SizingEnvironment):
+    """Environment whose reward is a simple analytic function of the actions.
+
+    It reuses a real circuit's topology/state machinery but replaces the
+    simulator call, so agent tests run in milliseconds.
+    """
+
+    def __init__(self, circuit, target=0.4):
+        super().__init__(circuit)
+        self.target = target
+
+    def step(self, actions) -> StepResult:
+        actions = np.asarray(actions, dtype=float)
+        reward = 1.0 - float(np.mean((actions - self.target) ** 2))
+        step_index = len(self.history)
+        self._record(reward, {"synthetic": reward}, {})
+        return StepResult(
+            reward=reward, metrics={}, sizing={}, step_index=step_index
+        )
+
+
+@pytest.fixture()
+def synthetic_env():
+    return SyntheticEnvironment(get_circuit("two_tia"))
+
+
+class TestAgent:
+    def test_agent_training_improves_on_synthetic_task(self, synthetic_env):
+        config = AgentConfig(
+            warmup=15,
+            num_gcn_layers=2,
+            hidden_dim=24,
+            batch_size=24,
+            updates_per_episode=3,
+        )
+        agent = GCNRLAgent(synthetic_env, config, seed=0)
+        log = agent.train(120)
+        early = np.mean([r.reward for r in log[:15]])
+        late = np.mean([r.reward for r in log[-15:]])
+        assert late > early
+        assert agent.best_reward > 0.8
+
+    def test_warmup_episodes_are_random(self, synthetic_env):
+        config = AgentConfig(warmup=5, num_gcn_layers=1, hidden_dim=8)
+        agent = GCNRLAgent(synthetic_env, config, seed=1)
+        log = agent.train(5)
+        assert all(record.warmup for record in log)
+
+    def test_act_produces_valid_actions(self, synthetic_env):
+        agent = GCNRLAgent(
+            synthetic_env, AgentConfig(num_gcn_layers=1, hidden_dim=8), seed=2
+        )
+        actions = agent.act(explore=True)
+        assert actions.shape == (
+            synthetic_env.num_components,
+            synthetic_env.action_dim,
+        )
+        assert np.all(np.abs(actions) <= 1.0)
+
+    def test_state_dict_roundtrip_preserves_policy(self, synthetic_env):
+        agent = GCNRLAgent(
+            synthetic_env, AgentConfig(num_gcn_layers=1, hidden_dim=8), seed=3
+        )
+        before = agent.act(explore=False)
+        state = agent.state_dict()
+        other = GCNRLAgent(
+            SyntheticEnvironment(get_circuit("two_tia")),
+            AgentConfig(num_gcn_layers=1, hidden_dim=8),
+            seed=99,
+        )
+        other.load_state_dict(state)
+        assert np.allclose(before, other.act(explore=False))
+
+    def test_attach_environment_rejects_state_mismatch(self):
+        env_a = SizingEnvironment(get_circuit("two_tia"))
+        env_b = SizingEnvironment(get_circuit("three_tia"))
+        agent = GCNRLAgent(env_a, AgentConfig(num_gcn_layers=1, hidden_dim=8))
+        with pytest.raises(ValueError):
+            agent.attach_environment(env_b)
+
+    def test_attach_environment_allows_transferable_topologies(self):
+        env_a = SizingEnvironment(get_circuit("two_tia"), transferable_state=True)
+        env_b = SizingEnvironment(get_circuit("three_tia"), transferable_state=True)
+        agent = GCNRLAgent(env_a, AgentConfig(num_gcn_layers=1, hidden_dim=8))
+        agent.attach_environment(env_b)
+        assert agent.environment is env_b
+
+    def test_attach_environment_resets_buffers(self, synthetic_env):
+        agent = GCNRLAgent(
+            synthetic_env,
+            AgentConfig(num_gcn_layers=1, hidden_dim=8, warmup=1),
+            seed=0,
+        )
+        agent.train(3)
+        fresh = SyntheticEnvironment(get_circuit("two_tia"))
+        agent.attach_environment(fresh)
+        assert len(agent.replay_buffer) == 0
+        assert agent._episode == 0
+
+    def test_training_on_real_environment_smoke(self):
+        env = make_environment("two_tia", "180nm")
+        config = AgentConfig(
+            warmup=3, num_gcn_layers=2, hidden_dim=16, batch_size=8,
+            updates_per_episode=1,
+        )
+        agent = GCNRLAgent(env, config, seed=0)
+        log = agent.train(6)
+        assert len(log) == 6
+        assert np.isfinite(agent.best_reward)

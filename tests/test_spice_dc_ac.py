@@ -1,0 +1,210 @@
+"""Tests for the MNA simulator: circuit container, DC and AC analyses."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    MOSFET,
+    Resistor,
+    VCVS,
+    VoltageSource,
+    ac_analysis,
+    dc_operating_point,
+)
+from repro.spice.ac import logspace_frequencies, transfer_function
+from repro.spice import measurements as meas
+
+
+def divider(r1=1e3, r2=1e3, vin=2.0):
+    circuit = Circuit("divider")
+    circuit.add(VoltageSource("V1", "in", "0", dc=vin, ac=1.0))
+    circuit.add(Resistor("R1", "in", "out", r1))
+    circuit.add(Resistor("R2", "out", "0", r2))
+    return circuit
+
+
+class TestCircuitContainer:
+    def test_node_and_unknown_counts(self):
+        circuit = divider()
+        assert circuit.num_nodes == 2
+        assert circuit.num_unknowns == 3  # two nodes + one source branch
+
+    def test_duplicate_element_name_rejected(self):
+        circuit = divider()
+        with pytest.raises(ValueError):
+            circuit.add(Resistor("R1", "a", "b", 1.0))
+
+    def test_ground_aliases_map_to_minus_one(self):
+        circuit = Circuit("gnd")
+        circuit.add(Resistor("R1", "a", "gnd", 1e3))
+        circuit.add(Resistor("R2", "a", "0", 1e3))
+        assert circuit.node("gnd") == -1
+        assert circuit.node("0") == -1
+
+    def test_unknown_node_lookup_raises(self):
+        circuit = divider()
+        with pytest.raises(KeyError):
+            circuit.node("does_not_exist")
+
+    def test_contains_and_getitem(self):
+        circuit = divider()
+        assert "R1" in circuit
+        assert circuit["R1"].resistance == pytest.approx(1e3)
+
+    def test_summary_mentions_element_kinds(self):
+        assert "Resistor" in divider().summary()
+
+    def test_invalid_element_values_rejected(self):
+        with pytest.raises(ValueError):
+            Resistor("R", "a", "b", -1.0)
+        with pytest.raises(ValueError):
+            Capacitor("C", "a", "b", 0.0)
+
+
+class TestDCOperatingPoint:
+    def test_voltage_divider_solution(self):
+        op = dc_operating_point(divider())
+        assert op.converged
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_asymmetric_divider(self):
+        op = dc_operating_point(divider(r1=3e3, r2=1e3, vin=4.0))
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_branch_current_of_source(self):
+        op = dc_operating_point(divider(r1=1e3, r2=1e3, vin=2.0))
+        assert abs(op.branch_current("V1")) == pytest.approx(1e-3, rel=1e-4)
+
+    def test_supply_power(self):
+        op = dc_operating_point(divider(r1=1e3, r2=1e3, vin=2.0))
+        assert op.supply_power() == pytest.approx(2e-3, rel=1e-4)
+
+    def test_current_source_direction(self):
+        circuit = Circuit("isrc")
+        circuit.add(CurrentSource("I1", "0", "a", dc=1e-3))
+        circuit.add(Resistor("R1", "a", "0", 1e3))
+        op = dc_operating_point(circuit)
+        assert op.voltage("a") == pytest.approx(1.0, rel=1e-6)
+
+    def test_vcvs_gain(self):
+        circuit = Circuit("vcvs")
+        circuit.add(VoltageSource("VIN", "in", "0", dc=0.5))
+        circuit.add(VCVS("E1", "out", "0", "in", "0", gain=4.0))
+        circuit.add(Resistor("RL", "out", "0", 1e3))
+        op = dc_operating_point(circuit)
+        assert op.voltage("out") == pytest.approx(2.0, rel=1e-6)
+
+    def test_ground_voltage_is_zero(self):
+        op = dc_operating_point(divider())
+        assert op.voltage("0") == 0.0
+
+    def test_nmos_common_source_amplifier_bias(self, tech_180):
+        circuit = Circuit("cs")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        circuit.add(VoltageSource("VG", "g", "0", dc=0.6))
+        circuit.add(Resistor("RD", "vdd", "d", 20e3))
+        circuit.add(MOSFET("M1", "d", "g", "0", "0", tech_180.nmos, 20e-6, 0.5e-6))
+        op = dc_operating_point(circuit)
+        assert op.converged
+        assert 0.0 < op.voltage("d") < 1.8
+        assert op.device_ops["M1"].ids > 0
+
+    def test_pmos_common_source_amplifier_bias(self, tech_180):
+        circuit = Circuit("cs_p")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        circuit.add(VoltageSource("VG", "g", "0", dc=1.1))
+        circuit.add(Resistor("RD", "d", "0", 20e3))
+        circuit.add(MOSFET("M1", "d", "g", "vdd", "vdd", tech_180.pmos, 40e-6, 0.5e-6))
+        op = dc_operating_point(circuit)
+        assert op.converged
+        assert 0.0 < op.voltage("d") < 1.8
+        assert op.device_ops["M1"].ids > 0
+
+    def test_diode_connected_nmos_with_current_bias(self, tech_180):
+        circuit = Circuit("diode")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        circuit.add(CurrentSource("IB", "vdd", "g", dc=50e-6))
+        circuit.add(MOSFET("M1", "g", "g", "0", "0", tech_180.nmos, 20e-6, 0.36e-6))
+        op = dc_operating_point(circuit)
+        assert op.converged
+        vgs = op.voltage("g")
+        assert tech_180.nmos.vth0 < vgs < 1.5
+        assert op.device_ops["M1"].ids == pytest.approx(50e-6, rel=0.02)
+
+    def test_kcl_residual_is_small_at_solution(self, tech_180):
+        circuit = Circuit("kcl")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        circuit.add(CurrentSource("IB", "vdd", "g", dc=50e-6))
+        circuit.add(MOSFET("M1", "g", "g", "0", "0", tech_180.nmos, 20e-6, 0.36e-6))
+        op = dc_operating_point(circuit)
+        # Re-assemble the residual at the solution and check it is ~zero.
+        from repro.spice.dc import _assemble
+
+        _, residual = _assemble(circuit, op.x, 0.0, 1.0)
+        assert np.max(np.abs(residual)) < 1e-6
+
+
+class TestACAnalysis:
+    def test_rc_lowpass_corner_frequency(self):
+        r, c = 1e3, 1e-9
+        circuit = Circuit("rc")
+        circuit.add(VoltageSource("VIN", "in", "0", dc=0.0, ac=1.0))
+        circuit.add(Resistor("R1", "in", "out", r))
+        circuit.add(Capacitor("C1", "out", "0", c))
+        op = dc_operating_point(circuit)
+        freqs = logspace_frequencies(1e2, 1e9, 20)
+        solution = ac_analysis(circuit, op, freqs)
+        gain = solution.voltage("out")
+        expected_corner = 1.0 / (2 * np.pi * r * c)
+        assert meas.bandwidth_3db(freqs, gain) == pytest.approx(
+            expected_corner, rel=0.05
+        )
+        assert meas.dc_gain(freqs, gain) == pytest.approx(1.0, rel=1e-3)
+
+    def test_rc_highpass_blocks_dc(self):
+        circuit = Circuit("hp")
+        circuit.add(VoltageSource("VIN", "in", "0", ac=1.0))
+        circuit.add(Capacitor("C1", "in", "out", 1e-9))
+        circuit.add(Resistor("R1", "out", "0", 1e3))
+        op = dc_operating_point(circuit)
+        freqs = np.array([1.0, 1e9])
+        solution = ac_analysis(circuit, op, freqs)
+        magnitude = solution.magnitude("out")
+        assert magnitude[0] < 1e-2
+        assert magnitude[-1] == pytest.approx(1.0, rel=1e-2)
+
+    def test_common_source_gain_matches_gm_times_rd(self, tech_180):
+        circuit = Circuit("cs_gain")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        circuit.add(VoltageSource("VG", "g", "0", dc=0.6, ac=1.0))
+        rd = 20e3
+        circuit.add(Resistor("RD", "vdd", "d", rd))
+        circuit.add(MOSFET("M1", "d", "g", "0", "0", tech_180.nmos, 20e-6, 0.5e-6))
+        op = dc_operating_point(circuit)
+        device = op.device_ops["M1"]
+        freqs = np.array([1e3])
+        solution = ac_analysis(circuit, op, freqs)
+        gain = abs(solution.voltage("d")[0])
+        expected = device.gm * (rd * (1 / device.gds) / (rd + 1 / device.gds))
+        assert gain == pytest.approx(expected, rel=0.05)
+
+    def test_transfer_function_wrapper(self):
+        result = transfer_function(divider(), dc_operating_point(divider()), "out")
+        assert abs(result["gain"][0]) == pytest.approx(0.5, rel=1e-3)
+
+    def test_magnitude_db_and_phase(self):
+        circuit = divider()
+        op = dc_operating_point(circuit)
+        solution = ac_analysis(circuit, op, [1e3, 1e6])
+        assert solution.magnitude_db("out")[0] == pytest.approx(-6.02, abs=0.1)
+        assert solution.phase_deg("out")[0] == pytest.approx(0.0, abs=1.0)
+
+    def test_differential_voltage(self):
+        circuit = divider()
+        op = dc_operating_point(circuit)
+        solution = ac_analysis(circuit, op, [1e3])
+        diff = solution.differential_voltage("in", "out")
+        assert abs(diff[0]) == pytest.approx(0.5, rel=1e-3)

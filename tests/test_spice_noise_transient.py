@@ -1,0 +1,224 @@
+"""Tests for the noise and transient analyses and the measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    MOSFET,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+    noise_analysis,
+    transient_analysis,
+)
+from repro.spice import measurements as meas
+from repro.spice.elements import BOLTZMANN, ROOM_TEMPERATURE
+from repro.spice.transient import pulse_waveform, step_waveform
+
+
+class TestNoiseAnalysis:
+    def test_resistor_divider_thermal_noise(self):
+        # Two equal resistors from a zero-impedance source: the output noise
+        # is that of the parallel combination, 4kT(R1 || R2).
+        r = 10e3
+        circuit = Circuit("noise_divider")
+        circuit.add(VoltageSource("V1", "in", "0", dc=1.0))
+        circuit.add(Resistor("R1", "in", "out", r))
+        circuit.add(Resistor("R2", "out", "0", r))
+        op = dc_operating_point(circuit)
+        freqs = [1e3, 1e6]
+        noise = noise_analysis(circuit, op, "out", freqs)
+        expected = 4 * BOLTZMANN * ROOM_TEMPERATURE * (r / 2)
+        assert noise.output_psd[0] == pytest.approx(expected, rel=1e-3)
+        assert noise.output_psd[1] == pytest.approx(expected, rel=1e-3)
+
+    def test_noise_contributions_sum_to_total(self):
+        circuit = Circuit("noise_sum")
+        circuit.add(VoltageSource("V1", "in", "0", dc=1.0))
+        circuit.add(Resistor("R1", "in", "out", 5e3))
+        circuit.add(Resistor("R2", "out", "0", 20e3))
+        op = dc_operating_point(circuit)
+        noise = noise_analysis(circuit, op, "out", [1e4])
+        total = sum(v[0] for v in noise.contributions.values())
+        assert total == pytest.approx(noise.output_psd[0], rel=1e-9)
+
+    def test_mosfet_adds_flicker_noise_at_low_frequency(self, tech_180):
+        circuit = Circuit("mos_noise")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        circuit.add(VoltageSource("VG", "g", "0", dc=0.7))
+        circuit.add(Resistor("RD", "vdd", "d", 10e3))
+        circuit.add(MOSFET("M1", "d", "g", "0", "0", tech_180.nmos, 20e-6, 0.36e-6))
+        op = dc_operating_point(circuit)
+        noise = noise_analysis(circuit, op, "d", [10.0, 1e7])
+        # 1/f noise makes the low-frequency density larger.
+        assert noise.output_psd[0] > noise.output_psd[1]
+
+    def test_integrated_noise_positive_and_spot_interpolation(self):
+        circuit = Circuit("integrated")
+        circuit.add(VoltageSource("V1", "in", "0", dc=1.0))
+        circuit.add(Resistor("R1", "in", "out", 1e4))
+        circuit.add(Capacitor("C1", "out", "0", 1e-12))
+        op = dc_operating_point(circuit)
+        noise = noise_analysis(circuit, op, "out", np.logspace(2, 8, 13))
+        assert noise.integrated_output_noise() > 0
+        assert noise.spot_density(1e5) > 0
+
+    def test_input_referred_psd_scaling(self):
+        circuit = Circuit("inref")
+        circuit.add(VoltageSource("V1", "in", "0", dc=1.0))
+        circuit.add(Resistor("R1", "in", "out", 1e4))
+        circuit.add(Resistor("R2", "out", "0", 1e4))
+        op = dc_operating_point(circuit)
+        noise = noise_analysis(circuit, op, "out", [1e4])
+        gain = np.array([0.5])
+        assert noise.input_referred_psd(gain)[0] == pytest.approx(
+            noise.output_psd[0] / 0.25, rel=1e-9
+        )
+
+
+class TestTransientAnalysis:
+    def test_rc_step_response_time_constant(self):
+        r, c = 1e3, 1e-9  # tau = 1 us
+        circuit = Circuit("rc_step")
+        circuit.add(
+            VoltageSource(
+                "VIN", "in", "0", dc=0.0, waveform=step_waveform(0.0, 0.0, 1.0, 1e-9)
+            )
+        )
+        circuit.add(Resistor("R1", "in", "out", r))
+        circuit.add(Capacitor("C1", "out", "0", c))
+        tran = transient_analysis(circuit, t_stop=5e-6, dt=2e-8)
+        assert tran.converged
+        vout = tran.voltage("out")
+        # After one time constant the output should be near 63% of the step.
+        index_tau = int(1e-6 / 2e-8)
+        assert vout[index_tau] == pytest.approx(0.63, abs=0.05)
+        assert tran.final_voltage("out") == pytest.approx(1.0, abs=0.02)
+
+    def test_dc_circuit_stays_at_operating_point(self):
+        circuit = Circuit("static")
+        circuit.add(VoltageSource("V1", "in", "0", dc=1.0))
+        circuit.add(Resistor("R1", "in", "out", 1e3))
+        circuit.add(Resistor("R2", "out", "0", 1e3))
+        tran = transient_analysis(circuit, t_stop=1e-6, dt=1e-7)
+        vout = tran.voltage("out")
+        assert np.allclose(vout, 0.5, atol=1e-6)
+
+    def test_current_source_pulse_into_rc(self):
+        circuit = Circuit("ipulse")
+        circuit.add(
+            CurrentSource(
+                "I1",
+                "0",
+                "out",
+                dc=0.0,
+                waveform=pulse_waveform(1e-6, 2e-6, 0.0, 1e-3, edge_time=1e-8),
+            )
+        )
+        circuit.add(Resistor("R1", "out", "0", 1e3))
+        circuit.add(Capacitor("C1", "out", "0", 1e-10))
+        tran = transient_analysis(circuit, t_stop=5e-6, dt=5e-8)
+        vout = tran.voltage("out")
+        mid = int(2.5e-6 / 5e-8)
+        assert vout[mid] == pytest.approx(1.0, abs=0.05)
+        assert abs(vout[-1]) < 0.05
+
+    def test_mosfet_source_follower_tracks_step(self, tech_180):
+        circuit = Circuit("follower")
+        circuit.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        circuit.add(
+            VoltageSource(
+                "VG",
+                "g",
+                "0",
+                dc=1.2,
+                waveform=step_waveform(1e-6, 1.2, 1.4, 1e-8),
+            )
+        )
+        circuit.add(MOSFET("M1", "vdd", "g", "s", "0", tech_180.nmos, 50e-6, 0.36e-6))
+        circuit.add(Resistor("RS", "s", "0", 10e3))
+        circuit.add(Capacitor("CL", "s", "0", 1e-12))
+        tran = transient_analysis(circuit, t_stop=3e-6, dt=2e-8)
+        vs = tran.voltage("s")
+        assert vs[-1] > vs[0] + 0.1  # output follows the gate step upward
+
+
+class TestMeasurements:
+    def test_settling_time_of_exponential(self):
+        times = np.linspace(0, 10e-6, 1001)
+        tau = 1e-6
+        waveform = 1.0 - np.exp(-(times - 1e-6).clip(0) / tau)
+        settle = meas.settling_time(times, waveform, t_event=1e-6, tolerance=0.01)
+        # 1% settling of a first-order system takes ~4.6 tau.
+        assert settle == pytest.approx(4.6e-6, rel=0.1)
+
+    def test_settling_time_zero_for_flat_waveform(self):
+        times = np.linspace(0, 1e-6, 100)
+        waveform = np.ones_like(times)
+        assert meas.settling_time(times, waveform, 1e-7) == 0.0
+
+    def test_overshoot_measurement(self):
+        times = np.linspace(0, 1.0, 101)
+        waveform = np.ones_like(times)
+        waveform[50] = 1.5
+        assert meas.overshoot(times, waveform, 0.0) == pytest.approx(0.5)
+
+    def test_phase_margin_of_single_pole_system(self):
+        freqs = np.logspace(0, 8, 400)
+        pole = 1e3
+        gain = 1000.0 / (1 + 1j * freqs / pole)
+        pm = meas.phase_margin(freqs, gain)
+        assert pm == pytest.approx(90.0, abs=3.0)
+
+    def test_phase_margin_of_two_pole_system_is_smaller(self):
+        freqs = np.logspace(0, 8, 400)
+        gain = 1000.0 / ((1 + 1j * freqs / 1e3) * (1 + 1j * freqs / 1e5))
+        pm = meas.phase_margin(freqs, gain)
+        # Analytic phase margin of this two-pole loop gain is ~18 degrees.
+        assert pm == pytest.approx(18.0, abs=5.0)
+        assert pm < 90.0
+
+    def test_unity_gain_frequency(self):
+        freqs = np.logspace(0, 8, 400)
+        gain = 1000.0 / (1 + 1j * freqs / 1e3)
+        fu = meas.unity_gain_frequency(freqs, gain)
+        assert fu == pytest.approx(1e6, rel=0.1)
+
+    def test_gain_peaking_detects_resonance(self):
+        freqs = np.logspace(0, 6, 200)
+        flat = np.ones_like(freqs)
+        assert meas.gain_peaking_db(freqs, flat) == 0.0
+        peaked = flat.copy()
+        peaked[100] = 2.0
+        assert meas.gain_peaking_db(freqs, peaked) == pytest.approx(6.02, abs=0.1)
+
+    def test_psrr_computation(self):
+        freqs = np.array([1.0, 10.0])
+        signal = np.array([100.0, 100.0])
+        supply = np.array([0.1, 1.0])
+        assert meas.psrr_db(freqs, signal, supply) == pytest.approx(60.0, abs=0.1)
+
+    def test_load_and_line_regulation(self):
+        assert meas.load_regulation(1.0, 0.9, 1e-3, 5e-3) == pytest.approx(25.0)
+        assert meas.line_regulation(1.0, 1.01, 1.8, 2.0) == pytest.approx(0.05)
+        assert meas.load_regulation(1.0, 1.0, 1e-3, 1e-3) == 0.0
+
+    def test_bandwidth_of_flat_response_is_sweep_end(self):
+        freqs = np.logspace(0, 6, 50)
+        gain = np.ones_like(freqs)
+        assert meas.bandwidth_3db(freqs, gain) == pytest.approx(1e6)
+
+    def test_crossover_frequencies(self):
+        freqs = np.logspace(0, 6, 200)
+        gain = 10.0 / (1 + 1j * freqs / 1e3)
+        crossings = meas.crossover_frequencies(freqs, gain, level=1.0)
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(1e4, rel=0.1)
+
+    def test_dc_gain_db(self):
+        freqs = np.array([1.0, 10.0])
+        gain = np.array([100.0, 100.0])
+        assert meas.dc_gain_db(freqs, gain) == pytest.approx(40.0)

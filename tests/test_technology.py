@@ -1,0 +1,180 @@
+"""Tests for the synthetic PDK (technology nodes and model cards)."""
+
+import math
+
+import pytest
+
+from repro.technology import (
+    AVAILABLE_NODES,
+    DeviceLimits,
+    MOSFETModelCard,
+    TechnologyNode,
+    get_node,
+    list_nodes,
+    register_node,
+)
+from repro.technology.mosfet_model import small_signal_params
+
+
+class TestPDKRegistry:
+    def test_all_five_paper_nodes_available(self):
+        names = set(list_nodes())
+        assert {"250nm", "180nm", "130nm", "65nm", "45nm"} <= names
+
+    def test_list_nodes_sorted_by_feature_size_descending(self):
+        nodes = list_nodes()
+        sizes = [get_node(n).feature_size for n in nodes]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_get_node_case_insensitive(self):
+        assert get_node("180NM") is get_node("180nm")
+
+    def test_get_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            get_node("7nm")
+
+    def test_register_custom_node(self):
+        base = get_node("180nm")
+        custom = TechnologyNode(
+            name="custom_350nm",
+            feature_size=350e-9,
+            vdd=3.3,
+            nmos=base.nmos,
+            pmos=base.pmos,
+            mos_limits=base.mos_limits,
+            passive_limits=base.passive_limits,
+        )
+        register_node(custom)
+        assert get_node("custom_350nm").vdd == 3.3
+        del AVAILABLE_NODES["custom_350nm"]
+
+
+class TestScalingTrends:
+    def test_supply_voltage_decreases_with_scaling(self):
+        vdds = [get_node(n).vdd for n in ("250nm", "180nm", "130nm", "65nm", "45nm")]
+        assert vdds == sorted(vdds, reverse=True)
+
+    def test_threshold_voltage_decreases_with_scaling(self):
+        vths = [
+            get_node(n).nmos.vth0
+            for n in ("250nm", "180nm", "130nm", "65nm", "45nm")
+        ]
+        assert vths == sorted(vths, reverse=True)
+
+    def test_oxide_capacitance_increases_with_scaling(self):
+        cox = [get_node(n).nmos.cox for n in ("250nm", "180nm", "65nm", "45nm")]
+        assert cox == sorted(cox)
+
+    def test_pmos_mobility_lower_than_nmos(self):
+        for name in list_nodes():
+            node = get_node(name)
+            assert node.pmos.u0 < node.nmos.u0
+
+
+class TestFeatureVector:
+    def test_mosfet_feature_vector_has_five_entries(self, tech_180):
+        features = tech_180.feature_vector("nmos")
+        assert len(features) == 5
+        assert features[1] == pytest.approx(tech_180.nmos.vth0)
+
+    def test_passive_feature_vector_is_zero(self, tech_180):
+        assert tech_180.feature_vector("resistor") == [0.0] * 5
+        assert tech_180.feature_vector("capacitor") == [0.0] * 5
+
+    def test_unknown_device_type_raises(self, tech_180):
+        with pytest.raises(KeyError):
+            tech_180.model_card("finfet")
+
+    def test_describe_contains_key_quantities(self, tech_180):
+        summary = tech_180.describe()
+        assert summary["vdd"] == pytest.approx(1.8)
+        assert summary["nmos_vth0"] > 0
+
+
+class TestDeviceLimits:
+    def test_clamp_width_respects_bounds(self, tech_180):
+        limits = tech_180.mos_limits
+        assert limits.clamp_width(0.0) == pytest.approx(limits.min_width)
+        assert limits.clamp_width(1.0) == pytest.approx(limits.max_width)
+
+    def test_clamp_width_snaps_to_grid(self, tech_180):
+        limits = tech_180.mos_limits
+        value = limits.clamp_width(1.234567e-6)
+        assert abs(value / limits.grid - round(value / limits.grid)) < 1e-9
+
+    def test_clamp_multiplier_is_integer_in_range(self, tech_180):
+        limits = tech_180.mos_limits
+        assert limits.clamp_multiplier(0.2) == limits.min_multiplier
+        assert limits.clamp_multiplier(1e9) == limits.max_multiplier
+        assert limits.clamp_multiplier(3.6) == 4
+
+    def test_passive_limits_clamp(self, tech_180):
+        limits = tech_180.passive_limits
+        assert limits.clamp_resistance(0.0) == limits.min_resistance
+        assert limits.clamp_capacitance(1.0) == limits.max_capacitance
+
+
+class TestSquareLawModel:
+    def test_cutoff_region_below_threshold(self, tech_180):
+        op = small_signal_params(tech_180.nmos, 1e-6, 180e-9, vgs=0.1, vds=0.9)
+        assert op.region == "cutoff"
+        assert op.ids < 1e-7
+
+    def test_saturation_region(self, tech_180):
+        op = small_signal_params(tech_180.nmos, 10e-6, 360e-9, vgs=0.8, vds=1.5)
+        assert op.region == "saturation"
+        assert op.ids > 0
+        assert op.gm > 0
+        assert op.gds > 0
+
+    def test_triode_region_at_low_vds(self, tech_180):
+        op = small_signal_params(tech_180.nmos, 10e-6, 360e-9, vgs=0.9, vds=0.05)
+        assert op.region == "triode"
+
+    def test_current_increases_with_width(self, tech_180):
+        narrow = small_signal_params(tech_180.nmos, 2e-6, 360e-9, 0.8, 1.5)
+        wide = small_signal_params(tech_180.nmos, 20e-6, 360e-9, 0.8, 1.5)
+        assert wide.ids > narrow.ids
+
+    def test_current_decreases_with_length(self, tech_180):
+        short = small_signal_params(tech_180.nmos, 10e-6, 200e-9, 0.8, 1.5)
+        long = small_signal_params(tech_180.nmos, 10e-6, 2000e-9, 0.8, 1.5)
+        assert short.ids > long.ids
+
+    def test_body_effect_raises_threshold(self, tech_180):
+        no_body = small_signal_params(tech_180.nmos, 10e-6, 360e-9, 0.8, 1.5, vsb=0.0)
+        with_body = small_signal_params(tech_180.nmos, 10e-6, 360e-9, 0.8, 1.5, vsb=0.5)
+        assert with_body.vth > no_body.vth
+        assert with_body.ids < no_body.ids
+
+    def test_gm_is_derivative_of_ids_wrt_vgs(self, tech_180):
+        card = tech_180.nmos
+        w, l, vgs, vds = 10e-6, 360e-9, 0.8, 1.5
+        delta = 1e-5
+        up = small_signal_params(card, w, l, vgs + delta, vds).ids
+        down = small_signal_params(card, w, l, vgs - delta, vds).ids
+        numeric = (up - down) / (2 * delta)
+        analytic = small_signal_params(card, w, l, vgs, vds).gm
+        assert numeric == pytest.approx(analytic, rel=0.05)
+
+    def test_gds_is_derivative_of_ids_wrt_vds(self, tech_180):
+        card = tech_180.nmos
+        w, l, vgs, vds = 10e-6, 360e-9, 0.8, 1.5
+        delta = 1e-5
+        up = small_signal_params(card, w, l, vgs, vds + delta).ids
+        down = small_signal_params(card, w, l, vgs, vds - delta).ids
+        numeric = (up - down) / (2 * delta)
+        analytic = small_signal_params(card, w, l, vgs, vds).gds
+        assert numeric == pytest.approx(analytic, rel=0.05)
+
+    def test_kp_matches_mobility_times_cox(self, tech_180):
+        card = tech_180.nmos
+        assert card.kp == pytest.approx(card.u0 * card.cox)
+
+    def test_lambda_scales_inversely_with_length(self, tech_180):
+        card = tech_180.nmos
+        assert card.lambda_for_length(1e-6) > card.lambda_for_length(2e-6)
+
+    def test_feature_vector_keys(self, tech_180):
+        features = tech_180.nmos.feature_vector()
+        assert set(features) == {"vsat", "vth0", "vfb", "u0", "uc"}
