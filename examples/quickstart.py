@@ -2,18 +2,23 @@
 
 Runs a short GCN-RL search on the Two-TIA benchmark circuit at 180nm, then
 prints the best Figure of Merit, the corresponding performance metrics and
-the physical transistor sizes the agent chose.
+the physical transistor sizes the agent chose.  Also demonstrates the batch
+evaluation API (``evaluate_normalized_batch``) and the evaluator
+configuration every simulator call goes through.
 
 Usage:
-    python examples/quickstart.py [--steps 150]
+    python examples/quickstart.py [--steps 150] [--workers 4] [--cache-size 256]
 """
 
 from __future__ import annotations
 
 import argparse
 
+import numpy as np
+
 from repro.circuits import get_circuit
 from repro.env import SizingEnvironment, default_fom_config
+from repro.eval import EvaluatorConfig
 from repro.rl import AgentConfig, GCNRLAgent
 
 
@@ -22,18 +27,49 @@ def main() -> None:
     parser.add_argument("--steps", type=int, default=150, help="simulation budget")
     parser.add_argument("--circuit", default="two_tia", help="benchmark circuit name")
     parser.add_argument("--technology", default="180nm", help="technology node")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="evaluate batches on a process pool of this size (0 = serial)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=0, help="LRU design cache (0 = off)"
+    )
     args = parser.parse_args()
 
     # 1) Pick a circuit and a technology node and wrap them in an environment.
+    #    Every simulator call goes through one Evaluator: serial by default,
+    #    a process pool and/or an LRU cache when requested.
     circuit = get_circuit(args.circuit, args.technology)
     print(circuit.describe())
-    environment = SizingEnvironment(circuit, default_fom_config(circuit))
+    evaluator = EvaluatorConfig(
+        backend="process" if args.workers else "local",
+        max_workers=args.workers or None,
+        cache_size=args.cache_size,
+    ).build(circuit)
+    print(f"Evaluator: {evaluator.describe()}")
+    environment = SizingEnvironment(
+        circuit, default_fom_config(circuit), evaluator=evaluator
+    )
 
     # 2) The human-expert reference design gives a baseline FoM.
     expert = environment.evaluate_sizing(circuit.expert_sizing())
     print(f"\nHuman expert reference FoM: {expert.reward:.3f}")
 
-    # 3) Train the GCN-RL agent (DDPG with a GCN actor-critic).
+    # 3) Batch API: score a whole population of normalised designs in one
+    #    call — this is the path every black-box baseline uses internally.
+    population = np.random.default_rng(0).uniform(
+        -1.0, 1.0, size=(16, environment.parameter_dimension)
+    )
+    batch = environment.evaluate_normalized_batch(population)
+    print(
+        f"Random population of {len(batch)}: "
+        f"best FoM {max(r.reward for r in batch):.3f}"
+    )
+    environment.reset_history()
+
+    # 4) Train the GCN-RL agent (DDPG with a GCN actor-critic).
     config = AgentConfig(warmup=max(10, args.steps // 4))
     agent = GCNRLAgent(environment, config, seed=0)
     print(f"\nTraining GCN-RL for {args.steps} steps...")
@@ -44,7 +80,7 @@ def main() -> None:
                 f"best {record.best_reward:6.3f}"
             )
 
-    # 4) Report the best design found.
+    # 5) Report the best design found.
     print(f"\nBest FoM found: {environment.best_reward:.3f}")
     print("Best design metrics:")
     for definition in circuit.metric_definitions():
@@ -54,6 +90,14 @@ def main() -> None:
     for name, params in environment.best_sizing.items():
         pretty = ", ".join(f"{k}={v:.3g}" for k, v in params.items())
         print(f"  {name:>4s}: {pretty}")
+
+    stats = evaluator.stats
+    print(
+        f"\nEvaluator served {stats.num_designs} designs in "
+        f"{stats.num_batches} batches ({stats.num_simulations} simulations, "
+        f"{stats.cache_hits} cache hits)"
+    )
+    evaluator.close()
 
 
 if __name__ == "__main__":

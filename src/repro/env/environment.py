@@ -9,10 +9,17 @@ The environment owns:
 
 It exposes two interfaces:
 
-* a *graph interface* (``observe`` / ``step``) where actions are one vector
-  per component — used by GCN-RL and NG-RL, and
-* a *flat interface* (``evaluate_normalized_vector``) where a design is one
-  vector in ``[-1, 1]^d`` — used by random search, ES, BO and MACE.
+* a *graph interface* (``observe`` / ``step`` / ``step_batch``) where actions
+  are one vector per component — used by GCN-RL and NG-RL, and
+* a *flat interface* (``evaluate_normalized_vector`` /
+  ``evaluate_normalized_batch``) where a design is one vector in
+  ``[-1, 1]^d`` — used by random search, ES, BO and MACE.
+
+All simulation goes through the environment's :class:`~repro.eval.Evaluator`
+(`evaluate_sizings` is the single funnel), so parallel and cached evaluation
+are properties of the environment, not of each algorithm.  The batch methods
+record history in input order, exactly as the equivalent sequence of scalar
+calls would; the scalar methods are thin batch-of-one wrappers.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ from repro.circuits.base import CircuitDesign
 from repro.circuits.components import MAX_ACTION_DIM, TYPE_ORDER
 from repro.circuits.parameters import Sizing
 from repro.env.fom import FoMConfig, default_fom_config
+from repro.eval.base import Evaluator
+from repro.eval.local import LocalEvaluator
 
 
 @dataclass
@@ -64,6 +73,7 @@ class SizingEnvironment:
         transferable_state: bool = False,
         normalize_states: bool = True,
         apply_spec: bool = True,
+        evaluator: Optional[Evaluator] = None,
     ):
         """Create an environment around a circuit.
 
@@ -77,10 +87,24 @@ class SizingEnvironment:
             normalize_states: Standardise each state dimension across
                 components (zero mean, unit variance), as in the paper.
             apply_spec: Enforce the circuit's hard spec limits in the FoM.
+            evaluator: Evaluation backend every simulator call goes through;
+                defaults to a serial in-process :class:`LocalEvaluator`.  The
+                evaluator must simulate the same circuit it is paired with.
         """
+        if evaluator is not None and (
+            evaluator.circuit.name != circuit.name
+            or evaluator.circuit.technology.name != circuit.technology.name
+        ):
+            raise ValueError(
+                "evaluator was built for circuit "
+                f"{evaluator.circuit.name!r}/{evaluator.circuit.technology.name}, "
+                f"not {circuit.name!r}/{circuit.technology.name}"
+            )
         self.circuit = circuit
+        # Explicit None check: an empty CachingEvaluator is falsy (__len__).
+        self.evaluator = evaluator if evaluator is not None else LocalEvaluator(circuit)
         self.fom_config = fom_config or default_fom_config(
-            circuit, apply_spec=apply_spec
+            circuit, apply_spec=apply_spec, evaluator=self.evaluator
         )
         self.transferable_state = transferable_state
         self.normalize_states = normalize_states
@@ -154,19 +178,44 @@ class SizingEnvironment:
             reward=reward, metrics=metrics, sizing=sizing, step_index=step_index
         )
 
-    def evaluate_sizing(self, sizing: Sizing) -> StepResult:
-        """Evaluate an already-refined physical sizing."""
-        metrics = self.circuit.evaluate(sizing)
-        reward = self.fom_config.compute(metrics)
-        return self._record(reward, metrics, sizing)
+    def _scalar_override(self, scalar: str, batch: str) -> bool:
+        """Whether a subclass overrides the scalar method but not the batch one.
 
-    def step(self, actions: np.ndarray) -> StepResult:
-        """Evaluate a per-component action matrix from the RL agent.
-
-        Args:
-            actions: Array of shape ``(num_components, action_dim)`` with
-                entries in ``[-1, 1]``.
+        Batch methods are the canonical override point, but subclasses written
+        against the scalar-only API (synthetic test environments replacing
+        ``step`` or ``evaluate_normalized_vector``) must keep working: when
+        only the scalar method is overridden, its batch counterpart delegates
+        to it item by item instead of going to the evaluator directly.
         """
+        cls = type(self)
+        return (
+            getattr(cls, scalar) is not getattr(SizingEnvironment, scalar)
+            and getattr(cls, batch) is getattr(SizingEnvironment, batch)
+        )
+
+    def evaluate_sizings(self, sizings: Sequence[Sizing]) -> List[StepResult]:
+        """Evaluate a batch of refined physical sizings (the single funnel).
+
+        Every simulator call of the environment goes through this method and
+        its :class:`Evaluator`.  Results are recorded in input order, exactly
+        as the equivalent sequence of :meth:`evaluate_sizing` calls would.
+        """
+        if self._scalar_override("evaluate_sizing", "evaluate_sizings"):
+            return [self.evaluate_sizing(sizing) for sizing in sizings]
+        eval_results = self.evaluator.evaluate_batch(list(sizings))
+        return [
+            self._record(
+                self.fom_config.compute(result.metrics), result.metrics, result.sizing
+            )
+            for result in eval_results
+        ]
+
+    def evaluate_sizing(self, sizing: Sizing) -> StepResult:
+        """Evaluate an already-refined physical sizing (batch of one)."""
+        return self.evaluate_sizings([sizing])[0]
+
+    def _actions_to_sizing(self, actions: np.ndarray) -> Sizing:
+        """Validate one action matrix and denormalise it into a sizing."""
         actions = np.asarray(actions, dtype=float)
         if actions.shape[0] != self.num_components:
             raise ValueError(
@@ -176,11 +225,31 @@ class SizingEnvironment:
             comp.name: actions[i, : comp.action_dim].tolist()
             for i, comp in enumerate(self.circuit.components)
         }
-        sizing = self.circuit.parameter_space.actions_to_sizing(action_map)
-        return self.evaluate_sizing(sizing)
+        return self.circuit.parameter_space.actions_to_sizing(action_map)
 
-    def evaluate_normalized_vector(self, vector: Sequence[float]) -> StepResult:
-        """Evaluate a flat vector in ``[-1, 1]^d`` (black-box baselines)."""
+    def step_batch(self, actions_batch: Sequence[np.ndarray]) -> List[StepResult]:
+        """Evaluate several per-component action matrices in one batch.
+
+        Args:
+            actions_batch: Sequence of arrays, each of shape
+                ``(num_components, action_dim)`` with entries in ``[-1, 1]``.
+        """
+        if self._scalar_override("step", "step_batch"):
+            return [self.step(actions) for actions in actions_batch]
+        sizings = [self._actions_to_sizing(actions) for actions in actions_batch]
+        return self.evaluate_sizings(sizings)
+
+    def step(self, actions: np.ndarray) -> StepResult:
+        """Evaluate a per-component action matrix from the RL agent.
+
+        Args:
+            actions: Array of shape ``(num_components, action_dim)`` with
+                entries in ``[-1, 1]``.
+        """
+        return self.step_batch([actions])[0]
+
+    def _vector_to_sizing(self, vector: Sequence[float]) -> Sizing:
+        """Validate one flat normalised vector and denormalise it."""
         vector = np.asarray(vector, dtype=float)
         defs = self.circuit.parameter_space.definitions
         if len(vector) != len(defs):
@@ -188,13 +257,33 @@ class SizingEnvironment:
                 f"expected vector of length {len(defs)}, got {len(vector)}"
             )
         physical = [d.denormalize(v) for d, v in zip(defs, vector)]
-        sizing = self.circuit.parameter_space.vector_to_sizing(physical)
-        return self.evaluate_sizing(sizing)
+        return self.circuit.parameter_space.vector_to_sizing(physical)
+
+    def evaluate_normalized_batch(
+        self, vectors: Sequence[Sequence[float]]
+    ) -> List[StepResult]:
+        """Evaluate a batch of flat vectors in ``[-1, 1]^d`` (baselines)."""
+        if self._scalar_override(
+            "evaluate_normalized_vector", "evaluate_normalized_batch"
+        ):
+            return [self.evaluate_normalized_vector(vector) for vector in vectors]
+        sizings = [self._vector_to_sizing(vector) for vector in vectors]
+        return self.evaluate_sizings(sizings)
+
+    def evaluate_normalized_vector(self, vector: Sequence[float]) -> StepResult:
+        """Evaluate a flat vector in ``[-1, 1]^d`` (batch of one)."""
+        return self.evaluate_normalized_batch([vector])[0]
+
+    def random_batch(
+        self, rng: np.random.Generator, count: int
+    ) -> List[StepResult]:
+        """Evaluate ``count`` uniformly random designs in one batch."""
+        sizings = [self.circuit.random_sizing(rng) for _ in range(count)]
+        return self.evaluate_sizings(sizings)
 
     def random_step(self, rng: np.random.Generator) -> StepResult:
         """Evaluate a uniformly random design (warm-up / random search)."""
-        sizing = self.circuit.random_sizing(rng)
-        return self.evaluate_sizing(sizing)
+        return self.random_batch(rng, 1)[0]
 
     # --- bookkeeping ----------------------------------------------------------------
     def reset_history(self) -> None:

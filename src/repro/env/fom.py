@@ -21,6 +21,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.circuits.base import CircuitDesign, SpecLimit
+from repro.eval.base import Evaluator
+from repro.eval.local import LocalEvaluator
 
 #: FoM value assigned to designs that violate the spec or fail simulation.
 SPEC_VIOLATION_FOM = -1.0
@@ -159,13 +161,16 @@ def calibrate_normalization(
     num_samples: int = 200,
     seed: int = 1234,
     use_cache: bool = True,
+    evaluator: Optional[Evaluator] = None,
 ) -> MetricNormalization:
     """Obtain the FoM normalising ranges for a circuit/technology pair.
 
     The paper samples 5000 random designs; this implementation defaults to a
     smaller sample (the normalisation only has to bracket the metric ranges)
     and caches results both in memory and in JSON files shipped with the
-    package, so repeated experiments are deterministic and fast.
+    package, so repeated experiments are deterministic and fast.  When a
+    fresh calibration is needed, the random designs are simulated as one
+    batch through ``evaluator`` (serial local evaluation by default).
     """
     key = (circuit.name, circuit.technology.name)
     if use_cache and key in _NORMALIZATION_CACHE:
@@ -178,10 +183,10 @@ def calibrate_normalization(
         return norm
 
     rng = np.random.default_rng(seed)
-    samples = []
-    for _ in range(num_samples):
-        sizing = circuit.random_sizing(rng)
-        samples.append(circuit.evaluate(sizing))
+    sizings = [circuit.random_sizing(rng) for _ in range(num_samples)]
+    if evaluator is None:
+        evaluator = LocalEvaluator(circuit)
+    samples = [result.metrics for result in evaluator.evaluate_batch(sizings)]
     norm = MetricNormalization.from_samples(samples, circuit.metric_names)
     _NORMALIZATION_CACHE[key] = norm
     if use_cache:
@@ -199,16 +204,19 @@ def default_fom_config(
     weight_overrides: Optional[Mapping[str, float]] = None,
     apply_spec: bool = True,
     num_calibration_samples: int = 200,
+    evaluator: Optional[Evaluator] = None,
 ) -> FoMConfig:
     """Build the default FoM configuration for a benchmark circuit.
 
     Weights default to +1 for larger-is-better metrics and -1 otherwise (the
     paper's equal-weight setup); ``weight_overrides`` multiplies selected
     weights (used for the GCN-RL-1…5 single-metric-emphasis experiments).
+    ``evaluator`` is used for calibration sampling when no cached
+    normalisation exists.
     """
     if normalization is None:
         normalization = calibrate_normalization(
-            circuit, num_samples=num_calibration_samples
+            circuit, num_samples=num_calibration_samples, evaluator=evaluator
         )
     weights = circuit.default_weights()
     config = FoMConfig(

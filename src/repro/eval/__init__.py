@@ -1,0 +1,31 @@
+"""Unified design-evaluation subsystem (the single entry to the simulator).
+
+Every optimizer reaches the SPICE engine through an :class:`Evaluator`:
+
+* :class:`LocalEvaluator` — serial in-process reference implementation.
+* :class:`ParallelEvaluator` — process/thread pool fan-out with
+  deterministic result ordering.
+* :class:`CachingEvaluator` — LRU cache keyed on the quantized refined
+  sizing, wrapping any other evaluator.
+* :class:`EvaluatorConfig` / :func:`build_evaluator` — declarative
+  construction of the stack, shared by the CLI and the experiment runner.
+"""
+
+from repro.eval.base import EvalResult, Evaluator, EvaluatorStats
+from repro.eval.caching import CachingEvaluator, sizing_cache_key
+from repro.eval.config import BACKENDS, EvaluatorConfig, build_evaluator
+from repro.eval.local import LocalEvaluator
+from repro.eval.parallel import ParallelEvaluator
+
+__all__ = [
+    "Evaluator",
+    "EvalResult",
+    "EvaluatorStats",
+    "LocalEvaluator",
+    "ParallelEvaluator",
+    "CachingEvaluator",
+    "EvaluatorConfig",
+    "build_evaluator",
+    "sizing_cache_key",
+    "BACKENDS",
+]

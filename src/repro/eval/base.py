@@ -1,0 +1,123 @@
+"""The :class:`Evaluator` protocol — the single entry point to the simulator.
+
+Every optimization method in the reproduction (GCN-RL, NG-RL, random search,
+ES, BO, MACE) is simulation-in-the-loop: the dominant cost of a run is the
+sequence of circuit evaluations it requests.  This module defines the batched
+evaluation contract that decouples *what* is evaluated (a list of physical
+sizings) from *how* it is evaluated (serially, in a worker pool, through a
+cache, or — in later revisions — on a remote simulation service):
+
+* :class:`EvalResult` — one sizing's measured metrics.
+* :class:`EvaluatorStats` — running counters every evaluator maintains.
+* :class:`Evaluator` — the abstract batched interface; ``evaluate_batch`` is
+  the one required method and the scalar ``evaluate`` is a thin wrapper.
+
+Implementations must be *deterministic in order*: ``evaluate_batch(s)[i]``
+always corresponds to ``s[i]``, whatever parallelism or caching happens
+underneath, so optimization histories are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.circuits.base import CircuitDesign
+from repro.circuits.parameters import Sizing
+
+
+@dataclass
+class EvalResult:
+    """Outcome of simulating one design point.
+
+    Attributes:
+        sizing: The (refined) physical sizing that was evaluated.
+        metrics: Every measured performance metric of the design.
+        cached: Whether the result was served from a cache instead of a
+            fresh simulation.
+    """
+
+    sizing: Sizing
+    metrics: Dict[str, float]
+    cached: bool = False
+
+
+@dataclass
+class EvaluatorStats:
+    """Running counters of an evaluator's activity.
+
+    Attributes:
+        num_batches: Number of ``evaluate_batch`` calls served.
+        num_designs: Total designs evaluated (including cache hits).
+        num_simulations: Designs that actually reached the simulator.
+        cache_hits: Designs served from a cache.
+        cache_evictions: Cache entries dropped due to capacity.
+        total_time: Wall-clock seconds spent inside ``evaluate_batch``.
+    """
+
+    num_batches: int = 0
+    num_designs: int = 0
+    num_simulations: int = 0
+    cache_hits: int = 0
+    cache_evictions: int = 0
+    total_time: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of designs served from cache (0 when nothing was asked)."""
+        if self.num_designs == 0:
+            return 0.0
+        return self.cache_hits / self.num_designs
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict view for logging and reports."""
+        return {
+            "num_batches": self.num_batches,
+            "num_designs": self.num_designs,
+            "num_simulations": self.num_simulations,
+            "cache_hits": self.cache_hits,
+            "cache_evictions": self.cache_evictions,
+            "total_time": self.total_time,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class Evaluator(abc.ABC):
+    """Batched design-evaluation service: sizings in, metrics out.
+
+    The evaluator owns *no* optimization state — it is a pure mapping from
+    refined physical sizings to metric dictionaries.  Reward (FoM) compution
+    stays in the environment, so the same evaluator (and its cache) can be
+    shared by runs with different FoM weightings.
+    """
+
+    def __init__(self, circuit: CircuitDesign):
+        self._circuit = circuit
+        self.stats = EvaluatorStats()
+
+    @property
+    def circuit(self) -> CircuitDesign:
+        """The circuit design this evaluator simulates."""
+        return self._circuit
+
+    @abc.abstractmethod
+    def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:
+        """Evaluate many sizings; result ``i`` always matches input ``i``."""
+
+    def evaluate(self, sizing: Sizing) -> EvalResult:
+        """Evaluate a single sizing (batch of one)."""
+        return self.evaluate_batch([sizing])[0]
+
+    def close(self) -> None:
+        """Release any resources (worker pools); safe to call repeatedly."""
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        """One-line summary used by logs and reports."""
+        return f"{type(self).__name__}({self._circuit.name})"

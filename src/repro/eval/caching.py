@@ -1,0 +1,133 @@
+"""LRU-caching evaluator: never simulate the same refined sizing twice.
+
+Optimizers frequently revisit design points — the refinement step snaps
+sizings to the technology grid and matching groups, so distinct raw actions
+often collapse onto the same physical design.  The cache keys on the
+*quantized* refined sizing, which makes it exact: two keys are equal only if
+the simulator would receive (up to float formatting) the same netlist, so a
+hit can never change results.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.circuits.parameters import Sizing
+from repro.eval.base import EvalResult, Evaluator
+
+#: Significant digits retained in cache keys.  Refined sizings are already
+#: grid-snapped, so 12 digits distinguishes every representable design while
+#: absorbing sub-ULP formatting noise.
+CACHE_KEY_DIGITS = 12
+
+CacheKey = Tuple[Tuple[str, str, str], ...]
+
+
+def sizing_cache_key(sizing: Sizing, digits: int = CACHE_KEY_DIGITS) -> CacheKey:
+    """Canonical hashable key for a sizing (sorted, quantized)."""
+    entries = []
+    for component in sorted(sizing):
+        params = sizing[component]
+        for name in sorted(params):
+            entries.append((component, name, f"{float(params[name]):.{digits}g}"))
+    return tuple(entries)
+
+
+class CachingEvaluator(Evaluator):
+    """Wraps another evaluator with an LRU result cache.
+
+    Args:
+        inner: The evaluator that performs cache-miss simulations (its own
+            batching/parallelism is preserved — all misses of a batch are
+            forwarded in a single inner batch).
+        max_size: Maximum number of cached designs; least-recently-used
+            entries are evicted beyond it.
+        key_digits: Significant digits used when quantizing key values.
+    """
+
+    def __init__(
+        self,
+        inner: Evaluator,
+        max_size: int = 4096,
+        key_digits: int = CACHE_KEY_DIGITS,
+    ):
+        super().__init__(inner.circuit)
+        if max_size < 1:
+            raise ValueError(f"max_size must be positive, got {max_size}")
+        self.inner = inner
+        self.max_size = max_size
+        self.key_digits = key_digits
+        self._cache: "OrderedDict[CacheKey, Dict[str, float]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop every cached result (statistics are kept)."""
+        self._cache.clear()
+
+    def _store(self, key: CacheKey, metrics: Dict[str, float]) -> None:
+        self._cache[key] = dict(metrics)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_size:
+            self._cache.popitem(last=False)
+            self.stats.cache_evictions += 1
+
+    def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:
+        """Serve hits from the cache; forward all misses as one inner batch."""
+        sizings = list(sizings)
+        start = time.perf_counter()
+        keys = [sizing_cache_key(sizing, self.key_digits) for sizing in sizings]
+
+        # Resolve hits up front and collect the unique missing keys in
+        # first-occurrence order, so a design duplicated within one batch is
+        # simulated only once.  ``resolved`` snapshots every needed metrics
+        # dict, so assembly survives same-batch LRU evictions (batches larger
+        # than ``max_size``).
+        resolved: Dict[CacheKey, Dict[str, float]] = {}
+        miss_keys: List[CacheKey] = []
+        miss_sizings: List[Sizing] = []
+        first_miss: Dict[CacheKey, int] = {}
+        for index, (key, sizing) in enumerate(zip(keys, sizings)):
+            if key in self._cache:
+                if key not in resolved:
+                    resolved[key] = self._cache[key]
+                self._cache.move_to_end(key)
+            elif key not in first_miss:
+                first_miss[key] = index
+                miss_keys.append(key)
+                miss_sizings.append(sizing)
+
+        if miss_sizings:
+            inner_results = self.inner.evaluate_batch(miss_sizings)
+            for key, result in zip(miss_keys, inner_results):
+                resolved[key] = dict(result.metrics)
+                self._store(key, result.metrics)
+
+        results = []
+        for index, (key, sizing) in enumerate(zip(keys, sizings)):
+            cached = first_miss.get(key) != index
+            if cached:
+                self.stats.cache_hits += 1
+            # Copy metrics so callers can never mutate a cached entry.
+            results.append(
+                EvalResult(sizing=sizing, metrics=dict(resolved[key]), cached=cached)
+            )
+        self.stats.num_batches += 1
+        self.stats.num_designs += len(results)
+        self.stats.num_simulations += len(miss_sizings)
+        self.stats.total_time += time.perf_counter() - start
+        return results
+
+    def close(self) -> None:
+        """Close the wrapped evaluator."""
+        self.inner.close()
+
+    def describe(self) -> str:
+        """One-line summary used by logs and reports."""
+        return (
+            f"CachingEvaluator(max_size={self.max_size}, "
+            f"inner={self.inner.describe()})"
+        )

@@ -1,0 +1,72 @@
+"""Declarative evaluator configuration, shared by the CLI and the runner.
+
+An :class:`EvaluatorConfig` describes *how* designs should be evaluated —
+serial, thread pool, process pool, with or without an LRU cache — without
+holding any resources itself, so it can live in experiment settings, be
+hashed into run-cache keys and be built once per circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.circuits.base import CircuitDesign
+from repro.eval.base import Evaluator
+from repro.eval.caching import CachingEvaluator
+from repro.eval.local import LocalEvaluator
+from repro.eval.parallel import ParallelEvaluator
+
+#: Recognised evaluation backends.
+BACKENDS = ("local", "thread", "process")
+
+
+@dataclass(frozen=True)
+class EvaluatorConfig:
+    """How to build the evaluator stack for a run.
+
+    Attributes:
+        backend: ``"local"`` (serial, in-process), ``"thread"`` or
+            ``"process"`` (worker pools).
+        max_workers: Pool size for the pool backends; ``None`` means the
+            machine's CPU count.  Ignored by the local backend.
+        cache_size: When positive, wrap the base evaluator in a
+            :class:`CachingEvaluator` with this capacity.
+    """
+
+    backend: str = "local"
+    max_workers: Optional[int] = None
+    cache_size: int = 0
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+
+    def build(self, circuit: CircuitDesign) -> Evaluator:
+        """Construct the configured evaluator stack for a circuit."""
+        if self.backend == "local":
+            evaluator: Evaluator = LocalEvaluator(circuit)
+        else:
+            evaluator = ParallelEvaluator(
+                circuit, max_workers=self.max_workers, backend=self.backend
+            )
+        if self.cache_size > 0:
+            evaluator = CachingEvaluator(evaluator, max_size=self.cache_size)
+        return evaluator
+
+    def cache_key(self) -> Tuple:
+        """Canonical hashable form for run-cache keys."""
+        return ("evaluator", self.backend, self.max_workers, self.cache_size)
+
+
+def build_evaluator(
+    circuit: CircuitDesign, config: Optional[EvaluatorConfig] = None
+) -> Evaluator:
+    """Build an evaluator for ``circuit`` (serial local one by default)."""
+    return (config or EvaluatorConfig()).build(circuit)

@@ -1,0 +1,31 @@
+"""In-process serial evaluator — the reference implementation."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from repro.circuits.parameters import Sizing
+from repro.eval.base import EvalResult, Evaluator
+
+
+class LocalEvaluator(Evaluator):
+    """Evaluates each sizing serially through ``circuit.evaluate``.
+
+    This is the behaviour every optimizer had before the batched API existed;
+    :class:`~repro.eval.parallel.ParallelEvaluator` and
+    :class:`~repro.eval.caching.CachingEvaluator` are verified against it.
+    """
+
+    def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:
+        """Simulate every sizing in order on the calling thread."""
+        start = time.perf_counter()
+        results = [
+            EvalResult(sizing=sizing, metrics=self._circuit.evaluate(sizing))
+            for sizing in sizings
+        ]
+        self.stats.num_batches += 1
+        self.stats.num_designs += len(results)
+        self.stats.num_simulations += len(results)
+        self.stats.total_time += time.perf_counter() - start
+        return results

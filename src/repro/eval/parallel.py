@@ -1,0 +1,193 @@
+"""Worker-pool evaluator: fan a batch of sizings out over processes/threads.
+
+The SPICE engine is pure Python, so real speedups need process workers (the
+GIL serialises thread workers); the thread backend is still useful as a
+low-overhead smoke test of the fan-out path and for future simulator
+backends that release the GIL.
+
+Determinism: a batch is split into contiguous chunks, one per worker, and the
+results are stitched back together in submission order — ``results[i]``
+always corresponds to ``sizings[i]`` regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.base import CircuitDesign
+from repro.circuits.parameters import Sizing
+from repro.eval.base import EvalResult, Evaluator
+
+#: Per-process circuit instance, installed once by the pool initializer so the
+#: (pickled) circuit crosses the process boundary once per worker, not once
+#: per task.
+_WORKER_CIRCUIT: Optional[CircuitDesign] = None
+
+
+def _init_worker(circuit: CircuitDesign) -> None:
+    global _WORKER_CIRCUIT
+    _WORKER_CIRCUIT = circuit
+
+
+def _evaluate_chunk_in_worker(sizings: List[Sizing]) -> List[Dict[str, float]]:
+    """Process-pool task: evaluate one contiguous chunk of the batch."""
+    assert _WORKER_CIRCUIT is not None, "worker pool initializer did not run"
+    return [_WORKER_CIRCUIT.evaluate(sizing) for sizing in sizings]
+
+
+class ParallelEvaluator(Evaluator):
+    """Evaluates batches through a process or thread pool.
+
+    Args:
+        circuit: The circuit design to simulate.
+        max_workers: Pool size; defaults to the machine's CPU count.
+        backend: ``"process"`` (default, true parallelism) or ``"thread"``.
+
+    The pool is created lazily on the first batch and torn down by
+    :meth:`close`.  If the process pool cannot be created or breaks (e.g.
+    in sandboxes without working semaphores), evaluation degrades to serial
+    in-process execution with a warning rather than failing the run.
+    """
+
+    def __init__(
+        self,
+        circuit: CircuitDesign,
+        max_workers: Optional[int] = None,
+        backend: str = "process",
+    ):
+        super().__init__(circuit)
+        if backend not in ("process", "thread"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'process' or 'thread'"
+            )
+        self.backend = backend
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self._executor: Optional[Executor] = None
+        self._degraded = False
+
+    # --- pool management ---------------------------------------------------------------
+    def _get_executor(self) -> Optional[Executor]:
+        if self._degraded:
+            return None
+        if self._executor is None:
+            try:
+                if self.backend == "process":
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.max_workers,
+                        initializer=_init_worker,
+                        initargs=(self._circuit,),
+                    )
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers
+                    )
+            except (OSError, ValueError) as error:
+                warnings.warn(
+                    f"could not start {self.backend} pool ({error}); "
+                    "falling back to serial evaluation"
+                )
+                self._degrade()
+        return self._executor
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool failed and evaluation fell back to serial."""
+        return self._degraded
+
+    def _degrade(self) -> None:
+        self._degraded = True
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the worker pool down; the evaluator stays usable (lazy restart)."""
+        self._shutdown()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self._shutdown()
+        except Exception:
+            pass
+
+    # --- evaluation --------------------------------------------------------------------
+    def _chunks(self, count: int) -> List[slice]:
+        """Split ``count`` items into up to ``max_workers`` contiguous slices."""
+        num_chunks = min(self.max_workers, count)
+        base, extra = divmod(count, num_chunks)
+        slices, start = [], 0
+        for i in range(num_chunks):
+            size = base + (1 if i < extra else 0)
+            slices.append(slice(start, start + size))
+            start += size
+        return slices
+
+    def _evaluate_serial(self, sizings: Sequence[Sizing]) -> List[List[Dict[str, float]]]:
+        return [[self._circuit.evaluate(sizing) for sizing in sizings]]
+
+    def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:
+        """Fan the batch out over the pool; results keep input order."""
+        sizings = list(sizings)
+        start = time.perf_counter()
+        if len(sizings) < 2 or self.max_workers == 1:
+            metric_chunks = self._evaluate_serial(sizings)
+        else:
+            executor = self._get_executor()
+            if executor is None:
+                metric_chunks = self._evaluate_serial(sizings)
+            else:
+                chunks = [sizings[s] for s in self._chunks(len(sizings))]
+                if self.backend == "thread":
+                    futures = [
+                        executor.submit(
+                            lambda items: [self._circuit.evaluate(x) for x in items],
+                            chunk,
+                        )
+                        for chunk in chunks
+                    ]
+                else:
+                    futures = [
+                        executor.submit(_evaluate_chunk_in_worker, chunk)
+                        for chunk in chunks
+                    ]
+                try:
+                    metric_chunks = [future.result() for future in futures]
+                except (BrokenExecutor, OSError) as error:
+                    # Pool infrastructure failure only — an exception raised
+                    # by circuit.evaluate itself propagates to the caller
+                    # (the serial path would raise it too).
+                    warnings.warn(
+                        f"{self.backend} pool failed ({error}); "
+                        "falling back to serial evaluation"
+                    )
+                    self._degrade()
+                    metric_chunks = self._evaluate_serial(sizings)
+
+        results = []
+        flat = [metrics for chunk in metric_chunks for metrics in chunk]
+        for sizing, metrics in zip(sizings, flat):
+            results.append(EvalResult(sizing=sizing, metrics=metrics))
+        self.stats.num_batches += 1
+        self.stats.num_designs += len(results)
+        self.stats.num_simulations += len(results)
+        self.stats.total_time += time.perf_counter() - start
+        return results
+
+    def describe(self) -> str:
+        """One-line summary used by logs and reports."""
+        return (
+            f"ParallelEvaluator({self._circuit.name}, backend={self.backend}, "
+            f"max_workers={self.max_workers})"
+        )

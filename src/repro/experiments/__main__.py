@@ -39,6 +39,19 @@ def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.pretrain_steps = args.pretrain_steps
     if args.transfer_steps:
         settings.transfer_steps = args.transfer_steps
+    # Explicit None checks: 0 is a meaningful value for both flags
+    # (--workers 0 = CPU count, --cache-size 0 = caching off).
+    if args.eval_backend:
+        settings.eval_backend = args.eval_backend
+    if args.workers is not None:
+        settings.eval_workers = args.workers
+        # --workers without an explicit backend implies real parallelism.
+        if not args.eval_backend and settings.eval_backend == "local":
+            settings.eval_backend = "process"
+    if args.cache_size is not None:
+        settings.eval_cache_size = args.cache_size
+    # Fail fast on an inconsistent combination before any run starts.
+    settings.evaluator_config()
     return settings
 
 
@@ -56,8 +69,29 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--seeds", type=int, default=None, help="runs per configuration")
     parser.add_argument("--pretrain-steps", type=int, default=None)
     parser.add_argument("--transfer-steps", type=int, default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluator worker-pool size (implies --eval-backend process)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="LRU design-cache capacity (0 disables caching)",
+    )
+    parser.add_argument(
+        "--eval-backend",
+        choices=["local", "thread", "process"],
+        default=None,
+        help="how simulator batches are evaluated",
+    )
     args = parser.parse_args(argv)
-    settings = _build_settings(args)
+    try:
+        settings = _build_settings(args)
+    except ValueError as error:
+        parser.error(str(error))
 
     targets = TARGETS if args.target == "all" else [args.target]
     for target in targets:

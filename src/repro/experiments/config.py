@@ -11,6 +11,9 @@ raised towards the paper's scale through environment variables:
 * ``REPRO_TRANSFER_STEPS`` — fine-tuning budget (paper: 300 = 100 warm-up +
   200 exploration).
 * ``REPRO_WARMUP_FRACTION`` — fraction of the budget used as RL warm-up.
+* ``REPRO_EVAL_BACKEND`` / ``REPRO_EVAL_WORKERS`` / ``REPRO_EVAL_CACHE`` —
+  evaluator stack used for every simulator call (see
+  :class:`repro.eval.EvaluatorConfig`).
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from typing import List
+
+from repro.eval import BACKENDS, EvaluatorConfig
 
 
 def _env_int(name: str, default: int) -> int:
@@ -28,6 +33,23 @@ def _env_int(name: str, default: int) -> int:
         return max(int(value), 1)
     except ValueError:
         return default
+
+
+def _env_nonneg_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return max(int(value), 0)
+    except ValueError:
+        return default
+
+
+def _env_choice(name: str, default: str, choices) -> str:
+    value = os.environ.get(name)
+    if value in choices:
+        return value
+    return default
 
 
 def _env_float(name: str, default: float) -> float:
@@ -64,6 +86,9 @@ class ExperimentSettings:
         methods: Methods included in Table I / Figure 5.
         technology: Default technology node (paper designs at 180nm).
         transfer_targets: Target nodes of Table IV / Figure 7.
+        eval_backend: Evaluation backend (``local``, ``thread``, ``process``).
+        eval_workers: Worker-pool size; 0 means the machine's CPU count.
+        eval_cache_size: LRU design-cache capacity; 0 disables caching.
     """
 
     steps: int = field(default_factory=lambda: _env_int("REPRO_STEPS", 80))
@@ -95,10 +120,27 @@ class ExperimentSettings:
     transfer_targets: List[str] = field(
         default_factory=lambda: ["250nm", "130nm", "65nm", "45nm"]
     )
+    eval_backend: str = field(
+        default_factory=lambda: _env_choice("REPRO_EVAL_BACKEND", "local", BACKENDS)
+    )
+    eval_workers: int = field(
+        default_factory=lambda: _env_nonneg_int("REPRO_EVAL_WORKERS", 0)
+    )
+    eval_cache_size: int = field(
+        default_factory=lambda: _env_nonneg_int("REPRO_EVAL_CACHE", 0)
+    )
 
     def rl_warmup(self, steps: int) -> int:
         """Number of RL warm-up episodes for a given budget."""
         return max(5, min(int(steps * self.warmup_fraction), steps - 1))
+
+    def evaluator_config(self) -> EvaluatorConfig:
+        """The evaluator stack every run of this settings object uses."""
+        return EvaluatorConfig(
+            backend=self.eval_backend,
+            max_workers=self.eval_workers or None,
+            cache_size=self.eval_cache_size,
+        )
 
 
 #: Method display names as used in the paper's tables.

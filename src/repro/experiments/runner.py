@@ -14,6 +14,7 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.circuits.library import get_circuit
 from repro.env.environment import SizingEnvironment
 from repro.env.fom import default_fom_config
+from repro.eval import EvaluatorConfig
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.records import RunRecord
 from repro.optim.registry import get_optimizer
@@ -38,14 +39,22 @@ def build_environment(
     weight_overrides: Optional[Mapping[str, float]] = None,
     apply_spec: bool = True,
     transferable_state: bool = False,
+    evaluator_config: Optional[EvaluatorConfig] = None,
 ) -> SizingEnvironment:
     """Construct the standard experiment environment for a circuit."""
     circuit = get_circuit(circuit_name, technology)
+    evaluator = (evaluator_config or EvaluatorConfig()).build(circuit)
     fom = default_fom_config(
-        circuit, weight_overrides=weight_overrides, apply_spec=apply_spec
+        circuit,
+        weight_overrides=weight_overrides,
+        apply_spec=apply_spec,
+        evaluator=evaluator,
     )
     return SizingEnvironment(
-        circuit, fom_config=fom, transferable_state=transferable_state
+        circuit,
+        fom_config=fom,
+        transferable_state=transferable_state,
+        evaluator=evaluator,
     )
 
 
@@ -71,6 +80,7 @@ def run_method(
     weight_overrides: Optional[Mapping[str, float]] = None,
     apply_spec: bool = True,
     use_cache: bool = True,
+    evaluator_config: Optional[EvaluatorConfig] = None,
 ) -> RunRecord:
     """Run one sizing method and return its :class:`RunRecord`.
 
@@ -81,13 +91,24 @@ def run_method(
         technology: Technology node name.
         steps: Simulation budget (ignored for ``human``).
         seed: Random seed.
-        settings: Experiment settings (warm-up schedule for the RL agents).
+        settings: Experiment settings (warm-up schedule for the RL agents,
+            default evaluator stack).
         weight_overrides: Optional FoM weight multipliers (Table II variants).
         apply_spec: Enforce the circuit's hard spec in the FoM.
         use_cache: Reuse a previous identical run if available.
+        evaluator_config: Evaluator stack override; defaults to the one in
+            ``settings``.
     """
     settings = settings or ExperimentSettings()
+    evaluator_config = evaluator_config or settings.evaluator_config()
+    # The cache key must cover every setting that can change the produced
+    # RunRecord: besides the obvious (method, circuit, node, budget, seed),
+    # that is the canonicalised weight overrides, the spec toggle, the
+    # evaluator stack, and — for the RL methods — the warm-up schedule the
+    # settings object implies.  Leaving any of them out would let two
+    # different configurations alias to the same cached record.
     override_key = tuple(sorted((weight_overrides or {}).items()))
+    warmup_key = settings.rl_warmup(steps) if method in RL_METHODS else None
     cache_key = (
         method,
         circuit_name,
@@ -96,12 +117,18 @@ def run_method(
         seed,
         override_key,
         apply_spec,
+        evaluator_config.cache_key(),
+        warmup_key,
     )
     if use_cache and cache_key in _RUN_CACHE:
         return _RUN_CACHE[cache_key]
 
     environment = build_environment(
-        circuit_name, technology, weight_overrides, apply_spec
+        circuit_name,
+        technology,
+        weight_overrides,
+        apply_spec,
+        evaluator_config=evaluator_config,
     )
 
     if method == "human":
@@ -146,6 +173,7 @@ def run_method(
     else:
         raise KeyError(f"unknown method {method!r}; expected one of {ALL_METHODS}")
 
+    environment.evaluator.close()
     if use_cache:
         _RUN_CACHE[cache_key] = record
     return record

@@ -4,13 +4,17 @@ Every baseline (random search, ES, BO, MACE) optimizes the FoM over the
 normalised design space ``[-1, 1]^d`` through a :class:`SizingEnvironment`;
 the environment handles denormalisation, refinement, simulation and history
 tracking so that learning curves are directly comparable with the RL agent.
+Candidate designs are submitted through the environment's *batch* interface
+(``evaluate_normalized_batch``), so whole populations/proposal batches reach
+the :class:`~repro.eval.Evaluator` in one call and can be parallelised or
+cached below the algorithm.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,10 +42,28 @@ class OptimizationResult:
     num_evaluations: int = 0
 
     def best_so_far(self) -> np.ndarray:
-        """Running maximum of the reward (learning-curve series)."""
+        """Running maximum of the reward (learning-curve series).
+
+        Always a ``float64`` array, including on an empty history, so
+        downstream aggregation can vstack curves without dtype surprises.
+        """
         if not self.rewards:
-            return np.asarray([])
-        return np.maximum.accumulate(np.asarray(self.rewards, dtype=float))
+            return np.asarray([], dtype=np.float64)
+        return np.maximum.accumulate(np.asarray(self.rewards, dtype=np.float64))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable plain-dict form of the result."""
+        return {
+            "method": self.method,
+            "best_reward": float(self.best_reward),
+            "best_metrics": {k: float(v) for k, v in self.best_metrics.items()},
+            "best_sizing": {
+                comp: {name: float(value) for name, value in params.items()}
+                for comp, params in self.best_sizing.items()
+            },
+            "rewards": [float(r) for r in self.rewards],
+            "num_evaluations": int(self.num_evaluations),
+        }
 
 
 class BlackBoxOptimizer(abc.ABC):
@@ -59,10 +81,18 @@ class BlackBoxOptimizer(abc.ABC):
     def run(self, budget: int) -> OptimizationResult:
         """Run the optimizer for ``budget`` simulator evaluations."""
 
+    def _evaluate_batch(self, points: Sequence[np.ndarray]) -> np.ndarray:
+        """Evaluate many normalised design points in one environment batch.
+
+        Returns the rewards in input order as a ``float64`` array.
+        """
+        points = np.clip(np.asarray(points, dtype=float), -1.0, 1.0)
+        results = self.environment.evaluate_normalized_batch(points)
+        return np.asarray([result.reward for result in results], dtype=np.float64)
+
     def _evaluate(self, point: np.ndarray) -> float:
         """Evaluate one normalised design point and return its reward."""
-        result = self.environment.evaluate_normalized_vector(np.clip(point, -1, 1))
-        return result.reward
+        return float(self._evaluate_batch(np.asarray(point, dtype=float)[None, :])[0])
 
     def _result(self) -> OptimizationResult:
         """Package the environment history into an :class:`OptimizationResult`."""

@@ -62,11 +62,15 @@ class BayesianOptimization(BlackBoxOptimizer):
     def run(self, budget: int) -> OptimizationResult:
         """Run BO for ``budget`` evaluations (including the initial design)."""
         num_initial = min(self.num_initial, budget)
-        for _ in range(num_initial):
-            point = self.rng.uniform(-1.0, 1.0, size=self.dimension)
-            reward = self._evaluate(point)
-            self._x.append(point)
-            self._y.append(reward)
+        if num_initial > 0:
+            # The initial design is one evaluator batch (same RNG stream as
+            # the previous sample-evaluate-sample loop).
+            points = self.rng.uniform(
+                -1.0, 1.0, size=(num_initial, self.dimension)
+            )
+            rewards = self._evaluate_batch(points)
+            self._x.extend(points)
+            self._y.extend(rewards.tolist())
 
         for _ in range(budget - num_initial):
             x_train, y_train = self._training_set()

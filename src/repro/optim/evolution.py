@@ -78,7 +78,8 @@ class EvolutionStrategy(BlackBoxOptimizer):
             offspring = mean + sigma * raw @ chol.T
             offspring = np.clip(offspring, -1.0, 1.0)
 
-            rewards = np.array([self._evaluate(x) for x in offspring])
+            # The whole generation is one evaluator batch.
+            rewards = self._evaluate_batch(offspring)
             evaluations += lam
             if lam < self.num_parents:
                 break

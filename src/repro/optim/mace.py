@@ -105,19 +105,26 @@ class MACE(BlackBoxOptimizer):
     def run(self, budget: int) -> OptimizationResult:
         """Run MACE for ``budget`` evaluations."""
         num_initial = min(self.num_initial, budget)
-        for _ in range(num_initial):
-            point = self.rng.uniform(-1.0, 1.0, size=self.dimension)
-            self._x.append(point)
-            self._y.append(self._evaluate(point))
+        if num_initial > 0:
+            # The initial design is one evaluator batch (same RNG stream as
+            # the previous sample-evaluate-sample loop).
+            points = self.rng.uniform(
+                -1.0, 1.0, size=(num_initial, self.dimension)
+            )
+            rewards = self._evaluate_batch(points)
+            self._x.extend(points)
+            self._y.extend(rewards.tolist())
 
         remaining = budget - num_initial
         while remaining > 0:
             x_train, y_train = self._training_set()
             gp = GaussianProcess().fit(x_train, y_train)
+            # The Pareto-front proposals of each refit are one evaluator batch
+            # — MACE's raison d'être is exactly this batched evaluation.
             batch = self._select_batch(gp, min(self.batch_size, remaining))
-            for point in batch:
-                self._x.append(point)
-                self._y.append(self._evaluate(point))
+            rewards = self._evaluate_batch(batch)
+            self._x.extend(batch)
+            self._y.extend(rewards.tolist())
             remaining -= len(batch)
 
         return self._result()

@@ -11,8 +11,13 @@ class RandomSearch(BlackBoxOptimizer):
     name = "random"
 
     def run(self, budget: int) -> OptimizationResult:
-        """Evaluate ``budget`` uniformly random designs."""
-        for _ in range(budget):
-            point = self.rng.uniform(-1.0, 1.0, size=self.dimension)
-            self._evaluate(point)
+        """Evaluate ``budget`` uniformly random designs as one batch.
+
+        The whole population is sampled up front (the same RNG stream as
+        sequential per-design sampling) and submitted in a single evaluator
+        batch, so the run parallelises perfectly.
+        """
+        if budget > 0:
+            points = self.rng.uniform(-1.0, 1.0, size=(budget, self.dimension))
+            self._evaluate_batch(points)
         return self._result()

@@ -237,9 +237,53 @@ class GCNRLAgent:
         self._episode += 1
         return record
 
+    def _train_warmup_batch(self, num_episodes: int) -> List[TrainingRecord]:
+        """Run ``num_episodes`` random warm-up episodes as one evaluator batch.
+
+        Warm-up episodes perform no network updates, so their action matrices
+        can all be sampled up front (the identical RNG stream as sequential
+        sampling) and simulated through ``step_batch``.  Replay-buffer,
+        baseline and log updates then replay per episode in order, so the
+        resulting agent state and training log are exactly those of
+        ``num_episodes`` sequential :meth:`train_episode` calls.
+        """
+        states, _ = self.environment.observe()
+        actions_batch = [self.random_actions() for _ in range(num_episodes)]
+        running_best = self.environment.best_reward
+        results = self.environment.step_batch(actions_batch)
+        records = []
+        for actions, result in zip(actions_batch, results):
+            self.replay_buffer.add(states, actions, result.reward)
+            self._update_baseline(result.reward)
+            running_best = max(running_best, result.reward)
+            record = TrainingRecord(
+                episode=self._episode,
+                reward=result.reward,
+                best_reward=running_best,
+                critic_loss=float("nan"),
+                exploration_sigma=self.noise.sigma,
+                warmup=True,
+            )
+            self.training_log.append(record)
+            self._episode += 1
+            records.append(record)
+        return records
+
     def train(self, num_episodes: int) -> List[TrainingRecord]:
-        """Run ``num_episodes`` episodes and return their training records."""
-        return [self.train_episode() for _ in range(num_episodes)]
+        """Run ``num_episodes`` episodes and return their training records.
+
+        Leading warm-up episodes are batched through the environment's
+        evaluator; the exploration episodes that follow stay sequential
+        because each action depends on the networks updated by the previous
+        episode.
+        """
+        records: List[TrainingRecord] = []
+        warmup_left = min(num_episodes, self.config.warmup - self._episode)
+        if warmup_left > 1:
+            records.extend(self._train_warmup_batch(warmup_left))
+        while len(records) < num_episodes:
+            records.append(self.train_episode())
+        return records
 
     # --- results / persistence -----------------------------------------------------------
     @property

@@ -22,6 +22,7 @@ import numpy as np
 from repro.circuits.library import get_circuit
 from repro.env.environment import SizingEnvironment
 from repro.env.fom import default_fom_config
+from repro.eval import EvaluatorConfig
 from repro.rl.agent import AgentConfig, GCNRLAgent
 
 
@@ -47,12 +48,17 @@ def make_environment(
     technology: str = "180nm",
     transferable_state: bool = False,
     apply_spec: bool = True,
+    evaluator_config: Optional[EvaluatorConfig] = None,
 ) -> SizingEnvironment:
     """Build a standard sizing environment for a benchmark circuit."""
     circuit = get_circuit(circuit_name, technology)
-    fom = default_fom_config(circuit, apply_spec=apply_spec)
+    evaluator = (evaluator_config or EvaluatorConfig()).build(circuit)
+    fom = default_fom_config(circuit, apply_spec=apply_spec, evaluator=evaluator)
     return SizingEnvironment(
-        circuit, fom_config=fom, transferable_state=transferable_state
+        circuit,
+        fom_config=fom,
+        transferable_state=transferable_state,
+        evaluator=evaluator,
     )
 
 
@@ -63,10 +69,14 @@ def pretrain_agent(
     config: Optional[AgentConfig] = None,
     transferable_state: bool = False,
     seed: int = 0,
+    evaluator_config: Optional[EvaluatorConfig] = None,
 ) -> GCNRLAgent:
     """Train a fresh agent on a source circuit/technology pair."""
     environment = make_environment(
-        circuit_name, technology, transferable_state=transferable_state
+        circuit_name,
+        technology,
+        transferable_state=transferable_state,
+        evaluator_config=evaluator_config,
     )
     agent = GCNRLAgent(environment, config=config, seed=seed)
     agent.train(episodes)
@@ -79,6 +89,7 @@ def transfer_to_technology(
     target_technology: str,
     episodes: int,
     apply_spec: bool = True,
+    evaluator_config: Optional[EvaluatorConfig] = None,
 ) -> GCNRLAgent:
     """Fine-tune a pretrained agent on the same circuit in a new node.
 
@@ -91,6 +102,7 @@ def transfer_to_technology(
         target_technology,
         transferable_state=agent.environment.transferable_state,
         apply_spec=apply_spec,
+        evaluator_config=evaluator_config,
     )
     agent.attach_environment(environment)
     agent.train(episodes)
@@ -103,6 +115,7 @@ def transfer_to_topology(
     technology: str,
     episodes: int,
     apply_spec: bool = True,
+    evaluator_config: Optional[EvaluatorConfig] = None,
 ) -> GCNRLAgent:
     """Fine-tune a pretrained agent on a different circuit topology.
 
@@ -116,7 +129,11 @@ def transfer_to_topology(
             "transferable_state=True"
         )
     environment = make_environment(
-        target_circuit, technology, transferable_state=True, apply_spec=apply_spec
+        target_circuit,
+        technology,
+        transferable_state=True,
+        apply_spec=apply_spec,
+        evaluator_config=evaluator_config,
     )
     agent.attach_environment(environment)
     agent.train(episodes)

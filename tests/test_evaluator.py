@@ -1,0 +1,289 @@
+"""Tests for the unified evaluation subsystem (``repro.eval``)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.env import SizingEnvironment, default_fom_config
+from repro.eval import (
+    CachingEvaluator,
+    EvalResult,
+    EvaluatorConfig,
+    LocalEvaluator,
+    ParallelEvaluator,
+    build_evaluator,
+    sizing_cache_key,
+)
+from repro.optim import EvolutionStrategy, RandomSearch
+
+
+@pytest.fixture()
+def sizings(two_tia, rng):
+    """A handful of random refined sizings of the shared Two-TIA circuit."""
+    return [two_tia.random_sizing(rng) for _ in range(6)]
+
+
+class CountingEvaluator(LocalEvaluator):
+    """Local evaluator that counts how many designs it actually simulates."""
+
+    def __init__(self, circuit):
+        super().__init__(circuit)
+        self.simulated = 0
+
+    def evaluate_batch(self, sizings):
+        self.simulated += len(sizings)
+        return super().evaluate_batch(sizings)
+
+
+class TestLocalEvaluator:
+    def test_matches_direct_circuit_evaluate(self, two_tia, sizings):
+        evaluator = LocalEvaluator(two_tia)
+        results = evaluator.evaluate_batch(sizings)
+        for sizing, result in zip(sizings, results):
+            assert result.sizing is sizing
+            assert result.metrics == two_tia.evaluate(sizing)
+            assert not result.cached
+
+    def test_stats_counted(self, two_tia, sizings):
+        evaluator = LocalEvaluator(two_tia)
+        evaluator.evaluate_batch(sizings)
+        evaluator.evaluate(sizings[0])
+        assert evaluator.stats.num_batches == 2
+        assert evaluator.stats.num_designs == len(sizings) + 1
+        assert evaluator.stats.num_simulations == len(sizings) + 1
+        assert evaluator.stats.total_time > 0
+
+
+class TestParallelEvaluator:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_bit_identical_to_local(self, two_tia, sizings, backend):
+        local = LocalEvaluator(two_tia).evaluate_batch(sizings)
+        with ParallelEvaluator(two_tia, max_workers=2, backend=backend) as pool:
+            parallel = pool.evaluate_batch(sizings)
+        for a, b in zip(local, parallel):
+            assert a.metrics == b.metrics  # exact, not approximate
+
+    def test_result_order_matches_input_order(self, two_tia, sizings):
+        with ParallelEvaluator(two_tia, max_workers=3, backend="thread") as pool:
+            results = pool.evaluate_batch(sizings)
+        for sizing, result in zip(sizings, results):
+            assert result.sizing is sizing
+
+    def test_single_worker_and_tiny_batch_run_inline(self, two_tia, sizings):
+        evaluator = ParallelEvaluator(two_tia, max_workers=1)
+        results = evaluator.evaluate_batch(sizings[:1])
+        assert len(results) == 1
+        assert evaluator._executor is None  # never spun up a pool
+
+    def test_unknown_backend_rejected(self, two_tia):
+        with pytest.raises(ValueError):
+            ParallelEvaluator(two_tia, backend="gpu")
+
+    def test_chunking_covers_every_index_contiguously(self, two_tia):
+        evaluator = ParallelEvaluator(two_tia, max_workers=4)
+        for count in (1, 2, 4, 5, 11):
+            slices = evaluator._chunks(count)
+            indices = [i for s in slices for i in range(count)[s]]
+            assert indices == list(range(count))
+
+
+class TestCachingEvaluator:
+    def test_hit_counts_and_identical_results(self, two_tia, sizings):
+        counting = CountingEvaluator(two_tia)
+        evaluator = CachingEvaluator(counting, max_size=64)
+        first = evaluator.evaluate_batch(sizings)
+        second = evaluator.evaluate_batch(sizings)
+        assert counting.simulated == len(sizings)  # second pass all hits
+        assert evaluator.stats.cache_hits == len(sizings)
+        assert evaluator.stats.num_simulations == len(sizings)
+        for a, b in zip(first, second):
+            assert a.metrics == b.metrics
+            assert not a.cached and b.cached
+
+    def test_duplicates_within_one_batch_simulated_once(self, two_tia, sizings):
+        counting = CountingEvaluator(two_tia)
+        evaluator = CachingEvaluator(counting, max_size=64)
+        results = evaluator.evaluate_batch([sizings[0], sizings[0], sizings[1]])
+        assert counting.simulated == 2
+        assert evaluator.stats.cache_hits == 1
+        assert results[0].metrics == results[1].metrics
+
+    def test_mutating_a_result_never_corrupts_the_cache(self, two_tia, sizings):
+        evaluator = CachingEvaluator(LocalEvaluator(two_tia), max_size=8)
+        first = evaluator.evaluate_batch(sizings[:1])[0]
+        first.metrics["gain"] = -123.0
+        again = evaluator.evaluate_batch(sizings[:1])[0]
+        assert again.metrics["gain"] != -123.0
+
+    def test_lru_eviction_bounds_size(self, two_tia, sizings):
+        evaluator = CachingEvaluator(LocalEvaluator(two_tia), max_size=2)
+        evaluator.evaluate_batch(sizings)
+        assert len(evaluator) == 2
+        assert evaluator.stats.cache_evictions == len(sizings) - 2
+        # Batch larger than the cache still returns every result.
+        results = evaluator.evaluate_batch(sizings)
+        assert len(results) == len(sizings)
+
+    def test_cache_key_quantizes_and_canonicalises(self):
+        a = {"m2": {"w": 1e-6, "l": 2e-7}, "m1": {"w": 3e-6}}
+        b = {"m1": {"w": 3e-6 * (1 + 1e-15)}, "m2": {"l": 2e-7, "w": 1e-6}}
+        assert sizing_cache_key(a) == sizing_cache_key(b)
+        c = {"m1": {"w": 3.1e-6}, "m2": {"w": 1e-6, "l": 2e-7}}
+        assert sizing_cache_key(a) != sizing_cache_key(c)
+
+
+class TestEvaluatorConfig:
+    def test_build_local_default(self, two_tia):
+        assert isinstance(build_evaluator(two_tia), LocalEvaluator)
+
+    def test_build_composes_cache_over_pool(self, two_tia):
+        config = EvaluatorConfig(backend="thread", max_workers=2, cache_size=16)
+        evaluator = config.build(two_tia)
+        assert isinstance(evaluator, CachingEvaluator)
+        assert isinstance(evaluator.inner, ParallelEvaluator)
+        assert evaluator.inner.max_workers == 2
+        evaluator.close()
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluatorConfig(backend="quantum")
+        with pytest.raises(ValueError):
+            EvaluatorConfig(max_workers=0)
+        with pytest.raises(ValueError):
+            EvaluatorConfig(cache_size=-1)
+
+    def test_cache_keys_distinguish_configs(self):
+        keys = {
+            EvaluatorConfig().cache_key(),
+            EvaluatorConfig(backend="process", max_workers=4).cache_key(),
+            EvaluatorConfig(cache_size=32).cache_key(),
+        }
+        assert len(keys) == 3
+
+
+class TestEnvironmentBatchAPI:
+    def _fresh_env(self, circuit, **kwargs):
+        return SizingEnvironment(circuit, default_fom_config(circuit), **kwargs)
+
+    def test_step_batch_history_matches_sequential_steps(self, two_tia, rng):
+        n, d = two_tia.num_components, 4
+        actions_batch = [rng.uniform(-1, 1, size=(n, d)) for _ in range(5)]
+        env_batch = self._fresh_env(two_tia)
+        env_seq = self._fresh_env(two_tia)
+        batch_results = env_batch.step_batch(actions_batch)
+        seq_results = [env_seq.step(a) for a in actions_batch]
+        assert [r.reward for r in batch_results] == [r.reward for r in seq_results]
+        assert [h.reward for h in env_batch.history] == [
+            h.reward for h in env_seq.history
+        ]
+        assert [r.step_index for r in batch_results] == list(range(5))
+        assert env_batch.best_reward == env_seq.best_reward
+        assert env_batch.best_sizing == env_seq.best_sizing
+
+    def test_normalized_batch_matches_scalar_path(self, two_tia, rng):
+        dim = two_tia.parameter_space.dimension
+        vectors = rng.uniform(-1, 1, size=(3, dim))
+        env_batch = self._fresh_env(two_tia)
+        env_seq = self._fresh_env(two_tia)
+        batch = env_batch.evaluate_normalized_batch(vectors)
+        scalar = [env_seq.evaluate_normalized_vector(v) for v in vectors]
+        assert [r.reward for r in batch] == [r.reward for r in scalar]
+
+    def test_step_batch_validates_shapes_before_simulating(self, two_tia):
+        env = self._fresh_env(two_tia)
+        with pytest.raises(ValueError):
+            env.step_batch([np.zeros((2, 3))])
+        assert env.history == []
+
+    def test_environment_rejects_foreign_evaluator(self, two_tia):
+        other = get_circuit("three_tia")
+        with pytest.raises(ValueError):
+            SizingEnvironment(two_tia, evaluator=LocalEvaluator(other))
+
+    def test_scalar_only_override_is_honoured_by_batch_methods(self, two_tia):
+        """Legacy subclasses overriding only step() must keep working.
+
+        The batched RL warm-up goes through step_batch; a synthetic
+        environment that replaces step() alone must still see its reward
+        used, not the real simulator.
+        """
+
+        class ScalarOnlyEnvironment(SizingEnvironment):
+            def step(self, actions):
+                return self._record(42.0, {"synthetic": 42.0}, {})
+
+            def evaluate_normalized_vector(self, vector):
+                return self._record(-7.0, {"synthetic": -7.0}, {})
+
+        env = ScalarOnlyEnvironment(two_tia)
+        n, d = two_tia.num_components, env.action_dim
+        batch = env.step_batch([np.zeros((n, d)), np.zeros((n, d))])
+        assert [r.reward for r in batch] == [42.0, 42.0]
+        flat = env.evaluate_normalized_batch(np.zeros((2, env.parameter_dimension)))
+        assert [r.reward for r in flat] == [-7.0, -7.0]
+
+    def test_all_paths_share_one_evaluator(self, two_tia, rng):
+        counting = CountingEvaluator(two_tia)
+        env = self._fresh_env(two_tia, evaluator=counting)
+        env.evaluate_sizing(two_tia.expert_sizing())
+        env.random_step(rng)
+        env.step(np.zeros((two_tia.num_components, env.action_dim)))
+        env.evaluate_normalized_vector(np.zeros(env.parameter_dimension))
+        assert counting.simulated == 4
+        assert len(env.history) == 4
+
+
+class TestOptimizersUnderParallelism:
+    """Acceptance: parallel evaluation is invisible in optimization results."""
+
+    @pytest.mark.parametrize("cls,budget", [(RandomSearch, 8), (EvolutionStrategy, 16)])
+    def test_parallel_matches_local_results(self, two_tia, cls, budget):
+        def run(evaluator):
+            env = SizingEnvironment(
+                two_tia, default_fom_config(two_tia), evaluator=evaluator
+            )
+            return cls(env, seed=0).run(budget)
+
+        local = run(LocalEvaluator(two_tia))
+        with ParallelEvaluator(two_tia, max_workers=4, backend="process") as pool:
+            parallel = run(pool)
+        assert local.rewards == parallel.rewards
+        assert local.best_reward == parallel.best_reward
+        assert local.best_sizing == parallel.best_sizing
+
+    def test_caching_changes_no_rewards_across_restarts(self, two_tia):
+        cached = CachingEvaluator(LocalEvaluator(two_tia), max_size=256)
+
+        def run(evaluator):
+            env = SizingEnvironment(
+                two_tia, default_fom_config(two_tia), evaluator=evaluator
+            )
+            return RandomSearch(env, seed=2).run(6)
+
+        baseline = run(LocalEvaluator(two_tia))
+        first = run(cached)
+        second = run(cached)  # identical seed: every design is a cache hit
+        assert first.rewards == baseline.rewards
+        assert second.rewards == baseline.rewards
+        assert cached.stats.cache_hits == 6
+
+
+class TestOptimizationResultSerialization:
+    def test_best_so_far_empty_is_float64(self):
+        from repro.optim import OptimizationResult
+
+        result = OptimizationResult("random", 0.0, {}, {})
+        curve = result.best_so_far()
+        assert curve.dtype == np.float64
+        assert curve.size == 0
+
+    def test_to_dict_round_trips_through_json(self, two_tia):
+        import json
+
+        env = SizingEnvironment(two_tia, default_fom_config(two_tia))
+        result = RandomSearch(env, seed=0).run(2)
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["method"] == "random"
+        assert data["num_evaluations"] == 2
+        assert len(data["rewards"]) == 2
+        assert data["best_sizing"]
