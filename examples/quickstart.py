@@ -3,16 +3,19 @@
 Runs a short GCN-RL search on the Two-TIA benchmark circuit at 180nm, then
 prints the best Figure of Merit, the corresponding performance metrics and
 the physical transistor sizes the agent chose.  Also demonstrates the batch
-evaluation API (``evaluate_normalized_batch``) and the evaluator
-configuration every simulator call goes through.
+evaluation API (``evaluate_normalized_batch``), the evaluator configuration
+every simulator call goes through, and a store-backed campaign sweep that
+persists runs and resumes without re-executing finished cells.
 
 Usage:
     python examples/quickstart.py [--steps 150] [--workers 4] [--cache-size 256]
+    python examples/quickstart.py --store-dir runs   # persist the demo sweep
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 
 import numpy as np
 
@@ -20,6 +23,7 @@ from repro.circuits import get_circuit
 from repro.env import SizingEnvironment, default_fom_config
 from repro.eval import EvaluatorConfig
 from repro.rl import AgentConfig, GCNRLAgent
+from repro.store import Campaign, CampaignSpec, open_run_store
 
 
 def main() -> None:
@@ -35,6 +39,11 @@ def main() -> None:
     )
     parser.add_argument(
         "--cache-size", type=int, default=0, help="LRU design cache (0 = off)"
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="persist the demo sweep here (default: a temporary directory)",
     )
     args = parser.parse_args()
 
@@ -98,6 +107,27 @@ def main() -> None:
         f"{stats.cache_hits} cache hits)"
     )
     evaluator.close()
+
+    # 6) Store-backed sweeps: a Campaign expands a grid spec, persists every
+    #    completed run in a RunStore under its canonical key, and skips cells
+    #    already present — so a killed sweep resumes exactly where it stopped
+    #    (re-run with the same --store-dir to see everything skipped).
+    store_dir = args.store_dir or tempfile.mkdtemp(prefix="repro-quickstart-")
+    store = open_run_store("jsonl", store_dir)
+    spec = CampaignSpec(
+        methods=["human", "random"],
+        circuits=[args.circuit],
+        technologies=[args.technology],
+        seeds=2,
+        steps=20,
+    )
+    campaign = Campaign(spec, store)
+    print(f"\nCampaign sweep into {store_dir}:")
+    print("  " + campaign.run().summary())
+    print("  " + campaign.run().summary() + "  <- resumed: nothing re-executed")
+    best = max(store.query(circuit=args.circuit), key=lambda r: r.best_reward)
+    print(f"  best stored run: {best.method} (FoM {best.best_reward:.3f})")
+    store.close()
 
 
 if __name__ == "__main__":

@@ -22,6 +22,8 @@ from repro.experiments.runner import (
     ALL_METHODS,
     build_environment,
     clear_run_cache,
+    default_run_store,
+    run_key_for,
     run_method,
     run_methods,
 )
@@ -54,8 +56,10 @@ __all__ = [
     "ALL_METHODS",
     "run_method",
     "run_methods",
+    "run_key_for",
     "build_environment",
     "clear_run_cache",
+    "default_run_store",
     "Table",
     "table1_fom_comparison",
     "table2_two_tia",

@@ -1,16 +1,28 @@
 """Command-line entry point for regenerating the paper's tables and figures.
 
+Runs can be persisted to a durable store (``--store-dir``/``--store-backend``
+or ``REPRO_STORE_DIR``/``REPRO_STORE_BACKEND``), which makes every target
+incremental across invocations and enables campaign-style workflows:
+
+* ``sweep`` — run the methods × circuits × technologies × seeds grid,
+  skipping cells already in the store (kill-and-resume safe).
+* ``ls`` — list the runs currently in the store (with coordinate filters).
+* ``export`` — dump stored runs as JSON for downstream analysis.
+
 Examples:
     python -m repro.experiments table1 --steps 100 --seeds 2
-    python -m repro.experiments figure7 --transfer-steps 80
+    python -m repro.experiments sweep --store-dir runs --store-backend jsonl
+    python -m repro.experiments ls --store-dir runs --method gcn_rl
+    python -m repro.experiments export --store-dir runs --output runs.json
     python -m repro.experiments all
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List
+from typing import List, Optional
 
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.figures import (
@@ -25,8 +37,10 @@ from repro.experiments.tables import (
     table4_technology_transfer,
     table5_topology_transfer,
 )
+from repro.store import Campaign, CampaignSpec, RunStore, STORE_BACKENDS
 
 TARGETS = ["table1", "table2", "table3", "table4", "table5", "figure5", "figure7", "figure8"]
+STORE_COMMANDS = ["sweep", "ls", "export"]
 
 
 def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
@@ -50,9 +64,30 @@ def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
             settings.eval_backend = "process"
     if args.cache_size is not None:
         settings.eval_cache_size = args.cache_size
+    if args.store_dir:
+        settings.store_dir = args.store_dir
+    if args.store_backend:
+        settings.store_backend = args.store_backend
+    # A store directory (flag or REPRO_STORE_DIR) without an explicitly
+    # chosen backend implies durable storage — a memory store would ignore
+    # the directory and silently discard every result on exit.
+    if settings.store_dir and not args.store_backend and settings.store_backend == "memory":
+        settings.store_backend = "jsonl"
     # Fail fast on an inconsistent combination before any run starts.
     settings.evaluator_config()
+    if settings.store_backend != "memory" and not settings.store_dir:
+        raise ValueError(
+            f"store backend {settings.store_backend!r} requires --store-dir "
+            "(or REPRO_STORE_DIR)"
+        )
     return settings
+
+
+def _open_store(settings: ExperimentSettings) -> Optional[RunStore]:
+    """The run store the CLI should use (``None`` = runner's default)."""
+    if settings.store_backend == "memory" and not settings.store_dir:
+        return None
+    return settings.build_run_store()
 
 
 def _emit_figures(figures) -> None:
@@ -61,10 +96,73 @@ def _emit_figures(figures) -> None:
         print()
 
 
+def _sweep(settings: ExperimentSettings, store: Optional[RunStore], args) -> None:
+    if store is None:
+        # A sweep's entire point is persistence; silently executing into a
+        # throwaway in-memory store would discard every result on exit.
+        print("no store configured (use --store-dir / --store-backend)")
+        return
+    technologies = None
+    if args.technologies:
+        technologies = [t.strip() for t in args.technologies.split(",") if t.strip()]
+    spec = CampaignSpec.from_settings(settings, technologies=technologies)
+    campaign = Campaign(spec, store, settings=settings)
+
+    def progress(request, outcome):
+        print(
+            f"  [{outcome:>8s}] {request.method} {request.circuit} "
+            f"{request.technology} seed={request.seed} steps={request.steps}"
+        )
+
+    report = campaign.run(max_runs=args.max_runs, progress=progress)
+    print(report.summary())
+
+
+def _ls(store: Optional[RunStore], args) -> None:
+    if store is None:
+        print("no store configured (use --store-dir / --store-backend)")
+        return
+    records = store.query(
+        method=args.method or None,
+        circuit=args.circuit or None,
+        technology=args.technology or None,
+        seed=args.seed,
+    )
+    print(f"{len(records)} run(s) in {store.describe()}")
+    order = sorted(
+        records, key=lambda r: (r.circuit, r.technology, r.method, r.seed)
+    )
+    for record in order:
+        print(
+            f"  {record.method:>24s}  {record.circuit:10s} {record.technology:6s} "
+            f"seed={record.seed} steps={record.steps} "
+            f"best_reward={record.best_reward:.4f}"
+        )
+
+
+def _export(store: Optional[RunStore], args) -> None:
+    if store is None:
+        print("no store configured (use --store-dir / --store-backend)")
+        return
+    rows = [stored.to_dict() for stored in store.items()]
+    rows.sort(key=lambda row: json.dumps(row["key"], sort_keys=True))
+    text = json.dumps(rows, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"exported {len(rows)} run(s) to {args.output}")
+    else:
+        print(text)
+
+
 def main(argv: List[str] = None) -> int:
     """Run the requested experiment target(s) and print the results."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("target", choices=TARGETS + ["all"], help="what to regenerate")
+    parser.add_argument(
+        "target",
+        choices=TARGETS + ["all"] + STORE_COMMANDS,
+        help="what to regenerate (or a store command: sweep / ls / export)",
+    )
     parser.add_argument("--steps", type=int, default=None, help="search budget per run")
     parser.add_argument("--seeds", type=int, default=None, help="runs per configuration")
     parser.add_argument("--pretrain-steps", type=int, default=None)
@@ -87,31 +185,82 @@ def main(argv: List[str] = None) -> int:
         default=None,
         help="how simulator batches are evaluated",
     )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="run-store directory (implies --store-backend jsonl)",
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=list(STORE_BACKENDS),
+        default=None,
+        help="how completed runs are persisted",
+    )
+    parser.add_argument(
+        "--technologies",
+        default=None,
+        help="comma-separated technology nodes for the sweep grid",
+    )
+    parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="stop the sweep after this many executed runs (resume later)",
+    )
+    parser.add_argument(
+        "--method", default=None, help="filter for ls/export: method name"
+    )
+    parser.add_argument(
+        "--circuit", default=None, help="filter for ls/export: circuit name"
+    )
+    parser.add_argument(
+        "--technology", default=None, help="filter for ls/export: technology node"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="filter for ls/export: seed"
+    )
+    parser.add_argument(
+        "--output", default=None, help="output file for export (default: stdout)"
+    )
     args = parser.parse_args(argv)
     try:
         settings = _build_settings(args)
     except ValueError as error:
         parser.error(str(error))
 
-    targets = TARGETS if args.target == "all" else [args.target]
-    for target in targets:
-        if target == "table1":
-            print(table1_fom_comparison(settings).render())
-        elif target == "table2":
-            print(table2_two_tia(settings).render())
-        elif target == "table3":
-            print(table3_two_volt(settings).render())
-        elif target == "table4":
-            print(table4_technology_transfer(settings).render())
-        elif target == "table5":
-            print(table5_topology_transfer(settings).render())
-        elif target == "figure5":
-            _emit_figures(figure5_learning_curves(settings))
-        elif target == "figure7":
-            _emit_figures(figure7_technology_transfer_curves(settings))
-        elif target == "figure8":
-            _emit_figures(figure8_topology_transfer_curves(settings))
-        print()
+    store = _open_store(settings)
+    try:
+        if args.target in STORE_COMMANDS:
+            if args.target == "sweep":
+                _sweep(settings, store, args)
+            elif args.target == "ls":
+                _ls(store, args)
+            elif args.target == "export":
+                _export(store, args)
+            return 0
+
+        targets = TARGETS if args.target == "all" else [args.target]
+        for target in targets:
+            if target == "table1":
+                print(table1_fom_comparison(settings, store=store).render())
+            elif target == "table2":
+                print(table2_two_tia(settings, store=store).render())
+            elif target == "table3":
+                print(table3_two_volt(settings, store=store).render())
+            elif target == "table4":
+                print(table4_technology_transfer(settings, store=store).render())
+            elif target == "table5":
+                print(table5_topology_transfer(settings, store=store).render())
+            elif target == "figure5":
+                _emit_figures(figure5_learning_curves(settings, store=store))
+            elif target == "figure7":
+                _emit_figures(figure7_technology_transfer_curves(settings, store=store))
+            elif target == "figure8":
+                _emit_figures(figure8_topology_transfer_curves(settings, store=store))
+            print()
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 

@@ -21,6 +21,7 @@ from repro.experiments.transfer import (
     technology_transfer_experiment,
     topology_transfer_experiment,
 )
+from repro.store import RunStore
 
 
 @dataclass
@@ -80,6 +81,7 @@ class FigureData:
 
 def figure5_learning_curves(
     settings: Optional[ExperimentSettings] = None,
+    store: Optional[RunStore] = None,
 ) -> Dict[str, FigureData]:
     """Figure 5: best-FoM learning curves of every method on each circuit."""
     settings = settings or ExperimentSettings()
@@ -91,7 +93,7 @@ def figure5_learning_curves(
             xlabel="simulation step",
             ylabel="max FoM",
         )
-        results = run_methods(methods, circuit, settings)
+        results = run_methods(methods, circuit, settings, store=store)
         for method in methods:
             curve = max_learning_curve(results[method])
             figure.add_series(METHOD_LABELS[method], curve)
@@ -102,10 +104,11 @@ def figure5_learning_curves(
 def figure7_technology_transfer_curves(
     settings: Optional[ExperimentSettings] = None,
     circuit: str = "three_tia",
+    store: Optional[RunStore] = None,
 ) -> Dict[str, FigureData]:
     """Figure 7: transfer vs no-transfer learning curves per target node."""
     settings = settings or ExperimentSettings()
-    experiment = technology_transfer_experiment(circuit, settings)
+    experiment = technology_transfer_experiment(circuit, settings, store=store)
     figures: Dict[str, FigureData] = {}
     for target in settings.transfer_targets:
         figure = FigureData(
@@ -125,13 +128,14 @@ def figure7_technology_transfer_curves(
 
 def figure8_topology_transfer_curves(
     settings: Optional[ExperimentSettings] = None,
+    store: Optional[RunStore] = None,
 ) -> Dict[str, FigureData]:
     """Figure 8: topology-transfer learning curves for both directions."""
     settings = settings or ExperimentSettings()
     directions = [("two_tia", "three_tia"), ("three_tia", "two_tia")]
     figures: Dict[str, FigureData] = {}
     for source, target in directions:
-        experiment = topology_transfer_experiment(source, target, settings)
+        experiment = topology_transfer_experiment(source, target, settings, store=store)
         key = f"{source}_to_{target}"
         figure = FigureData(
             title=(

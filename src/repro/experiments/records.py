@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -39,6 +39,41 @@ class RunRecord:
         if not self.rewards:
             return np.asarray([self.best_reward])
         return np.maximum.accumulate(np.asarray(self.rewards, dtype=float))
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable dict form (exact round-trip via `from_dict`).
+
+        Numpy scalars are coerced to plain floats — ``float(np.float64(x))``
+        is value-preserving, so serialization never perturbs results.
+        """
+        return {
+            "method": self.method,
+            "circuit": self.circuit,
+            "technology": self.technology,
+            "seed": int(self.seed),
+            "steps": int(self.steps),
+            "best_reward": float(self.best_reward),
+            "best_metrics": {k: float(v) for k, v in self.best_metrics.items()},
+            "rewards": [float(r) for r in self.rewards],
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunRecord":
+        """Rebuild a record from its :meth:`to_dict` form."""
+        return cls(
+            method=data["method"],
+            circuit=data["circuit"],
+            technology=data["technology"],
+            seed=int(data["seed"]),
+            steps=int(data["steps"]),
+            best_reward=float(data["best_reward"]),
+            best_metrics={
+                k: float(v) for k, v in data.get("best_metrics", {}).items()
+            },
+            rewards=[float(r) for r in data.get("rewards", [])],
+            extra=dict(data.get("extra", {})),
+        )
 
 
 @dataclass

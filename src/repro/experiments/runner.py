@@ -1,15 +1,19 @@
-"""Run one optimization method on one circuit (with in-process result caching).
+"""Run one optimization method on one circuit, backed by a run store.
 
 Tables and figures share runs: Table I and Figure 5 need exactly the same
-experiments, and Table II reuses the Two-TIA runs of Table I.  To avoid
-re-simulating, every completed run is cached in-process keyed by its full
-configuration; the benchmark harness therefore pays for each configuration
-only once per session.
+experiments, and Table II reuses the Two-TIA runs of Table I.  Every
+completed run is therefore written to a :class:`~repro.store.RunStore` under
+its canonical :class:`~repro.store.RunKey`; an identical request is served
+from the store instead of re-simulating.  The default store is an in-process
+:class:`~repro.store.MemoryStore` (the behaviour of the old ``_RUN_CACHE``
+dict); passing ``store=`` a :class:`~repro.store.JsonlStore` or
+:class:`~repro.store.SqliteStore` makes runs durable across processes, which
+is what the :class:`~repro.store.Campaign` orchestrator builds on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from repro.circuits.library import get_circuit
 from repro.env.environment import SizingEnvironment
@@ -19,18 +23,25 @@ from repro.experiments.config import ExperimentSettings
 from repro.experiments.records import RunRecord
 from repro.optim.registry import get_optimizer
 from repro.rl.agent import AgentConfig, GCNRLAgent
+from repro.store import MemoryStore, RunKey, RunStore, make_run_key
 
 #: Methods implemented by the runner.
 RL_METHODS = ("gcn_rl", "ng_rl")
 BLACK_BOX_METHODS = ("random", "es", "bo", "mace")
 ALL_METHODS = ("human",) + BLACK_BOX_METHODS + RL_METHODS
 
-_RUN_CACHE: Dict[Tuple, RunRecord] = {}
+#: Process-wide default store (what the old ``_RUN_CACHE`` dict used to be).
+_DEFAULT_STORE = MemoryStore()
+
+
+def default_run_store() -> RunStore:
+    """The process-wide in-memory store used when no ``store=`` is given."""
+    return _DEFAULT_STORE
 
 
 def clear_run_cache() -> None:
-    """Drop all cached run results (mostly useful in tests)."""
-    _RUN_CACHE.clear()
+    """Drop all runs from the default in-process store (useful in tests)."""
+    _DEFAULT_STORE.clear()
 
 
 def build_environment(
@@ -70,6 +81,44 @@ def default_agent_config(
     )
 
 
+def run_key_for(
+    method: str,
+    circuit_name: str,
+    technology: str = "180nm",
+    steps: int = 80,
+    seed: int = 0,
+    settings: Optional[ExperimentSettings] = None,
+    weight_overrides: Optional[Mapping[str, float]] = None,
+    apply_spec: bool = True,
+    evaluator_config: Optional[EvaluatorConfig] = None,
+) -> RunKey:
+    """Canonical store key of the run :func:`run_method` would produce.
+
+    The key must cover every setting that can change the produced record:
+    besides the obvious (method, circuit, node, budget, seed), that is the
+    canonicalised weight overrides, the spec toggle, the evaluator stack,
+    and — for the RL methods — the warm-up schedule the settings object
+    implies.  Leaving any of them out would let two different configurations
+    alias to the same stored record.
+    """
+    settings = settings or ExperimentSettings()
+    evaluator_config = evaluator_config or settings.evaluator_config()
+    extra = {}
+    if method in RL_METHODS:
+        extra["warmup"] = settings.rl_warmup(steps)
+    return make_run_key(
+        method,
+        circuit_name,
+        technology,
+        steps,
+        seed,
+        weight_overrides=weight_overrides,
+        apply_spec=apply_spec,
+        evaluator_key=evaluator_config.cache_key(),
+        extra=extra,
+    )
+
+
 def run_method(
     method: str,
     circuit_name: str,
@@ -81,6 +130,7 @@ def run_method(
     apply_spec: bool = True,
     use_cache: bool = True,
     evaluator_config: Optional[EvaluatorConfig] = None,
+    store: Optional[RunStore] = None,
 ) -> RunRecord:
     """Run one sizing method and return its :class:`RunRecord`.
 
@@ -95,33 +145,32 @@ def run_method(
             default evaluator stack).
         weight_overrides: Optional FoM weight multipliers (Table II variants).
         apply_spec: Enforce the circuit's hard spec in the FoM.
-        use_cache: Reuse a previous identical run if available.
+        use_cache: Reuse a previous identical run from the store if present.
         evaluator_config: Evaluator stack override; defaults to the one in
             ``settings``.
+        store: Run store to read/write.  Defaults to the process-wide
+            in-memory store; pass a persistent backend to make runs durable.
+            An explicitly given store is always written to (even with
+            ``use_cache=False``, which only disables *reading*).
     """
     settings = settings or ExperimentSettings()
     evaluator_config = evaluator_config or settings.evaluator_config()
-    # The cache key must cover every setting that can change the produced
-    # RunRecord: besides the obvious (method, circuit, node, budget, seed),
-    # that is the canonicalised weight overrides, the spec toggle, the
-    # evaluator stack, and — for the RL methods — the warm-up schedule the
-    # settings object implies.  Leaving any of them out would let two
-    # different configurations alias to the same cached record.
-    override_key = tuple(sorted((weight_overrides or {}).items()))
-    warmup_key = settings.rl_warmup(steps) if method in RL_METHODS else None
-    cache_key = (
+    key = run_key_for(
         method,
         circuit_name,
-        technology,
-        steps,
-        seed,
-        override_key,
-        apply_spec,
-        evaluator_config.cache_key(),
-        warmup_key,
+        technology=technology,
+        steps=steps,
+        seed=seed,
+        settings=settings,
+        weight_overrides=weight_overrides,
+        apply_spec=apply_spec,
+        evaluator_config=evaluator_config,
     )
-    if use_cache and cache_key in _RUN_CACHE:
-        return _RUN_CACHE[cache_key]
+    target_store = store if store is not None else _DEFAULT_STORE
+    if use_cache:
+        cached = target_store.get(key)
+        if cached is not None:
+            return cached
 
     environment = build_environment(
         circuit_name,
@@ -131,51 +180,54 @@ def run_method(
         evaluator_config=evaluator_config,
     )
 
-    if method == "human":
-        result = environment.evaluate_sizing(environment.circuit.expert_sizing())
-        record = RunRecord(
-            method=method,
-            circuit=circuit_name,
-            technology=technology,
-            seed=seed,
-            steps=1,
-            best_reward=result.reward,
-            best_metrics=dict(result.metrics),
-            rewards=[result.reward],
-        )
-    elif method in RL_METHODS:
-        config = default_agent_config(steps, settings, use_gcn=(method == "gcn_rl"))
-        agent = GCNRLAgent(environment, config=config, seed=seed)
-        agent.train(steps)
-        record = RunRecord(
-            method=method,
-            circuit=circuit_name,
-            technology=technology,
-            seed=seed,
-            steps=steps,
-            best_reward=environment.best_reward,
-            best_metrics=dict(environment.best_metrics or {}),
-            rewards=list(environment.rewards()),
-        )
-    elif method in BLACK_BOX_METHODS:
-        optimizer = get_optimizer(method, environment, seed=seed)
-        result = optimizer.run(steps)
-        record = RunRecord(
-            method=method,
-            circuit=circuit_name,
-            technology=technology,
-            seed=seed,
-            steps=steps,
-            best_reward=result.best_reward,
-            best_metrics=dict(result.best_metrics),
-            rewards=list(result.rewards),
-        )
-    else:
-        raise KeyError(f"unknown method {method!r}; expected one of {ALL_METHODS}")
+    try:
+        if method == "human":
+            result = environment.evaluate_sizing(environment.circuit.expert_sizing())
+            record = RunRecord(
+                method=method,
+                circuit=circuit_name,
+                technology=technology,
+                seed=seed,
+                steps=1,
+                best_reward=result.reward,
+                best_metrics=dict(result.metrics),
+                rewards=[result.reward],
+            )
+        elif method in RL_METHODS:
+            config = default_agent_config(steps, settings, use_gcn=(method == "gcn_rl"))
+            agent = GCNRLAgent(environment, config=config, seed=seed)
+            agent.train(steps)
+            record = RunRecord(
+                method=method,
+                circuit=circuit_name,
+                technology=technology,
+                seed=seed,
+                steps=steps,
+                best_reward=environment.best_reward,
+                best_metrics=dict(environment.best_metrics or {}),
+                rewards=list(environment.rewards()),
+            )
+        elif method in BLACK_BOX_METHODS:
+            optimizer = get_optimizer(method, environment, seed=seed)
+            result = optimizer.run(steps)
+            record = RunRecord(
+                method=method,
+                circuit=circuit_name,
+                technology=technology,
+                seed=seed,
+                steps=steps,
+                best_reward=result.best_reward,
+                best_metrics=dict(result.best_metrics),
+                rewards=list(result.rewards),
+            )
+        else:
+            raise KeyError(f"unknown method {method!r}; expected one of {ALL_METHODS}")
+    finally:
+        # Release worker pools even when the optimizer/agent raises.
+        environment.evaluator.close()
 
-    environment.evaluator.close()
-    if use_cache:
-        _RUN_CACHE[cache_key] = record
+    if use_cache or store is not None:
+        target_store.put(key, record)
     return record
 
 
@@ -188,11 +240,20 @@ def run_methods(
     seeds: Optional[int] = None,
     **kwargs,
 ) -> Dict[str, list]:
-    """Run several methods across seeds; returns ``{method: [RunRecord, ...]}``."""
+    """Run several methods across seeds; returns ``{method: [RunRecord, ...]}``.
+
+    Extra keyword arguments (``store=``, ``use_cache=``, ...) are forwarded
+    to :func:`run_method`.
+    """
     settings = settings or ExperimentSettings()
-    technology = technology or settings.technology
-    steps = steps or settings.steps
-    seeds = seeds or settings.seeds
+    # Explicit None checks: 0 is a legitimate caller value for steps/seeds
+    # (an empty sweep) and must not fall back to the settings defaults.
+    if technology is None:
+        technology = settings.technology
+    if steps is None:
+        steps = settings.steps
+    if seeds is None:
+        seeds = settings.seeds
     results: Dict[str, list] = {}
     for method in methods:
         records = []

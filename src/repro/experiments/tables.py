@@ -1,4 +1,10 @@
-"""Builders for every table in the paper's evaluation section."""
+"""Builders for every table in the paper's evaluation section.
+
+Every builder accepts an optional ``store=`` (a :class:`~repro.store.RunStore`):
+runs already present in the store are read back instead of re-simulated, and
+fresh runs are written to it, so regenerating a table against a persistent
+store is incremental across processes.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +19,7 @@ from repro.experiments.transfer import (
     technology_transfer_experiment,
     topology_transfer_experiment,
 )
+from repro.store import RunStore
 
 
 @dataclass
@@ -58,6 +65,7 @@ class Table:
 
 def table1_fom_comparison(
     settings: Optional[ExperimentSettings] = None,
+    store: Optional[RunStore] = None,
 ) -> Table:
     """Table I: FoM of every method on the four benchmark circuits."""
     settings = settings or ExperimentSettings()
@@ -67,7 +75,7 @@ def table1_fom_comparison(
         column_labels=[CIRCUIT_LABELS[c] for c in settings.circuits],
     )
     for circuit in settings.circuits:
-        results = run_methods(settings.methods, circuit, settings)
+        results = run_methods(settings.methods, circuit, settings, store=store)
         for method in settings.methods:
             agg = aggregate(results[method])
             table.set(METHOD_LABELS[method], CIRCUIT_LABELS[circuit], str(agg))
@@ -93,6 +101,7 @@ def metric_breakdown_table(
     circuit_name: str,
     settings: Optional[ExperimentSettings] = None,
     title: str = "",
+    store: Optional[RunStore] = None,
 ) -> Table:
     """Best-design metric breakdown for every method on one circuit."""
     settings = settings or ExperimentSettings()
@@ -104,7 +113,7 @@ def metric_breakdown_table(
         row_labels=[METHOD_LABELS[m] for m in settings.methods],
         column_labels=column_labels,
     )
-    results = run_methods(settings.methods, circuit_name, settings)
+    results = run_methods(settings.methods, circuit_name, settings, store=store)
     for method in settings.methods:
         agg = aggregate(results[method])
         best = max(results[method], key=lambda r: r.best_reward)
@@ -128,6 +137,7 @@ TABLE2_EMPHASIS = {
 def table2_two_tia(
     settings: Optional[ExperimentSettings] = None,
     emphasis_factor: float = 10.0,
+    store: Optional[RunStore] = None,
 ) -> Table:
     """Table II: Two-TIA metric breakdown plus the weighted-FoM variants.
 
@@ -136,7 +146,9 @@ def table2_two_tia(
     described in Section IV-A of the paper.
     """
     settings = settings or ExperimentSettings()
-    base = metric_breakdown_table("two_tia", settings, title="Table II (Two-TIA)")
+    base = metric_breakdown_table(
+        "two_tia", settings, title="Table II (Two-TIA)", store=store
+    )
     circuit = get_circuit("two_tia")
     metric_defs = circuit.metric_definitions()
     column_labels = [f"{m.name} [{m.unit}]" for m in metric_defs]
@@ -155,6 +167,7 @@ def table2_two_tia(
                     settings=settings,
                     weight_overrides={metric: emphasis_factor},
                     apply_spec=False,
+                    store=store,
                 )
             )
         best = max(records, key=lambda r: r.best_reward)
@@ -165,10 +178,13 @@ def table2_two_tia(
     return base
 
 
-def table3_two_volt(settings: Optional[ExperimentSettings] = None) -> Table:
+def table3_two_volt(
+    settings: Optional[ExperimentSettings] = None,
+    store: Optional[RunStore] = None,
+) -> Table:
     """Table III: Two-Volt metric breakdown for every method."""
     return metric_breakdown_table(
-        "two_volt", settings, title="Table III (Two-Volt)"
+        "two_volt", settings, title="Table III (Two-Volt)", store=store
     )
 
 
@@ -177,6 +193,7 @@ def table3_two_volt(settings: Optional[ExperimentSettings] = None) -> Table:
 
 def table4_technology_transfer(
     settings: Optional[ExperimentSettings] = None,
+    store: Optional[RunStore] = None,
 ) -> Table:
     """Table IV: transfer from 180nm to other nodes on Two-TIA and Three-TIA."""
     settings = settings or ExperimentSettings()
@@ -187,7 +204,7 @@ def table4_technology_transfer(
         column_labels=list(settings.transfer_targets),
     )
     for circuit in ("two_tia", "three_tia"):
-        experiment = technology_transfer_experiment(circuit, settings)
+        experiment = technology_transfer_experiment(circuit, settings, store=store)
         label_base = CIRCUIT_LABELS[circuit]
         no_transfer_row = f"{label_base} (no transfer)"
         transfer_row = f"{label_base} (transfer from 180nm)"
@@ -207,6 +224,7 @@ def table4_technology_transfer(
 
 def table5_topology_transfer(
     settings: Optional[ExperimentSettings] = None,
+    store: Optional[RunStore] = None,
 ) -> Table:
     """Table V: knowledge transfer between the Two-TIA and Three-TIA topologies."""
     settings = settings or ExperimentSettings()
@@ -220,7 +238,7 @@ def table5_topology_transfer(
         column_labels=column_labels,
     )
     for (source, target), column in zip(directions, column_labels):
-        experiment = topology_transfer_experiment(source, target, settings)
+        experiment = topology_transfer_experiment(source, target, settings, store=store)
         table.set("No Transfer", column, str(aggregate(experiment.no_transfer)))
         table.set("NG-RL Transfer", column, str(aggregate(experiment.ng_transfer)))
         table.set("GCN-RL Transfer", column, str(aggregate(experiment.gcn_transfer)))

@@ -3,15 +3,20 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.eval import EvaluatorConfig
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.records import RunRecord
 from repro.experiments.runner import build_environment, default_agent_config
 from repro.rl.agent import AgentConfig, GCNRLAgent
+from repro.store import RunKey, RunStore, make_run_key
 
 _PRETRAINED_CACHE: Dict[Tuple, Dict] = {}
 _TRANSFER_CACHE: Dict[Tuple, RunRecord] = {}
+
+#: Pretrained weights, or a lazy thunk producing them on first use.
+PretrainedWeights = Union[Dict, Callable[[], Dict]]
 
 
 def clear_transfer_cache() -> None:
@@ -50,12 +55,52 @@ def pretrain_weights(
     environment = build_environment(
         circuit_name, technology, transferable_state=transferable_state
     )
-    config = default_agent_config(settings.pretrain_steps, settings, use_gcn)
-    agent = GCNRLAgent(environment, config=config, seed=seed)
-    agent.train(settings.pretrain_steps)
-    weights = agent.state_dict()
+    try:
+        config = default_agent_config(settings.pretrain_steps, settings, use_gcn)
+        agent = GCNRLAgent(environment, config=config, seed=seed)
+        agent.train(settings.pretrain_steps)
+        weights = agent.state_dict()
+    finally:
+        environment.evaluator.close()
     _PRETRAINED_CACHE[key] = weights
     return weights
+
+
+def transfer_run_key(
+    circuit_name: str,
+    technology: str,
+    settings: ExperimentSettings,
+    seed: int,
+    use_gcn: bool,
+    transferable_state: bool,
+    pretrained: bool,
+    label: str,
+    source: str = "",
+) -> RunKey:
+    """Canonical store key of one fine-tuning run.
+
+    Besides the run coordinates, the key covers the warm-up split, the agent
+    flavour, the state encoding, and — when weights are transferred — the
+    source task (circuit or node) and the budget those weights were trained
+    with.  Leaving the source out would let fine-tunes from different
+    pretraining sources alias to the same stored record.
+    """
+    extra = {
+        "transfer_warmup": settings.transfer_warmup,
+        "use_gcn": use_gcn,
+        "transferable_state": transferable_state,
+        "pretrain_steps": settings.pretrain_steps if pretrained else 0,
+        "source": source if pretrained else "",
+    }
+    return make_run_key(
+        label,
+        circuit_name,
+        technology,
+        settings.transfer_steps,
+        seed,
+        evaluator_key=EvaluatorConfig().cache_key(),
+        extra=extra,
+    )
 
 
 def _finetune(
@@ -65,10 +110,17 @@ def _finetune(
     seed: int,
     use_gcn: bool,
     transferable_state: bool,
-    pretrained: Optional[Dict],
+    pretrained: Optional[PretrainedWeights],
     label: str,
+    store: Optional[RunStore] = None,
+    source: str = "",
 ) -> RunRecord:
-    """Train (or fine-tune) an agent on the target task with a small budget."""
+    """Train (or fine-tune) an agent on the target task with a small budget.
+
+    ``pretrained`` may be a weights dict or a zero-argument callable that
+    produces one; the callable is only invoked on a cache/store miss, so a
+    fully-stored experiment never pays for pretraining.
+    """
     cache_key = (
         circuit_name,
         technology,
@@ -78,30 +130,53 @@ def _finetune(
         use_gcn,
         transferable_state,
         label,
+        source if pretrained is not None else "",
     )
     if cache_key in _TRANSFER_CACHE:
         return _TRANSFER_CACHE[cache_key]
+    store_key = transfer_run_key(
+        circuit_name,
+        technology,
+        settings,
+        seed,
+        use_gcn,
+        transferable_state,
+        pretrained is not None,
+        label,
+        source=source,
+    )
+    if store is not None:
+        stored = store.get(store_key)
+        if stored is not None:
+            _TRANSFER_CACHE[cache_key] = stored
+            return stored
 
     environment = build_environment(
         circuit_name, technology, transferable_state=transferable_state
     )
-    config = _transfer_agent_config(settings, use_gcn, settings.transfer_warmup)
-    agent = GCNRLAgent(environment, config=config, seed=seed)
-    if pretrained is not None:
-        agent.load_state_dict(pretrained)
-    agent.train(settings.transfer_steps)
-    record = RunRecord(
-        method=label,
-        circuit=circuit_name,
-        technology=technology,
-        seed=seed,
-        steps=settings.transfer_steps,
-        best_reward=environment.best_reward,
-        best_metrics=dict(environment.best_metrics or {}),
-        rewards=list(environment.rewards()),
-        extra={"transfer": label},
-    )
+    try:
+        config = _transfer_agent_config(settings, use_gcn, settings.transfer_warmup)
+        agent = GCNRLAgent(environment, config=config, seed=seed)
+        if pretrained is not None:
+            weights = pretrained() if callable(pretrained) else pretrained
+            agent.load_state_dict(weights)
+        agent.train(settings.transfer_steps)
+        record = RunRecord(
+            method=label,
+            circuit=circuit_name,
+            technology=technology,
+            seed=seed,
+            steps=settings.transfer_steps,
+            best_reward=environment.best_reward,
+            best_metrics=dict(environment.best_metrics or {}),
+            rewards=list(environment.rewards()),
+            extra={"transfer": label},
+        )
+    finally:
+        environment.evaluator.close()
     _TRANSFER_CACHE[cache_key] = record
+    if store is not None:
+        store.put(store_key, record)
     return record
 
 
@@ -121,6 +196,7 @@ def technology_transfer_experiment(
     settings: Optional[ExperimentSettings] = None,
     source_technology: str = "180nm",
     use_gcn: bool = True,
+    store: Optional[RunStore] = None,
 ) -> TechnologyTransferResult:
     """Reproduce Table IV: train at 180nm, fine-tune at the other nodes.
 
@@ -134,7 +210,10 @@ def technology_transfer_experiment(
         source_technology=source_technology,
         target_technologies=list(settings.transfer_targets),
     )
-    pretrained = pretrain_weights(
+    # Lazy: pretraining (the dominant cost) only happens if some transfer
+    # cell is actually missing from the cache/store; pretrain_weights itself
+    # memoises, so at most one source run is paid per process.
+    pretrained = lambda: pretrain_weights(  # noqa: E731
         circuit_name, source_technology, settings, use_gcn=use_gcn
     )
     for target in settings.transfer_targets:
@@ -150,6 +229,8 @@ def technology_transfer_experiment(
                     False,
                     pretrained,
                     "transfer",
+                    store=store,
+                    source=source_technology,
                 )
             )
             scratch_runs.append(
@@ -162,6 +243,7 @@ def technology_transfer_experiment(
                     False,
                     None,
                     "no_transfer",
+                    store=store,
                 )
             )
         result.transfer[target] = transfer_runs
@@ -186,6 +268,7 @@ def topology_transfer_experiment(
     target_circuit: str,
     settings: Optional[ExperimentSettings] = None,
     technology: str = "180nm",
+    store: Optional[RunStore] = None,
 ) -> TopologyTransferResult:
     """Reproduce Table V: transfer between Two-TIA and Three-TIA topologies.
 
@@ -200,10 +283,12 @@ def topology_transfer_experiment(
         target_circuit=target_circuit,
         technology=technology,
     )
-    gcn_weights = pretrain_weights(
+    # Lazy for the same reason as in technology_transfer_experiment: a
+    # fully-stored experiment must not pay for source-task pretraining.
+    gcn_weights = lambda: pretrain_weights(  # noqa: E731
         source_circuit, technology, settings, use_gcn=True, transferable_state=True
     )
-    ng_weights = pretrain_weights(
+    ng_weights = lambda: pretrain_weights(  # noqa: E731
         source_circuit, technology, settings, use_gcn=False, transferable_state=True
     )
     for seed in range(settings.seeds):
@@ -217,6 +302,8 @@ def topology_transfer_experiment(
                 True,
                 gcn_weights,
                 f"gcn_transfer_from_{source_circuit}",
+                store=store,
+                source=source_circuit,
             )
         )
         result.ng_transfer.append(
@@ -229,6 +316,8 @@ def topology_transfer_experiment(
                 True,
                 ng_weights,
                 f"ng_transfer_from_{source_circuit}",
+                store=store,
+                source=source_circuit,
             )
         )
         result.no_transfer.append(
@@ -241,6 +330,7 @@ def topology_transfer_experiment(
                 True,
                 None,
                 "no_transfer_topology",
+                store=store,
             )
         )
     return result

@@ -1,0 +1,236 @@
+"""Declarative experiment campaigns over a :class:`RunStore`.
+
+A :class:`CampaignSpec` describes a grid of runs — methods × circuits ×
+technologies × seeds × weight-overrides — exactly the shape of the paper's
+Tables I–V.  A :class:`Campaign` binds the spec to a store and executes only
+the cells the store does not already hold, so a campaign killed mid-sweep
+resumes by simply re-running it: finished cells are skipped, the remaining
+ones are computed, and the final records are bit-identical to an
+uninterrupted sweep (every run is deterministic given its key).
+
+The orchestrator is intentionally thin: run identity lives in
+:class:`~repro.store.base.RunKey`, execution in
+:func:`repro.experiments.runner.run_method`, persistence in the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.store.base import RunKey, RunStore
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
+    from repro.eval import EvaluatorConfig
+    from repro.experiments.config import ExperimentSettings
+    from repro.experiments.records import RunRecord
+
+
+@dataclass
+class RunRequest:
+    """One grid cell of a campaign (the arguments of one ``run_method``)."""
+
+    method: str
+    circuit: str
+    technology: str
+    steps: int
+    seed: int
+    weight_overrides: Optional[Mapping[str, float]] = None
+    apply_spec: bool = True
+
+    def key(
+        self,
+        settings: Optional["ExperimentSettings"] = None,
+        evaluator_config: Optional["EvaluatorConfig"] = None,
+    ) -> RunKey:
+        """The canonical key ``run_method`` will store this cell under."""
+        # Lazy import: repro.experiments.runner imports repro.store.
+        from repro.experiments.runner import run_key_for
+
+        return run_key_for(
+            self.method,
+            self.circuit,
+            technology=self.technology,
+            steps=self.steps,
+            seed=self.seed,
+            settings=settings,
+            weight_overrides=self.weight_overrides,
+            apply_spec=self.apply_spec,
+            evaluator_config=evaluator_config,
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative grid of runs.
+
+    Attributes:
+        methods: Method registry names.  ``"human"`` expands to a single
+            seed (the expert design is deterministic), as in ``run_methods``.
+        circuits: Circuit registry names.
+        technologies: Technology node names.
+        seeds: Number of seeds per cell (``range(seeds)``).
+        steps: Simulation budget per run.
+        weight_overrides: FoM-weighting axis; each entry is one override
+            mapping (``None`` = the paper's default weighting).
+        apply_spec: Enforce the circuit's hard spec in the FoM.
+    """
+
+    methods: Sequence[str]
+    circuits: Sequence[str]
+    technologies: Sequence[str] = ("180nm",)
+    seeds: int = 1
+    steps: int = 80
+    weight_overrides: Sequence[Optional[Mapping[str, float]]] = (None,)
+    apply_spec: bool = True
+
+    def expand(self) -> List[RunRequest]:
+        """Every grid cell, in deterministic sweep order."""
+        requests = []
+        for circuit in self.circuits:
+            for technology in self.technologies:
+                for overrides in self.weight_overrides:
+                    for method in self.methods:
+                        run_seeds = 1 if method == "human" else self.seeds
+                        for seed in range(run_seeds):
+                            requests.append(
+                                RunRequest(
+                                    method=method,
+                                    circuit=circuit,
+                                    technology=technology,
+                                    steps=self.steps,
+                                    seed=seed,
+                                    weight_overrides=overrides,
+                                    apply_spec=self.apply_spec,
+                                )
+                            )
+        return requests
+
+    @classmethod
+    def from_settings(
+        cls,
+        settings: "ExperimentSettings",
+        technologies: Optional[Sequence[str]] = None,
+    ) -> "CampaignSpec":
+        """The Table I / Figure 5 grid implied by experiment settings."""
+        return cls(
+            methods=list(settings.methods),
+            circuits=list(settings.circuits),
+            technologies=list(technologies or [settings.technology]),
+            seeds=settings.seeds,
+            steps=settings.steps,
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :meth:`Campaign.run` sweep.
+
+    Attributes:
+        total: Number of cells in the grid.
+        executed: Cells actually run this sweep.
+        skipped: Cells served from the store without re-execution.
+        interrupted: ``True`` when ``max_runs`` stopped the sweep early.
+        records: One record per *visited* cell, in sweep order.
+    """
+
+    total: int
+    executed: int = 0
+    skipped: int = 0
+    interrupted: bool = False
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def remaining(self) -> int:
+        """Cells the sweep did not reach (0 unless interrupted)."""
+        return self.total - self.executed - self.skipped
+
+    def summary(self) -> str:
+        """Stable one-line form (grep target of the CI resume smoke job)."""
+        state = "interrupted" if self.interrupted else "complete"
+        return (
+            f"sweep {state}: total={self.total} executed={self.executed} "
+            f"skipped={self.skipped} remaining={self.remaining}"
+        )
+
+
+class Campaign:
+    """Executes the missing cells of a grid spec against a run store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: RunStore,
+        settings: Optional["ExperimentSettings"] = None,
+        evaluator_config: Optional["EvaluatorConfig"] = None,
+    ):
+        self.spec = spec
+        self.store = store
+        self.settings = settings
+        self.evaluator_config = evaluator_config
+
+    def requests(self) -> List[RunRequest]:
+        """Every cell of the grid, in sweep order."""
+        return self.spec.expand()
+
+    def pending(self) -> List[RunRequest]:
+        """Cells not yet present in the store."""
+        return [
+            request
+            for request in self.requests()
+            if request.key(self.settings, self.evaluator_config) not in self.store
+        ]
+
+    def status(self) -> Dict[str, int]:
+        """``{"total": ..., "completed": ..., "pending": ...}``."""
+        total = len(self.requests())
+        pending = len(self.pending())
+        return {"total": total, "completed": total - pending, "pending": pending}
+
+    def run(
+        self,
+        max_runs: Optional[int] = None,
+        progress: Optional[Callable[[RunRequest, str], None]] = None,
+    ) -> CampaignReport:
+        """Sweep the grid, executing only cells missing from the store.
+
+        Args:
+            max_runs: Stop after this many *executions* (skips are free);
+                used to bound a session or to simulate an interruption.
+            progress: Optional ``callback(request, outcome)`` with outcome
+                ``"skipped"`` or ``"executed"``, called per visited cell.
+        """
+        # Lazy import: repro.experiments.runner imports repro.store.
+        from repro.experiments.runner import run_method
+
+        requests = self.requests()
+        report = CampaignReport(total=len(requests))
+        for request in requests:
+            key = request.key(self.settings, self.evaluator_config)
+            cached = self.store.get(key)
+            if cached is not None:
+                report.skipped += 1
+                report.records.append(cached)
+                if progress is not None:
+                    progress(request, "skipped")
+                continue
+            if max_runs is not None and report.executed >= max_runs:
+                report.interrupted = True
+                break
+            record = run_method(
+                request.method,
+                request.circuit,
+                technology=request.technology,
+                steps=request.steps,
+                seed=request.seed,
+                settings=self.settings,
+                weight_overrides=request.weight_overrides,
+                apply_spec=request.apply_spec,
+                evaluator_config=self.evaluator_config,
+                store=self.store,
+            )
+            report.executed += 1
+            report.records.append(record)
+            if progress is not None:
+                progress(request, "executed")
+        return report

@@ -1,0 +1,110 @@
+"""Append-only JSON-lines :class:`RunStore` (one directory per store).
+
+Every ``put`` appends one self-describing JSON line to ``runs.jsonl`` and
+flushes, so a killed campaign loses at most the run in flight.  On open the
+log is replayed into an in-memory index with latest-wins semantics: a key
+written twice (e.g. a re-run with ``use_cache=False``) resolves to its most
+recent record.  A truncated final line (the signature of a mid-append kill)
+is discarded and trimmed from the log; corruption anywhere else is an error.
+The format is greppable and diff-friendly — ideal for small and medium
+campaigns, CI artifacts, and manual inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
+
+from repro.store.base import RunKey, RunStore, StoredRun
+
+if TYPE_CHECKING:  # runtime import is lazy: the runner imports repro.store
+    from repro.experiments.records import RunRecord
+
+#: File name of the append-only log inside the store directory.
+LOG_NAME = "runs.jsonl"
+
+
+class JsonlStore(RunStore):
+    """Directory-backed append-only store."""
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, LOG_NAME)
+        self._rows: Dict[str, Tuple[RunKey, RunRecord]] = {}
+        self._replay()
+        self._log = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+
+    def _replay(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        entries = []  # (byte offset, line number, text) of non-blank lines
+        offset, number = 0, 0
+        for raw in data.splitlines(keepends=True):
+            number += 1
+            text = raw.decode("utf-8", errors="replace").strip()
+            if text:
+                entries.append((offset, number, text))
+            offset += len(raw)
+        for index, (start, number, line) in enumerate(entries):
+            try:
+                row = StoredRun.from_json(line)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+                # A process killed mid-append leaves exactly one signature:
+                # the *final* line is cut off (unparseable JSON, no trailing
+                # newline).  Only then is the partial line trimmed — that
+                # run is lost, but everything before it is intact.  Any
+                # other failure (mid-log damage, or a complete line whose
+                # schema doesn't deserialize) is real corruption and raises.
+                truncated_tail = (
+                    index == len(entries) - 1
+                    and isinstance(error, json.JSONDecodeError)
+                    and not data.endswith(b"\n")
+                )
+                if truncated_tail:
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(start)
+                    return
+                raise ValueError(
+                    f"corrupt run-store log {self.path} at line {number}: {error}"
+                ) from error
+            # Later lines win: re-puts supersede in log order.
+            self._rows[row.key.key_id()] = (row.key, row.record)
+
+    def put(self, key: RunKey, record: RunRecord) -> None:
+        if self._closed:
+            raise ValueError("store is closed")
+        self._log.write(StoredRun(key=key, record=record).to_json() + "\n")
+        self._log.flush()
+        os.fsync(self._log.fileno())
+        self._rows[key.key_id()] = (key, record)
+
+    def get(self, key: RunKey) -> Optional[RunRecord]:
+        row = self._rows.get(key.key_id())
+        return row[1] if row is not None else None
+
+    def items(self) -> Iterator[StoredRun]:
+        for key, record in list(self._rows.values()):
+            yield StoredRun(key=key, record=record)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def clear(self) -> None:
+        self._rows.clear()
+        if not self._closed:
+            self._log.close()
+        self._log = open(self.path, "w", encoding="utf-8")
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._log.close()
+            self._closed = True
+
+    def describe(self) -> str:
+        return f"JsonlStore({self.path}, {len(self)} runs)"

@@ -1,0 +1,132 @@
+"""SQLite-backed :class:`RunStore` with indexed coordinate queries.
+
+For large campaigns (thousands of cells) the append-only JSONL log's
+replay-on-open and full-scan queries become the bottleneck; this backend
+keeps one ``runs.sqlite`` database per store directory with a composite
+index over (method, circuit, technology, seed), so membership tests and
+filtered queries stay O(log n) regardless of campaign size.  Writes are
+committed per ``put`` — a killed process loses at most the run in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.store.base import RunKey, RunStore, StoredRun
+
+if TYPE_CHECKING:  # runtime import is lazy: the runner imports repro.store
+    from repro.experiments.records import RunRecord
+
+#: File name of the database inside the store directory.
+DB_NAME = "runs.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    key_id      TEXT PRIMARY KEY,
+    method      TEXT NOT NULL,
+    circuit     TEXT NOT NULL,
+    technology  TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    steps       INTEGER NOT NULL,
+    key_json    TEXT NOT NULL,
+    record_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_coords
+    ON runs (method, circuit, technology, seed);
+"""
+
+
+class SqliteStore(RunStore):
+    """Directory-backed SQLite store (indexed, latest-wins upserts)."""
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, DB_NAME)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self._closed = False
+
+    def put(self, key: RunKey, record: RunRecord) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO runs "
+            "(key_id, method, circuit, technology, seed, steps, key_json, record_json) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                key.key_id(),
+                key.method,
+                key.circuit,
+                key.technology,
+                int(key.seed),
+                int(key.steps),
+                key.canonical(),
+                json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":")),
+            ),
+        )
+        self._conn.commit()
+
+    def get(self, key: RunKey) -> Optional["RunRecord"]:
+        from repro.experiments.records import RunRecord
+
+        cursor = self._conn.execute(
+            "SELECT record_json FROM runs WHERE key_id = ?", (key.key_id(),)
+        )
+        row = cursor.fetchone()
+        if row is None:
+            return None
+        return RunRecord.from_dict(json.loads(row[0]))
+
+    def items(self) -> Iterator[StoredRun]:
+        from repro.experiments.records import RunRecord
+
+        cursor = self._conn.execute("SELECT key_json, record_json FROM runs")
+        for key_json, record_json in cursor.fetchall():
+            yield StoredRun(
+                key=RunKey.from_dict(json.loads(key_json)),
+                record=RunRecord.from_dict(json.loads(record_json)),
+            )
+
+    def query(
+        self,
+        method: Optional[str] = None,
+        circuit: Optional[str] = None,
+        technology: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> List["RunRecord"]:
+        from repro.experiments.records import RunRecord
+
+        clauses, params = [], []
+        for column, value in (
+            ("method", method),
+            ("circuit", circuit),
+            ("technology", technology),
+            ("seed", seed),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        sql = "SELECT record_json FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        cursor = self._conn.execute(sql, params)
+        return [RunRecord.from_dict(json.loads(row[0])) for row in cursor.fetchall()]
+
+    def __len__(self) -> int:
+        cursor = self._conn.execute("SELECT COUNT(*) FROM runs")
+        return int(cursor.fetchone()[0])
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM runs")
+        self._conn.commit()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._conn.close()
+            self._closed = True
+
+    def describe(self) -> str:
+        return f"SqliteStore({self.path}, {len(self)} runs)"
