@@ -1,0 +1,93 @@
+"""Benchmark trajectory recording: merge results into ``BENCH_evaluator.json``.
+
+Throughput benchmarks call :func:`record_backend` as they run; every call
+merges one backend's numbers into a single JSON report (path from
+``REPRO_BENCH_OUTPUT``, default ``BENCH_evaluator.json`` at the repository
+root).  CI uploads the report as an artifact and gates it against the
+committed baseline with ``check_bench_gate.py``, so the repository carries a
+designs/sec trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Report schema version (bump when the layout changes).
+BENCH_SCHEMA = 1
+
+#: The committed trajectory baseline CI gates against.  Never written by
+#: default — refreshing it is an explicit act (REPRO_BENCH_OUTPUT=<here>).
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_evaluator.json"
+
+
+def bench_output_path() -> Path:
+    """Where the merged benchmark report is written.
+
+    Defaults to ``BENCH_evaluator.json`` at the repository root (gitignored)
+    regardless of the working directory, so running the benchmarks can never
+    silently rewrite the committed baseline.
+    """
+    override = os.environ.get("REPRO_BENCH_OUTPUT")
+    if override:
+        return Path(override)
+    return BASELINE_PATH.parent.parent / "BENCH_evaluator.json"
+
+
+def _load_report(path: Path) -> Dict:
+    report = {"schema": BENCH_SCHEMA, "backends": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if existing.get("schema") == BENCH_SCHEMA:
+                report = existing
+        except (json.JSONDecodeError, OSError):
+            pass
+    # Provenance always describes the machine of the *latest* run.
+    report["machine"] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+    return report
+
+
+def record_backend(
+    backend: str,
+    designs_per_sec: float,
+    batch_size: int,
+    circuit: str = "two_tia",
+    extra: Optional[Dict] = None,
+) -> Path:
+    """Merge one backend's throughput into the benchmark report.
+
+    Args:
+        backend: Backend label (``serial``, ``batched``, ``parallel``,
+            ``vectorized``, ...).
+        designs_per_sec: Measured evaluation throughput.
+        batch_size: Designs per ``evaluate_batch`` call during the run.
+        circuit: Benchmark circuit the rate was measured on.
+        extra: Optional additional fields stored verbatim.
+
+    Returns:
+        The path the report was written to.
+    """
+    path = bench_output_path()
+    report = _load_report(path)
+    entry = {
+        "designs_per_sec": round(float(designs_per_sec), 2),
+        "batch_size": int(batch_size),
+        "circuit": circuit,
+    }
+    if extra:
+        entry.update(extra)
+    report["backends"][backend] = entry
+    serial = report["backends"].get("serial", {}).get("designs_per_sec")
+    vectorized = report["backends"].get("vectorized", {}).get("designs_per_sec")
+    if serial and vectorized:
+        report["vectorized_speedup_over_serial"] = round(vectorized / serial, 2)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI benchmark gate for the evaluator throughput report.
+
+Reads the ``BENCH_evaluator.json`` produced by the throughput benchmarks and
+fails (exit code 1) when either:
+
+* the vectorized backend does not beat serial evaluation by the acceptance
+  margin (``--min-speedup``, default 3x on the 32-design Two-TIA batch), or
+* vectorized designs/sec regressed below ``--regression-factor`` times the
+  committed baseline (``benchmarks/BENCH_evaluator.json``).  The factor is
+  deliberately generous because absolute rates vary across runner hardware;
+  the speedup *ratio* is the portable signal.
+
+Usage:
+    python benchmarks/check_bench_gate.py REPORT [--baseline BASELINE]
+        [--min-speedup 3.0] [--regression-factor 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path, help="freshly produced report")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_evaluator.json",
+        help="committed baseline report (default: benchmarks/BENCH_evaluator.json)",
+    )
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--regression-factor", type=float, default=0.5)
+    args = parser.parse_args(argv)
+
+    report = _load(args.report)
+    backends = report.get("backends", {})
+    failures = []
+
+    serial = backends.get("serial", {}).get("designs_per_sec")
+    vectorized = backends.get("vectorized", {}).get("designs_per_sec")
+    if not serial or not vectorized:
+        failures.append(
+            "report is missing serial and/or vectorized throughput "
+            f"(backends present: {sorted(backends)})"
+        )
+    else:
+        speedup = vectorized / serial
+        print(
+            f"serial={serial:.1f}/s vectorized={vectorized:.1f}/s "
+            f"speedup={speedup:.2f}x (required: {args.min_speedup:.1f}x)"
+        )
+        if speedup < args.min_speedup:
+            failures.append(
+                f"vectorized speedup {speedup:.2f}x is below the acceptance "
+                f"margin of {args.min_speedup:.1f}x over serial"
+            )
+
+    if args.baseline.exists() and vectorized:
+        baseline = _load(args.baseline)
+        baseline_vec = (
+            baseline.get("backends", {}).get("vectorized", {}).get("designs_per_sec")
+        )
+        if baseline_vec:
+            floor = args.regression_factor * baseline_vec
+            print(
+                f"baseline vectorized={baseline_vec:.1f}/s "
+                f"regression floor={floor:.1f}/s measured={vectorized:.1f}/s"
+            )
+            if vectorized < floor:
+                failures.append(
+                    f"vectorized throughput {vectorized:.1f}/s regressed below "
+                    f"{args.regression_factor:.2f}x the committed baseline "
+                    f"({baseline_vec:.1f}/s)"
+                )
+    elif not args.baseline.exists():
+        print(f"note: no committed baseline at {args.baseline}; skipping regression check")
+
+    if failures:
+        for failure in failures:
+            print(f"BENCH GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

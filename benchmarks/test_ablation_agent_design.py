@@ -16,6 +16,10 @@ import numpy as np
 import pytest
 from conftest import run_once
 
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
+
 from repro.circuits import get_circuit
 from repro.env import SizingEnvironment
 from repro.env.environment import StepResult

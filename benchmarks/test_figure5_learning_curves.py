@@ -8,7 +8,13 @@ invariants (monotone non-decreasing, one point per simulation step).
 """
 
 import numpy as np
+import pytest
+
 from conftest import run_once
+
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments import figure5_learning_curves
 

@@ -7,7 +7,13 @@ transfer / no-transfer curve pair per node and checks the curve invariants.
 """
 
 import numpy as np
+import pytest
+
 from conftest import run_once
+
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments import figure7_technology_transfer_curves
 

@@ -7,7 +7,13 @@ This benchmark regenerates the three-curve panel for each direction.
 """
 
 import numpy as np
+import pytest
+
 from conftest import run_once
+
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments import figure8_topology_transfer_curves
 

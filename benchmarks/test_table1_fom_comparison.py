@@ -17,7 +17,13 @@ learning-based methods should sit at or above the best black-box baseline on
 most circuits, and every optimizer should clear the human reference design.
 """
 
+import pytest
+
 from conftest import run_once
+
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments import table1_fom_comparison
 

@@ -7,7 +7,13 @@ to its best value.  The benchmark regenerates the same table: the metric rows
 for every method and the five emphasis variants.
 """
 
+import pytest
+
 from conftest import run_once
+
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments import table2_two_tia
 from repro.experiments.tables import TABLE2_EMPHASIS

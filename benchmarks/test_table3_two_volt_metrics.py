@@ -6,7 +6,13 @@ power moderate.  The benchmark regenerates the per-method metric breakdown
 (bandwidth, CPM, DPM, power, noise, gain, GBW) plus the aggregate FoM.
 """
 
+import pytest
+
 from conftest import run_once
+
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments import table3_two_volt
 

@@ -13,7 +13,13 @@ inherits 180nm-pretrained weights reaches a FoM at least as high as training
 from scratch on most target nodes.
 """
 
+import pytest
+
 from conftest import run_once
+
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments import aggregate, table4_technology_transfer
 from repro.experiments.transfer import technology_transfer_experiment

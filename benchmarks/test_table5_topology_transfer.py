@@ -12,7 +12,13 @@ The reproduced claim: GCN-RL transfer is at least as good as NG-RL transfer
 never does much worse than training from scratch.
 """
 
+import pytest
+
 from conftest import run_once
+
+#: Paper-artifact benchmark: excluded from the fast tier-1 CI matrix.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments import table5_topology_transfer
 

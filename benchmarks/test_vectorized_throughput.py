@@ -1,0 +1,94 @@
+"""Micro-benchmark: vectorized (stacked-solve) vs serial design evaluation.
+
+The acceptance bar for the vectorized backend is >= 3x serial designs/sec on
+a 32-design Two-TIA batch; this module measures both paths on identical
+batches, verifies the results agree, and records the rates into
+``BENCH_evaluator.json`` (see ``bench_report.py``).  The hard >= 3x gate is
+enforced by ``check_bench_gate.py`` in CI — the in-test assertion uses a
+lower bar so a noisy machine cannot flake the test suite itself.
+
+Raise ``REPRO_BENCH_VEC_DESIGNS`` to stress larger batches.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.env import default_fom_config
+from repro.eval import LocalEvaluator, VectorizedEvaluator
+
+from bench_report import record_backend
+from conftest import _bench_int
+
+#: Timing-sensitive: runs in the dedicated CI throughput job (by filename),
+#: not in every tier-1 matrix cell, so a loaded runner cannot flake tier-1.
+pytestmark = pytest.mark.slow
+
+NUM_DESIGNS = _bench_int("REPRO_BENCH_VEC_DESIGNS", 32)
+#: In-test sanity bar (the CI gate enforces the real 3x acceptance margin).
+MIN_SPEEDUP_IN_TEST = 1.5
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return get_circuit("two_tia")
+
+
+@pytest.fixture(scope="module")
+def batch(circuit):
+    rng = np.random.default_rng(7)
+    return [circuit.random_sizing(rng) for _ in range(NUM_DESIGNS)]
+
+
+def _rate(evaluator, batch):
+    evaluator.evaluate_batch(batch[: min(4, len(batch))])  # warm-up
+    start = time.perf_counter()
+    results = evaluator.evaluate_batch(batch)
+    elapsed = time.perf_counter() - start
+    return len(batch) / max(elapsed, 1e-9), results
+
+
+def test_vectorized_vs_serial_throughput(circuit, batch, capsys):
+    serial_rate, serial_results = _rate(LocalEvaluator(circuit), batch)
+    vectorized_rate, vectorized_results = _rate(VectorizedEvaluator(circuit), batch)
+    speedup = vectorized_rate / serial_rate
+
+    # Parity first: a fast wrong answer is worthless.
+    fom = default_fom_config(circuit)
+    for reference, result in zip(serial_results, vectorized_results):
+        assert fom.compute(result.metrics) == pytest.approx(
+            fom.compute(reference.metrics), rel=1e-9, abs=1e-9
+        )
+
+    record_backend("serial", serial_rate, NUM_DESIGNS)
+    record_backend("vectorized", vectorized_rate, NUM_DESIGNS)
+    with capsys.disabled():
+        print(
+            f"\n[vectorized-throughput] designs={NUM_DESIGNS} "
+            f"serial={serial_rate:.1f}/s vectorized={vectorized_rate:.1f}/s "
+            f"speedup={speedup:.2f}x"
+        )
+    assert speedup > MIN_SPEEDUP_IN_TEST
+
+
+def test_vectorized_scales_with_batch_size(circuit, batch):
+    """Stacked solves amortise: bigger batches must not get slower per design."""
+    sizes = [size for size in (8, NUM_DESIGNS) if size <= len(batch)]
+    rates = {}
+    evaluator = VectorizedEvaluator(circuit)
+    for size in sizes:
+        start = time.perf_counter()
+        evaluator.evaluate_batch(batch[:size])
+        rates[size] = size / max(time.perf_counter() - start, 1e-9)
+    record_backend(
+        "vectorized_scaling",
+        rates[sizes[-1]],
+        sizes[-1],
+        extra={"rates_by_batch_size": {str(k): round(v, 2) for k, v in rates.items()}},
+    )
+    # Generous factor: absolute rates are noisy, the trend must hold.
+    assert rates[sizes[-1]] > 0.5 * rates[sizes[0]]

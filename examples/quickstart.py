@@ -9,6 +9,7 @@ persists runs and resumes without re-executing finished cells.
 
 Usage:
     python examples/quickstart.py [--steps 150] [--workers 4] [--cache-size 256]
+    python examples/quickstart.py --eval-backend vectorized   # stacked solves
     python examples/quickstart.py --store-dir runs   # persist the demo sweep
 """
 
@@ -38,6 +39,14 @@ def main() -> None:
         help="evaluate batches on a process pool of this size (0 = serial)",
     )
     parser.add_argument(
+        "--eval-backend",
+        choices=["local", "thread", "process", "vectorized"],
+        default=None,
+        help="evaluation backend; 'vectorized' stamps whole batches into "
+        "stacked matrices and solves them with single LAPACK calls "
+        "(default: local, or process when --workers is set)",
+    )
+    parser.add_argument(
         "--cache-size", type=int, default=0, help="LRU design cache (0 = off)"
     )
     parser.add_argument(
@@ -52,8 +61,9 @@ def main() -> None:
     #    a process pool and/or an LRU cache when requested.
     circuit = get_circuit(args.circuit, args.technology)
     print(circuit.describe())
+    backend = args.eval_backend or ("process" if args.workers else "local")
     evaluator = EvaluatorConfig(
-        backend="process" if args.workers else "local",
+        backend=backend,
         max_workers=args.workers or None,
         cache_size=args.cache_size,
     ).build(circuit)

@@ -11,7 +11,10 @@ import numpy as np
 from repro.circuits.components import ComponentSpec, validate_components
 from repro.circuits.graph import build_adjacency, normalized_adjacency
 from repro.circuits.parameters import ParameterSpace, Sizing
+from repro.spice.ac import ACSolution, ac_analysis
 from repro.spice.circuit import Circuit
+from repro.spice.dc import DCSolution, dc_operating_point
+from repro.spice.noise import NoiseSolution, noise_analysis
 from repro.technology.node import TechnologyNode
 
 
@@ -33,6 +36,33 @@ class MetricDef:
     larger_is_better: bool
     display_scale: float = 1.0
     description: str = ""
+
+
+@dataclass(frozen=True)
+class AnalysisPlan:
+    """Declarative DC → AC → noise recipe of a circuit's evaluation.
+
+    Circuits whose :meth:`CircuitDesign.evaluate` is exactly "operating
+    point, one AC sweep, optionally one noise sweep, then measurements"
+    publish this plan; the serial path and the vectorized batch engine both
+    execute it, then hand the solutions to the *same*
+    :meth:`CircuitDesign.metrics_from_solutions`, so the two paths cannot
+    drift apart in measurement code.
+
+    Attributes:
+        ac_frequencies: AC sweep grid [Hz].
+        noise_output: Output node of the noise analysis (``None`` = no noise
+            sweep).
+        noise_frequencies: Noise sweep grid [Hz] (required when
+            ``noise_output`` is set).
+        noise_output_neg: Optional negative output node for differential
+            outputs.
+    """
+
+    ac_frequencies: np.ndarray
+    noise_output: Optional[str] = None
+    noise_frequencies: Optional[np.ndarray] = None
+    noise_output_neg: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -128,6 +158,51 @@ class CircuitDesign(abc.ABC):
         return :meth:`failure_metrics` rather than raising, so optimization
         loops always receive a (bad) reward.
         """
+
+    def analysis_plan(self) -> Optional[AnalysisPlan]:
+        """The circuit's DC/AC/noise recipe, when its evaluation fits one.
+
+        Returns ``None`` for circuits whose evaluation needs analyses the
+        batch engine does not cover (e.g. the LDO's transient sweeps); those
+        are evaluated serially by every backend.
+        """
+        return None
+
+    def metrics_from_solutions(
+        self,
+        sizing: Sizing,
+        op: DCSolution,
+        ac: ACSolution,
+        noise: Optional[NoiseSolution],
+    ) -> Dict[str, float]:
+        """Measurement stage shared by the serial and batched paths.
+
+        Only meaningful for circuits that publish an :meth:`analysis_plan`;
+        ``op`` is always converged when this is called (non-converged designs
+        short-circuit to :meth:`failure_metrics`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} publishes no analysis plan"
+        )
+
+    def _evaluate_with_plan(self, sizing: Sizing) -> Dict[str, float]:
+        """Serial reference evaluation of a plan-publishing circuit."""
+        plan = self.analysis_plan()
+        circuit = self.build_circuit(sizing)
+        op = dc_operating_point(circuit)
+        if not op.converged:
+            return self.failure_metrics()
+        ac = ac_analysis(circuit, op, plan.ac_frequencies)
+        noise = None
+        if plan.noise_output is not None:
+            noise = noise_analysis(
+                circuit,
+                op,
+                plan.noise_output,
+                plan.noise_frequencies,
+                output_node_neg=plan.noise_output_neg,
+            )
+        return self.metrics_from_solutions(sizing, op, ac, noise)
 
     def failure_metrics(self) -> Dict[str, float]:
         """Metric values reported when simulation fails to converge.

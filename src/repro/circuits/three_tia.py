@@ -16,14 +16,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.circuits.base import CircuitDesign, MetricDef, SpecLimit
+from repro.circuits.base import AnalysisPlan, CircuitDesign, MetricDef, SpecLimit
 from repro.circuits.builders import add_sized_components, mos_sizing
 from repro.circuits.components import ComponentSpec, ComponentType, mosfet, resistor
 from repro.circuits.parameters import Sizing
 from repro.spice import measurements as meas
-from repro.spice.ac import ac_analysis, logspace_frequencies
+from repro.spice.ac import logspace_frequencies
 from repro.spice.circuit import Circuit
-from repro.spice.dc import dc_operating_point
 from repro.spice.elements import Capacitor, CurrentSource, VoltageSource
 
 
@@ -103,13 +102,13 @@ class ThreeStageTIA(CircuitDesign):
         add_sized_components(circuit, self.components, sizing, tech)
         return circuit
 
-    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
-        circuit = self.build_circuit(sizing)
-        op = dc_operating_point(circuit)
-        if not op.converged:
-            return self.failure_metrics()
+    def analysis_plan(self) -> AnalysisPlan:
+        return AnalysisPlan(ac_frequencies=self.FREQUENCIES)
 
-        ac = ac_analysis(circuit, op, self.FREQUENCIES)
+    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
+        return self._evaluate_with_plan(sizing)
+
+    def metrics_from_solutions(self, sizing, op, ac, noise) -> Dict[str, float]:
         transimpedance = ac.differential_voltage("vouta", "voutb")
         gain = meas.dc_gain(self.FREQUENCIES, transimpedance)
         bandwidth = meas.bandwidth_3db(self.FREQUENCIES, transimpedance)

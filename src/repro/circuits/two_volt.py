@@ -19,7 +19,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.circuits.base import CircuitDesign, MetricDef, SpecLimit
+from repro.circuits.base import AnalysisPlan, CircuitDesign, MetricDef, SpecLimit
 from repro.circuits.builders import add_sized_components, mos_sizing
 from repro.circuits.components import (
     ComponentSpec,
@@ -30,11 +30,9 @@ from repro.circuits.components import (
 )
 from repro.circuits.parameters import Sizing
 from repro.spice import measurements as meas
-from repro.spice.ac import ac_analysis, logspace_frequencies
+from repro.spice.ac import logspace_frequencies
 from repro.spice.circuit import Circuit
-from repro.spice.dc import dc_operating_point
 from repro.spice.elements import Capacitor, CurrentSource, VoltageSource
-from repro.spice.noise import noise_analysis
 
 
 class TwoStageVoltageAmplifier(CircuitDesign):
@@ -102,13 +100,17 @@ class TwoStageVoltageAmplifier(CircuitDesign):
         add_sized_components(circuit, self.components, sizing, tech)
         return circuit
 
-    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
-        circuit = self.build_circuit(sizing)
-        op = dc_operating_point(circuit)
-        if not op.converged:
-            return self.failure_metrics()
+    def analysis_plan(self) -> AnalysisPlan:
+        return AnalysisPlan(
+            ac_frequencies=self.FREQUENCIES,
+            noise_output="vout",
+            noise_frequencies=self.NOISE_FREQUENCIES,
+        )
 
-        ac = ac_analysis(circuit, op, self.FREQUENCIES)
+    def evaluate(self, sizing: Sizing) -> Dict[str, float]:
+        return self._evaluate_with_plan(sizing)
+
+    def metrics_from_solutions(self, sizing, op, ac, noise) -> Dict[str, float]:
         vout = ac.voltage("vout")
         vin = ac.voltage("vin")
         vinn = ac.voltage("vinn")
@@ -132,7 +134,6 @@ class TwoStageVoltageAmplifier(CircuitDesign):
 
         power = op.supply_power()
 
-        noise = noise_analysis(circuit, op, "vout", self.NOISE_FREQUENCIES)
         spot_output = noise.spot_density(self.NOISE_SPOT_FREQUENCY)
         closed_gain_at_spot = float(
             np.interp(

@@ -7,6 +7,8 @@ Every optimizer reaches the SPICE engine through an :class:`Evaluator`:
   deterministic result ordering.
 * :class:`CachingEvaluator` — LRU cache keyed on the quantized refined
   sizing, wrapping any other evaluator.
+* :class:`VectorizedEvaluator` — stacked batched MNA solves
+  (:mod:`repro.spice.batch`): the whole batch shares single LAPACK calls.
 * :class:`EvaluatorConfig` / :func:`build_evaluator` — declarative
   construction of the stack, shared by the CLI and the experiment runner.
 """
@@ -16,6 +18,7 @@ from repro.eval.caching import CachingEvaluator, sizing_cache_key
 from repro.eval.config import BACKENDS, EvaluatorConfig, build_evaluator
 from repro.eval.local import LocalEvaluator
 from repro.eval.parallel import ParallelEvaluator
+from repro.eval.vectorized import VectorizedEvaluator
 
 __all__ = [
     "Evaluator",
@@ -24,6 +27,7 @@ __all__ = [
     "LocalEvaluator",
     "ParallelEvaluator",
     "CachingEvaluator",
+    "VectorizedEvaluator",
     "EvaluatorConfig",
     "build_evaluator",
     "sizing_cache_key",

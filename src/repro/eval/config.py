@@ -16,9 +16,10 @@ from repro.eval.base import Evaluator
 from repro.eval.caching import CachingEvaluator
 from repro.eval.local import LocalEvaluator
 from repro.eval.parallel import ParallelEvaluator
+from repro.eval.vectorized import VectorizedEvaluator
 
 #: Recognised evaluation backends.
-BACKENDS = ("local", "thread", "process")
+BACKENDS = ("local", "thread", "process", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -27,9 +28,11 @@ class EvaluatorConfig:
 
     Attributes:
         backend: ``"local"`` (serial, in-process), ``"thread"`` or
-            ``"process"`` (worker pools).
+            ``"process"`` (worker pools), or ``"vectorized"`` (stacked
+            batched solves through :mod:`repro.spice.batch`).
         max_workers: Pool size for the pool backends; ``None`` means the
-            machine's CPU count.  Ignored by the local backend.
+            machine's CPU count.  Ignored by the local and vectorized
+            backends.
         cache_size: When positive, wrap the base evaluator in a
             :class:`CachingEvaluator` with this capacity.
     """
@@ -52,6 +55,8 @@ class EvaluatorConfig:
         """Construct the configured evaluator stack for a circuit."""
         if self.backend == "local":
             evaluator: Evaluator = LocalEvaluator(circuit)
+        elif self.backend == "vectorized":
+            evaluator = VectorizedEvaluator(circuit)
         else:
             evaluator = ParallelEvaluator(
                 circuit, max_workers=self.max_workers, backend=self.backend

@@ -11,6 +11,7 @@ incremental across invocations and enables campaign-style workflows:
 
 Examples:
     python -m repro.experiments table1 --steps 100 --seeds 2
+    python -m repro.experiments table1 --eval-backend vectorized
     python -m repro.experiments sweep --store-dir runs --store-backend jsonl
     python -m repro.experiments ls --store-dir runs --method gcn_rl
     python -m repro.experiments export --store-dir runs --output runs.json
@@ -181,7 +182,7 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--eval-backend",
-        choices=["local", "thread", "process"],
+        choices=["local", "thread", "process", "vectorized"],
         default=None,
         help="how simulator batches are evaluated",
     )

@@ -89,7 +89,8 @@ class ExperimentSettings:
         methods: Methods included in Table I / Figure 5.
         technology: Default technology node (paper designs at 180nm).
         transfer_targets: Target nodes of Table IV / Figure 7.
-        eval_backend: Evaluation backend (``local``, ``thread``, ``process``).
+        eval_backend: Evaluation backend (``local``, ``thread``, ``process``,
+            ``vectorized``).
         eval_workers: Worker-pool size; 0 means the machine's CPU count.
         eval_cache_size: LRU design-cache capacity; 0 disables caching.
         store_backend: Run-store backend (``memory``, ``jsonl``, ``sqlite``).

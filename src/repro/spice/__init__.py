@@ -14,6 +14,9 @@ but real modified-nodal-analysis (MNA) simulator:
   thermal noise and MOSFET thermal + flicker noise.
 * **Transient analysis** — backward-Euler integration with a Newton solve per
   timestep (used for LDO settling-time measurements).
+* **Batch engine** (:mod:`repro.spice.batch`) — vectorized MNA over whole
+  populations of one topology: batched-Newton DC, one stacked complex solve
+  for the full (designs × frequencies) AC grid and batched adjoint noise.
 * **Measurements** — gain, -3dB bandwidth, GBW, phase margin, peaking, PSRR,
   settling time, load/line regulation and integrated noise helpers.
 

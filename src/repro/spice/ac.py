@@ -10,6 +10,7 @@ import numpy as np
 from repro.spice.circuit import Circuit
 from repro.spice.dc import DCSolution
 from repro.spice.elements import SystemStamper
+from repro.spice.linalg import solve_stacked
 
 
 @dataclass
@@ -97,14 +98,12 @@ def ac_analysis(
         frequencies = logspace_frequencies()
     freqs = np.asarray(list(frequencies), dtype=float)
     n = circuit.num_unknowns
-    solutions = np.zeros((len(freqs), n), dtype=complex)
+    matrices = np.zeros((len(freqs), n, n), dtype=complex)
+    rhs = np.zeros((len(freqs), n), dtype=complex)
     for i, frequency in enumerate(freqs):
         omega = 2.0 * np.pi * frequency
-        matrix, rhs = build_ac_matrix(circuit, op, omega)
-        try:
-            solutions[i] = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError:
-            solutions[i] = np.linalg.lstsq(matrix, rhs, rcond=None)[0]
+        matrices[i], rhs[i] = build_ac_matrix(circuit, op, omega)
+    solutions = solve_stacked(matrices, rhs, context=f"AC sweep of {circuit.title!r}")
     return ACSolution(circuit=circuit, frequencies=freqs, x=solutions)
 
 

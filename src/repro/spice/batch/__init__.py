@@ -1,0 +1,38 @@
+"""Vectorized batch MNA engine: solve many sizings of one topology at once.
+
+Optimizers evaluate *populations*: every design in an ES generation, a MACE
+proposal batch or an RL warm-up shares the same circuit topology and differs
+only in element values.  This package exploits that: the whole batch is
+stamped into stacked matrices and solved with single batched LAPACK calls
+instead of one small solve per design per frequency.
+
+* :class:`BatchTemplate` — validates that a list of circuits share one
+  topology and extracts per-design element value arrays.
+* :func:`batch_dc_operating_point` — batched Newton with per-design
+  convergence masks; designs the batched stage cannot converge fall back to
+  the scalar homotopy solver (gmin/source stepping) one by one.
+* :func:`batch_ac_analysis` — one stacked complex solve over the full
+  ``(designs, frequencies, n, n)`` tensor.
+* :func:`batch_noise_analysis` — batched adjoint solves (``A^T y = e_out``)
+  over the same tensor, transposed.
+
+All three return the *scalar* solution dataclasses (:class:`DCSolution`,
+:class:`ACSolution`, :class:`NoiseSolution`), so downstream measurement code
+is shared verbatim with the serial path — parity is structural, not
+re-implemented.
+"""
+
+from repro.spice.batch.ac import batch_ac_analysis
+from repro.spice.batch.dc import batch_dc_operating_point
+from repro.spice.batch.model import batch_small_signal_params
+from repro.spice.batch.noise import batch_noise_analysis
+from repro.spice.batch.template import BatchIncompatibleError, BatchTemplate
+
+__all__ = [
+    "BatchTemplate",
+    "BatchIncompatibleError",
+    "batch_dc_operating_point",
+    "batch_ac_analysis",
+    "batch_noise_analysis",
+    "batch_small_signal_params",
+]

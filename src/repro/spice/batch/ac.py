@@ -1,0 +1,189 @@
+"""Stacked AC analysis: one complex solve over ``(B, F, n, n)``.
+
+The small-signal system is linear, so the whole batch × frequency grid can
+be assembled into one tensor and solved with a single batched LAPACK call.
+Frequency-independent stamps (conductances, transconductances, source
+patterns) broadcast across the frequency axis; capacitive stamps broadcast
+``1j * omega`` across designs.  Device small-signal values are read from the
+per-design :class:`~repro.spice.dc.DCSolution.device_ops` produced by the DC
+stage, so the batched sweep sees exactly the operating point the serial
+sweep would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spice.ac import ACSolution, logspace_frequencies
+from repro.spice.batch.template import AC_GMIN, BatchTemplate
+from repro.spice.dc import DCSolution
+from repro.spice.linalg import solve_stacked
+
+
+def _tensor_scatter_add(
+    tensor: np.ndarray, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+) -> None:
+    """``tensor[b, :, rows[b], cols[b]] += values[b]`` skipping ground (-1).
+
+    ``values`` may be ``(B,)`` (broadcast over frequency) or ``(B, F)``.
+    """
+    mask = (rows >= 0) & (cols >= 0)
+    if not mask.any():
+        return
+    picked = values[mask]
+    if picked.ndim == 1:
+        picked = picked[:, None]
+    tensor[np.flatnonzero(mask), :, rows[mask], cols[mask]] += picked
+
+
+def _fixed_add(
+    tensor: np.ndarray, row: int, col: int, values: np.ndarray
+) -> None:
+    """``tensor[:, :, row, col] += values`` skipping ground (-1)."""
+    if row < 0 or col < 0:
+        return
+    if np.ndim(values) == 1:
+        values = np.asarray(values)[:, None]
+    tensor[:, :, row, col] += values
+
+
+def _fixed_conductance(
+    tensor: np.ndarray, n1: int, n2: int, values: np.ndarray
+) -> None:
+    _fixed_add(tensor, n1, n1, values)
+    _fixed_add(tensor, n2, n2, values)
+    _fixed_add(tensor, n1, n2, -values)
+    _fixed_add(tensor, n2, n1, -values)
+
+
+def _gather_device_arrays(
+    template: BatchTemplate, ops: Sequence[DCSolution], name: str
+) -> dict:
+    """Per-design small-signal values of one template device, as arrays."""
+    device_ops = [op.device_ops[name] for op in ops]
+    arrays = {
+        key: np.asarray([getattr(op, key) for op in device_ops], dtype=float)
+        for key in ("gm", "gmb", "gds", "cgs", "cgd", "cdb")
+    }
+    for key in ("drain_index", "source_index", "gate_index", "bulk_index"):
+        arrays[key] = np.asarray(
+            [int(op.field_extra[key]) for op in device_ops], dtype=int
+        )
+    return arrays
+
+
+def build_batch_ac_tensor(
+    template: BatchTemplate,
+    ops: Sequence[DCSolution],
+    frequencies: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble the stacked complex MNA tensor and the (per-design) AC rhs.
+
+    Returns:
+        ``(tensor, rhs)`` of shapes ``(B, F, n, n)`` and ``(B, n)`` — the
+        right-hand side carries only source AC magnitudes and is frequency
+        independent.
+    """
+    batch, n = template.batch_size, template.num_unknowns
+    freqs = np.asarray(frequencies, dtype=float)
+    omega = 2.0 * np.pi * freqs
+    tensor = np.zeros((batch, len(freqs), n, n), dtype=complex)
+    rhs = np.zeros((batch, n), dtype=complex)
+
+    for group in template.conductances:
+        _fixed_conductance(tensor, group.n1, group.n2, group.g)
+
+    for group in template.capacitors:
+        jwc = 1j * omega[None, :] * group.c[:, None]
+        _fixed_conductance(tensor, group.n1, group.n2, jwc)
+
+    for source in template.vsources:
+        np_, nm, b = source.n_plus, source.n_minus, source.branch
+        ones = np.ones(batch)
+        _fixed_add(tensor, np_, b, ones)
+        _fixed_add(tensor, nm, b, -ones)
+        _fixed_add(tensor, b, np_, ones)
+        _fixed_add(tensor, b, nm, -ones)
+        rhs[:, b] += source.ac
+
+    for source in template.isources:
+        if source.n_from >= 0:
+            rhs[:, source.n_from] -= source.ac
+        if source.n_to >= 0:
+            rhs[:, source.n_to] += source.ac
+
+    for element in template.vcvs:
+        ones = np.ones(batch)
+        _fixed_add(tensor, element.out_plus, element.branch, ones)
+        _fixed_add(tensor, element.out_minus, element.branch, -ones)
+        _fixed_add(tensor, element.branch, element.out_plus, ones)
+        _fixed_add(tensor, element.branch, element.out_minus, -ones)
+        _fixed_add(tensor, element.branch, element.in_plus, -element.gain)
+        _fixed_add(tensor, element.branch, element.in_minus, element.gain)
+
+    for group in template.mosfets:
+        dev = _gather_device_arrays(template, ops, group.name)
+        nd, ns = dev["drain_index"], dev["source_index"]
+        ng, nb = dev["gate_index"], dev["bulk_index"]
+
+        # VCCS gm (gate drive) and gmb (bulk drive), then the output gds.
+        for out_p, out_n, in_p, in_n, value in (
+            (nd, ns, ng, ns, dev["gm"]),
+            (nd, ns, nb, ns, dev["gmb"]),
+        ):
+            _tensor_scatter_add(tensor, out_p, in_p, value)
+            _tensor_scatter_add(tensor, out_p, in_n, -value)
+            _tensor_scatter_add(tensor, out_n, in_p, -value)
+            _tensor_scatter_add(tensor, out_n, in_n, value)
+        for n1, n2, value in (
+            (nd, ns, dev["gds"]),
+            (ng, ns, 1j * omega[None, :] * dev["cgs"][:, None]),
+            (ng, nd, 1j * omega[None, :] * dev["cgd"][:, None]),
+            (nd, nb, 1j * omega[None, :] * dev["cdb"][:, None]),
+        ):
+            _tensor_scatter_add(tensor, n1, n1, value)
+            _tensor_scatter_add(tensor, n2, n2, value)
+            _tensor_scatter_add(tensor, n1, n2, -value)
+            _tensor_scatter_add(tensor, n2, n1, -value)
+
+    nodes = np.arange(template.num_nodes)
+    tensor[:, :, nodes, nodes] += AC_GMIN
+    return tensor, rhs
+
+
+def batch_ac_analysis(
+    circuits: Sequence,
+    ops: Sequence[DCSolution],
+    frequencies: Optional[Sequence[float]] = None,
+    template: Optional[BatchTemplate] = None,
+) -> List[ACSolution]:
+    """Run one stacked AC sweep for a batch of same-topology circuits.
+
+    Args:
+        circuits: Circuits of identical topology (one per design).
+        ops: Converged DC solutions, one per circuit.
+        frequencies: Sweep frequencies [Hz]; defaults to the scalar sweep's
+            1 Hz – 10 GHz grid.
+        template: Pre-built batch template (rebuilt from ``circuits`` if
+            omitted).
+
+    Returns:
+        One :class:`ACSolution` per design, shaped exactly like the scalar
+        :func:`repro.spice.ac.ac_analysis` result.
+    """
+    if template is None:
+        template = BatchTemplate(circuits)
+    if frequencies is None:
+        frequencies = logspace_frequencies()
+    freqs = np.asarray(list(frequencies), dtype=float)
+    tensor, rhs = build_batch_ac_tensor(template, ops, freqs)
+    stacked_rhs = np.broadcast_to(
+        rhs[:, None, :], (template.batch_size, len(freqs), template.num_unknowns)
+    )
+    solutions = solve_stacked(tensor, stacked_rhs, context="batched AC sweep")
+    return [
+        ACSolution(circuit=circuit, frequencies=freqs, x=solutions[index])
+        for index, circuit in enumerate(circuits)
+    ]

@@ -1,0 +1,335 @@
+"""Batched Newton DC operating-point solver with per-design convergence masks.
+
+Stage 1 runs plain Newton (small gmin) for the whole batch in lockstep:
+stacked Jacobians, one batched ``np.linalg.solve`` per iteration, per-design
+voltage-step damping, and a convergence mask so designs that converged stop
+updating while the rest keep iterating — one hard design cannot stall or
+perturb the others.  Designs the batched stage cannot converge fall back to
+the scalar homotopy solver (:func:`repro.spice.dc.dc_operating_point`, gmin
+and source stepping included), one by one, so every design ends up with
+exactly the answer the serial path would have produced for the hard cases.
+
+Assembly exploits the linear/nonlinear split: everything except the MOSFETs
+is bias-independent, so the static Jacobian (including the gmin diagonal)
+and the constant source vector are stamped once per Newton stage; each
+iteration then costs one batched matrix–vector product for the linear
+residual, one vectorized model evaluation per distinct model card, and two
+``np.add.at`` scatters for the device stamps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spice.batch.model import batch_small_signal_params
+from repro.spice.batch.template import CAP_DC_LEAK, BatchTemplate
+from repro.spice.circuit import Circuit
+from repro.spice.dc import DCSolution, dc_operating_point
+
+
+#: Straggler bail-out: once at least this many lockstep iterations ran and
+#: only a small fraction of the batch is still active, the remaining designs
+#: are handed to the scalar fallback instead of iterating near-empty batches.
+STRAGGLER_MIN_ITERATIONS = 40
+STRAGGLER_ACTIVE_DIVISOR = 16
+
+
+class _CardGroup:
+    """All template MOSFETs sharing one model card, as stacked arrays."""
+
+    def __init__(self, card, groups):
+        self.card = card
+        self.drain = np.asarray([g.drain for g in groups], dtype=int)  # (G,)
+        self.gate = np.asarray([g.gate for g in groups], dtype=int)
+        self.source = np.asarray([g.source for g in groups], dtype=int)
+        self.bulk = np.asarray([g.bulk for g in groups], dtype=int)
+        self.weff = np.stack([g.weff for g in groups], axis=1)  # (B, G)
+        self.length = np.stack([g.length for g in groups], axis=1)  # (B, G)
+
+
+def _gather_nodes(x: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """``x[:, nodes]`` with ground (-1) reading as 0; result ``(K, G)``."""
+    values = x[:, np.maximum(nodes, 0)]
+    return np.where(nodes >= 0, values, 0.0)
+
+
+class _DCAssembler:
+    """Pre-stamped static system + fast per-iteration MOSFET assembly."""
+
+    def __init__(self, template: BatchTemplate, gmin: float, source_scale: float):
+        self.template = template
+        batch, n = template.batch_size, template.num_unknowns
+        j_static = np.zeros((batch, n, n))
+        b_static = np.zeros((batch, n))
+
+        leak = np.full(batch, CAP_DC_LEAK)
+        groups = [(g.n1, g.n2, g.g) for g in template.conductances]
+        groups += [(c.n1, c.n2, leak) for c in template.capacitors]
+        for n1, n2, g in groups:
+            if n1 >= 0:
+                j_static[:, n1, n1] += g
+            if n2 >= 0:
+                j_static[:, n2, n2] += g
+            if n1 >= 0 and n2 >= 0:
+                j_static[:, n1, n2] -= g
+                j_static[:, n2, n1] -= g
+
+        for source in template.vsources:
+            np_, nm, b = source.n_plus, source.n_minus, source.branch
+            if np_ >= 0:
+                j_static[:, np_, b] += 1.0
+                j_static[:, b, np_] += 1.0
+            if nm >= 0:
+                j_static[:, nm, b] -= 1.0
+                j_static[:, b, nm] -= 1.0
+            b_static[:, b] -= source.dc * source_scale
+
+        for source in template.isources:
+            value = source.dc * source_scale
+            if source.n_from >= 0:
+                b_static[:, source.n_from] += value
+            if source.n_to >= 0:
+                b_static[:, source.n_to] -= value
+
+        for element in template.vcvs:
+            op_, om, ip, im, b = (
+                element.out_plus,
+                element.out_minus,
+                element.in_plus,
+                element.in_minus,
+                element.branch,
+            )
+            if op_ >= 0:
+                j_static[:, op_, b] += 1.0
+                j_static[:, b, op_] += 1.0
+            if om >= 0:
+                j_static[:, om, b] -= 1.0
+                j_static[:, b, om] -= 1.0
+            if ip >= 0:
+                j_static[:, b, ip] -= element.gain
+            if im >= 0:
+                j_static[:, b, im] += element.gain
+
+        if gmin > 0:
+            nodes = np.arange(template.num_nodes)
+            j_static[:, nodes, nodes] += gmin
+
+        self.j_static = j_static
+        self.b_static = b_static
+
+        by_card = {}
+        for group in template.mosfets:
+            by_card.setdefault(id(group.card), (group.card, []))[1].append(group)
+        self.card_groups = [
+            _CardGroup(card, groups) for card, groups in by_card.values()
+        ]
+
+    def assemble(
+        self, x: np.ndarray, subset: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Jacobian and residual for the active designs ``subset``.
+
+        Args:
+            x: Iterates of the active designs, shape ``(K, n)``.
+            subset: Indices of the active designs within the batch.
+
+        Returns:
+            ``(jacobian, residual)`` of shapes ``(K, n, n)`` and ``(K, n)``.
+        """
+        count = x.shape[0]
+        # Advanced indexing already yields a fresh array — safe to mutate.
+        jacobian = self.j_static[subset]
+        residual = (
+            np.matmul(jacobian, x[:, :, None])[:, :, 0] + self.b_static[subset]
+        )
+
+        for cg in self.card_groups:
+            p = cg.card.polarity
+            vd = _gather_nodes(x, cg.drain)
+            vs = _gather_nodes(x, cg.source)
+            swap = p * (vd - vs) < 0.0
+            nd = np.where(swap, cg.source[None, :], cg.drain[None, :])  # (K, G)
+            ns = np.where(swap, cg.drain[None, :], cg.source[None, :])
+            vd_eff = np.where(swap, vs, vd)
+            vs_eff = np.where(swap, vd, vs)
+            vg = _gather_nodes(x, cg.gate)
+            vb = _gather_nodes(x, cg.bulk)
+            vgs = p * (vg - vs_eff)
+            vds = p * (vd_eff - vs_eff)
+            vsb = np.maximum(p * (vs_eff - vb), 0.0)
+
+            params = batch_small_signal_params(
+                cg.card, cg.weff[subset], cg.length[subset], vgs, vds, vsb
+            )
+            i_drain = p * params.ids
+            gm, gds = params.gm, params.gds
+            ng = np.broadcast_to(cg.gate[None, :], nd.shape)
+            bidx = np.broadcast_to(np.arange(count)[:, None], nd.shape)
+
+            # Residual: drain current in, source current out (ground skipped).
+            rows = np.concatenate([nd.ravel(), ns.ravel()])
+            vals = np.concatenate([i_drain.ravel(), -i_drain.ravel()])
+            bflat = np.concatenate([bidx.ravel(), bidx.ravel()])
+            keep = rows >= 0
+            np.add.at(residual, (bflat[keep], rows[keep]), vals[keep])
+
+            # Jacobian: the six square-law entries of every device at once.
+            g_sum = gm + gds
+            rows = np.concatenate(
+                [nd.ravel(), nd.ravel(), nd.ravel(), ns.ravel(), ns.ravel(), ns.ravel()]
+            )
+            cols = np.concatenate(
+                [ng.ravel(), nd.ravel(), ns.ravel(), ng.ravel(), nd.ravel(), ns.ravel()]
+            )
+            vals = np.concatenate(
+                [
+                    gm.ravel(),
+                    gds.ravel(),
+                    -g_sum.ravel(),
+                    -gm.ravel(),
+                    -gds.ravel(),
+                    g_sum.ravel(),
+                ]
+            )
+            bflat = np.concatenate([bidx.ravel()] * 6)
+            keep = (rows >= 0) & (cols >= 0)
+            np.add.at(jacobian, (bflat[keep], rows[keep], cols[keep]), vals[keep])
+
+        return jacobian, residual
+
+
+def _solve_newton_step(jacobian: np.ndarray, residual: np.ndarray) -> np.ndarray:
+    """Batched Newton step; singular designs get the scalar regularized path."""
+    try:
+        return np.linalg.solve(jacobian, -residual[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        pass
+    delta = np.empty_like(residual)
+    eye = np.eye(jacobian.shape[-1]) * 1e-9
+    for i in range(jacobian.shape[0]):
+        try:
+            delta[i] = np.linalg.solve(jacobian[i], -residual[i])
+        except np.linalg.LinAlgError:
+            delta[i] = np.linalg.lstsq(
+                jacobian[i] + eye, -residual[i], rcond=None
+            )[0]
+    return delta
+
+
+def batch_newton(
+    template: BatchTemplate,
+    x0: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    max_iterations: int,
+    abstol: float,
+    vtol: float,
+    max_step: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lockstep Newton over the whole batch with per-design convergence.
+
+    Converged designs are frozen (their iterate stops changing) while the
+    remaining active designs keep iterating, so the returned solution of each
+    design is the one from *its* convergence iteration — exactly what the
+    scalar solver would have produced had it run that design alone.
+
+    When only a straggler or two of a large batch remain active long after
+    the rest converged, the loop stops early and reports them unconverged:
+    the caller's scalar fallback re-runs the *complete* scalar pipeline for
+    them (plain Newton included), so bailing out changes cost, never results.
+
+    Returns:
+        ``(x, converged, iterations)`` — iterates ``(B, n)``, convergence
+        mask ``(B,)`` and per-design iteration counts ``(B,)``.
+    """
+    x = x0.copy()
+    batch = template.batch_size
+    converged = np.zeros(batch, dtype=bool)
+    iterations = np.zeros(batch, dtype=int)
+    num_nodes = template.num_nodes
+    assembler = _DCAssembler(template, gmin, source_scale)
+    straggler_limit = max(1, batch // STRAGGLER_ACTIVE_DIVISOR)
+
+    for iteration in range(max_iterations):
+        active = np.flatnonzero(~converged)
+        if active.size == 0:
+            break
+        if (
+            iteration >= STRAGGLER_MIN_ITERATIONS
+            and active.size <= straggler_limit
+            and active.size < batch
+        ):
+            break
+        jacobian, residual = assembler.assemble(x[active], active)
+        step = _solve_newton_step(jacobian, residual)
+        node_step = step[:, :num_nodes]
+        if num_nodes:
+            biggest = np.max(np.abs(node_step), axis=1)
+            scale = np.where(
+                biggest > max_step, max_step / np.maximum(biggest, 1e-300), 1.0
+            )
+            node_step *= scale[:, None]
+            step_norm = np.max(np.abs(node_step), axis=1)
+        else:
+            step_norm = np.zeros(active.size)
+        x[active] += step
+        iterations[active] += 1
+        res_norm = np.max(np.abs(residual), axis=1)
+        converged[active] = (res_norm < abstol) & (step_norm < vtol)
+    return x, converged, iterations
+
+
+def batch_dc_operating_point(
+    circuits: Sequence[Circuit],
+    template: Optional[BatchTemplate] = None,
+    max_iterations: int = 150,
+    abstol: float = 1e-9,
+    vtol: float = 1e-7,
+    max_step: float = 0.4,
+) -> List[DCSolution]:
+    """Find DC operating points for a whole batch of same-topology circuits.
+
+    Stage 1 is the batched plain-Newton solver; designs it cannot converge
+    are re-solved by the scalar homotopy path (gmin stepping, then source
+    stepping) so batch evaluation never *loses* designs relative to serial
+    evaluation.  Per-design :class:`DCSolution` objects are returned, with
+    ``device_ops`` evaluated through the scalar model at the converged
+    iterate — downstream AC/noise stamping sees exactly the same operating
+    point the serial path would.
+    """
+    circuits = list(circuits)
+    if template is None:
+        template = BatchTemplate(circuits)
+    n = template.num_unknowns
+    x0 = np.zeros((template.batch_size, n))
+    x0[:, : template.num_nodes] = 0.5 * template.max_supply()[:, None]
+
+    x, converged, iterations = batch_newton(
+        template, x0, 1e-12, 1.0, max_iterations, abstol, vtol, max_step
+    )
+
+    solutions: List[DCSolution] = []
+    for index, circuit in enumerate(circuits):
+        if converged[index]:
+            solution = DCSolution(
+                circuit=circuit,
+                x=x[index].copy(),
+                converged=True,
+                iterations=int(iterations[index]),
+            )
+            for mosfet in circuit.mosfets():
+                solution.device_ops[mosfet.name] = mosfet.operating_point(solution.x)
+        else:
+            # Hard design: hand it to the scalar solver's full homotopy
+            # (plain Newton, gmin stepping, source stepping).
+            solution = dc_operating_point(
+                circuit,
+                max_iterations=max_iterations,
+                abstol=abstol,
+                vtol=vtol,
+                max_step=max_step,
+            )
+        solutions.append(solution)
+    return solutions

@@ -1,0 +1,85 @@
+"""Batched adjoint noise analysis over a stack of same-topology circuits.
+
+One batched solve of the transposed AC tensor (``A^T y = e_out``) yields the
+adjoint vectors for every (design, frequency) pair at once; each noise
+source then costs a vectorized transfer-impedance lookup per design, exactly
+mirroring the scalar :func:`repro.spice.noise.noise_analysis` arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.spice.ac import logspace_frequencies
+from repro.spice.batch.ac import build_batch_ac_tensor
+from repro.spice.batch.template import BatchTemplate
+from repro.spice.dc import DCSolution
+from repro.spice.linalg import solve_stacked
+from repro.spice.noise import NoiseSolution, _collect_noise_sources
+
+
+def batch_noise_analysis(
+    circuits: Sequence,
+    ops: Sequence[DCSolution],
+    output_node: str,
+    frequencies: Optional[Sequence[float]] = None,
+    output_node_neg: Optional[str] = None,
+    template: Optional[BatchTemplate] = None,
+) -> List[NoiseSolution]:
+    """Output-referred noise PSD for every design of a batch in one solve.
+
+    Args and semantics match :func:`repro.spice.noise.noise_analysis`; the
+    output node is resolved on the template circuit (all circuits share its
+    node table).
+
+    Returns:
+        One :class:`NoiseSolution` per design.
+    """
+    circuits = list(circuits)
+    if template is None:
+        template = BatchTemplate(circuits)
+    if frequencies is None:
+        frequencies = logspace_frequencies()
+    freqs = np.asarray(list(frequencies), dtype=float)
+
+    reference = circuits[0]
+    out_index = reference.node(output_node)
+    out_neg_index = reference.node(output_node_neg) if output_node_neg else -1
+    n = template.num_unknowns
+    selector = np.zeros(n, dtype=complex)
+    if out_index >= 0:
+        selector[out_index] = 1.0
+    if out_neg_index >= 0:
+        selector[out_neg_index] = -1.0
+
+    tensor, _ = build_batch_ac_tensor(template, ops, freqs)
+    transposed = np.swapaxes(tensor, -1, -2)
+    stacked_rhs = np.broadcast_to(
+        selector, (template.batch_size, len(freqs), n)
+    )
+    adjoints = solve_stacked(transposed, stacked_rhs, context="batched noise sweep")
+
+    solutions: List[NoiseSolution] = []
+    for index, circuit in enumerate(circuits):
+        adjoint = adjoints[index]  # (F, n)
+        sources = _collect_noise_sources(circuit, ops[index])
+        total = np.zeros(len(freqs), dtype=float)
+        contributions = {}
+        psd_freqs = [float(f) for f in freqs]
+        for source in sources:
+            za = adjoint[:, source.node_a] if source.node_a >= 0 else 0.0
+            zb = adjoint[:, source.node_b] if source.node_b >= 0 else 0.0
+            transfer_sq = np.abs(za - zb) ** 2
+            psd = transfer_sq * np.asarray(
+                [source.psd(f) for f in psd_freqs], dtype=float
+            )
+            contributions[source.name] = psd
+            total += psd
+        solutions.append(
+            NoiseSolution(
+                frequencies=freqs, output_psd=total, contributions=contributions
+            )
+        )
+    return solutions

@@ -1,0 +1,70 @@
+"""Shared linear-solve helpers for stacked MNA systems.
+
+Every analysis in the simulator ultimately solves a *stack* of small dense
+systems — one per frequency in scalar AC/noise, one per (design, frequency)
+pair in the batched engine.  :func:`solve_stacked` is the single place that
+handles singular matrices: the whole stack is solved in one LAPACK call, and
+only when that fails does it fall back to a per-system least-squares solve
+for the singular slices (logging once per process, so a pathological sweep
+does not spam the logs while still leaving a trace).
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+logger = logging.getLogger("repro.spice")
+
+#: Process-wide flag so the singular-matrix fallback is reported only once.
+_fallback_logged = False
+
+
+def _log_fallback_once(context: str) -> None:
+    global _fallback_logged
+    if not _fallback_logged:
+        logger.warning(
+            "singular MNA matrix in %s; falling back to per-system "
+            "least-squares for the affected slices (reported once per process)",
+            context,
+        )
+        _fallback_logged = True
+
+
+def solve_stacked(
+    matrices: np.ndarray, rhs: np.ndarray, context: str = "linear solve"
+) -> np.ndarray:
+    """Solve ``matrices[i] @ x[i] = rhs[i]`` for a whole stack at once.
+
+    Args:
+        matrices: Array of shape ``(..., n, n)``.
+        rhs: Array of shape ``(..., n)`` with the same leading (batch) shape
+            as ``matrices``.
+        context: Human-readable description used in the one-time fallback log.
+
+    Returns:
+        Solutions of shape ``(..., n)``.
+
+    The fast path is a single batched ``np.linalg.solve``.  If any slice is
+    exactly singular LAPACK raises; the stack is then re-solved slice by
+    slice, using minimum-norm least squares only for the singular slices, so
+    one bad frequency point cannot poison (or slow down) the others.
+    """
+    try:
+        return np.linalg.solve(matrices, rhs[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        _log_fallback_once(context)
+
+    batch_shape = matrices.shape[:-2]
+    n = matrices.shape[-1]
+    dtype = np.result_type(matrices.dtype, rhs.dtype)
+    flat_matrices = np.ascontiguousarray(matrices).reshape(-1, n, n)
+    flat_rhs = np.ascontiguousarray(rhs).reshape(-1, n)
+    out = np.empty((flat_matrices.shape[0], n), dtype=dtype)
+    for i in range(flat_matrices.shape[0]):
+        try:
+            out[i] = np.linalg.solve(flat_matrices[i], flat_rhs[i])
+        except np.linalg.LinAlgError:
+            out[i] = np.linalg.lstsq(flat_matrices[i], flat_rhs[i], rcond=None)[0]
+    return out.reshape(batch_shape + (n,))

@@ -11,6 +11,7 @@ from repro.spice.ac import build_ac_matrix, logspace_frequencies
 from repro.spice.circuit import Circuit
 from repro.spice.dc import DCSolution
 from repro.spice.elements import NoiseContribution
+from repro.spice.linalg import solve_stacked
 
 
 @dataclass
@@ -99,13 +100,18 @@ def noise_analysis(
     if out_neg_index >= 0:
         selector[out_neg_index] = -1.0
 
+    matrices = np.zeros((len(freqs), n, n), dtype=complex)
     for i, frequency in enumerate(freqs):
         omega = 2.0 * np.pi * frequency
         matrix, _ = build_ac_matrix(circuit, op, omega)
-        try:
-            adjoint = np.linalg.solve(matrix.T, selector)
-        except np.linalg.LinAlgError:
-            adjoint = np.linalg.lstsq(matrix.T, selector, rcond=None)[0]
+        matrices[i] = matrix.T
+    adjoints = solve_stacked(
+        matrices,
+        np.broadcast_to(selector, (len(freqs), n)),
+        context=f"adjoint noise sweep of {circuit.title!r}",
+    )
+    for i, frequency in enumerate(freqs):
+        adjoint = adjoints[i]
         for source in sources:
             za = adjoint[source.node_a] if source.node_a >= 0 else 0.0
             zb = adjoint[source.node_b] if source.node_b >= 0 else 0.0

@@ -6,15 +6,34 @@ import pytest
 from repro.circuits import get_circuit
 from repro.env import SizingEnvironment, default_fom_config
 from repro.eval import (
+    BACKENDS,
     CachingEvaluator,
     EvalResult,
     EvaluatorConfig,
     LocalEvaluator,
     ParallelEvaluator,
+    VectorizedEvaluator,
     build_evaluator,
     sizing_cache_key,
 )
 from repro.optim import EvolutionStrategy, RandomSearch
+
+#: Every conformance backend: name -> evaluator factory.  ``caching+X``
+#: stacks the LRU cache over backend ``X``, exactly like EvaluatorConfig.
+CONFORMANCE_BACKENDS = {
+    "local": lambda circuit: LocalEvaluator(circuit),
+    "thread": lambda circuit: ParallelEvaluator(circuit, max_workers=2, backend="thread"),
+    "process": lambda circuit: ParallelEvaluator(circuit, max_workers=2, backend="process"),
+    "caching": lambda circuit: CachingEvaluator(LocalEvaluator(circuit), max_size=64),
+    "vectorized": lambda circuit: VectorizedEvaluator(circuit),
+    "caching+vectorized": lambda circuit: CachingEvaluator(
+        VectorizedEvaluator(circuit), max_size=64
+    ),
+}
+
+#: Backends that re-order floating-point accumulation (stacked solves); their
+#: results match the serial reference at solver precision, not bit-for-bit.
+APPROXIMATE_BACKENDS = {"vectorized", "caching+vectorized"}
 
 
 @pytest.fixture()
@@ -130,6 +149,177 @@ class TestCachingEvaluator:
         assert sizing_cache_key(a) == sizing_cache_key(b)
         c = {"m1": {"w": 3.1e-6}, "m2": {"w": 1e-6, "l": 2e-7}}
         assert sizing_cache_key(a) != sizing_cache_key(c)
+
+
+class TestBackendConformance:
+    """Every backend passes one suite: same results, same contract."""
+
+    @pytest.fixture(params=sorted(CONFORMANCE_BACKENDS))
+    def backend_name(self, request):
+        return request.param
+
+    @pytest.fixture()
+    def evaluator(self, backend_name, two_tia):
+        with CONFORMANCE_BACKENDS[backend_name](two_tia) as evaluator:
+            yield evaluator
+
+    def _assert_metrics_match(self, backend_name, got, reference):
+        for result, expected in zip(got, reference):
+            assert result.metrics.keys() == expected.metrics.keys()
+            for key in expected.metrics:
+                if backend_name in APPROXIMATE_BACKENDS:
+                    assert result.metrics[key] == pytest.approx(
+                        expected.metrics[key], rel=1e-6, abs=1e-12
+                    )
+                else:
+                    assert result.metrics[key] == expected.metrics[key]
+
+    def test_matches_local_reference(self, backend_name, evaluator, two_tia, sizings):
+        reference = LocalEvaluator(two_tia).evaluate_batch(sizings)
+        results = evaluator.evaluate_batch(sizings)
+        assert [r.sizing for r in results] == list(sizings)
+        self._assert_metrics_match(backend_name, results, reference)
+
+    def test_scalar_call_is_batch_of_one(self, backend_name, evaluator, sizings):
+        single = evaluator.evaluate(sizings[0])
+        batch = evaluator.evaluate_batch([sizings[0]])[0]
+        assert single.metrics.keys() == batch.metrics.keys()
+
+    def test_stats_count_every_design(self, evaluator, sizings):
+        evaluator.evaluate_batch(sizings)
+        assert evaluator.stats.num_batches == 1
+        assert evaluator.stats.num_designs == len(sizings)
+        assert evaluator.stats.total_time > 0
+
+    def test_quantized_cache_key_interaction(self, backend_name, evaluator, sizings):
+        """Sub-ULP jitter of a sizing must hit the same cache entry.
+
+        The caching stacks serve the jittered design from the cache (exact
+        metrics, zero extra simulations); the plain backends re-simulate the
+        almost-identical netlist, whose metrics agree to solver precision —
+        so quantized keys can never alias visibly different designs.
+        """
+        base = sizings[0]
+        jittered = {
+            comp: {name: value * (1 + 1e-15) for name, value in params.items()}
+            for comp, params in base.items()
+        }
+        assert sizing_cache_key(base) == sizing_cache_key(jittered)
+        first = evaluator.evaluate_batch([base])[0]
+        second = evaluator.evaluate_batch([jittered])[0]
+        if backend_name.startswith("caching"):
+            assert first.metrics == second.metrics  # exact: served from cache
+            assert second.cached
+            assert evaluator.stats.cache_hits == 1
+            assert evaluator.stats.num_simulations == 1
+        else:
+            for key in first.metrics:
+                assert second.metrics[key] == pytest.approx(
+                    first.metrics[key], rel=1e-6, abs=1e-12
+                )
+
+    def test_optimization_run_matches_local(self, backend_name, evaluator, two_tia):
+        def run(inner):
+            env = SizingEnvironment(
+                two_tia, default_fom_config(two_tia), evaluator=inner
+            )
+            return RandomSearch(env, seed=3).run(6)
+
+        reference = run(LocalEvaluator(two_tia))
+        result = run(evaluator)
+        if backend_name in APPROXIMATE_BACKENDS:
+            assert result.rewards == pytest.approx(reference.rewards, rel=1e-9, abs=1e-9)
+        else:
+            assert result.rewards == reference.rewards
+
+
+class TestVectorizedEvaluator:
+    def test_in_backends_registry(self):
+        assert "vectorized" in BACKENDS
+
+    def test_config_builds_vectorized_stack(self, two_tia):
+        evaluator = EvaluatorConfig(backend="vectorized", cache_size=8).build(two_tia)
+        assert isinstance(evaluator, CachingEvaluator)
+        assert isinstance(evaluator.inner, VectorizedEvaluator)
+
+    def test_rejects_invalid_chunk_size(self, two_tia):
+        with pytest.raises(ValueError):
+            VectorizedEvaluator(two_tia, max_batch_size=0)
+
+    def test_chunking_preserves_order_and_results(self, two_tia, sizings):
+        whole = VectorizedEvaluator(two_tia).evaluate_batch(sizings)
+        chunked = VectorizedEvaluator(two_tia, max_batch_size=2).evaluate_batch(sizings)
+        for a, b in zip(whole, chunked):
+            assert a.sizing is b.sizing
+            for key in a.metrics:
+                assert a.metrics[key] == pytest.approx(b.metrics[key], rel=1e-9)
+
+    def test_planless_circuit_falls_back_to_serial(self):
+        ldo = get_circuit("ldo")
+        assert ldo.analysis_plan() is None
+        sizing = ldo.expert_sizing()
+        vectorized = VectorizedEvaluator(ldo).evaluate_batch([sizing])
+        local = LocalEvaluator(ldo).evaluate_batch([sizing])
+        assert vectorized[0].metrics == local[0].metrics  # exact: same code path
+
+    def test_failed_designs_report_failure_metrics(self, two_tia, monkeypatch):
+        """Designs the DC stage cannot converge must yield failure metrics."""
+        from repro.spice.batch import dc as batch_dc
+
+        def never_converges(template, x0, *args, **kwargs):
+            batch = template.batch_size
+            return (
+                np.zeros_like(x0),
+                np.zeros(batch, dtype=bool),
+                np.zeros(batch, dtype=int),
+            )
+
+        monkeypatch.setattr(batch_dc, "batch_newton", never_converges)
+        monkeypatch.setattr(
+            "repro.spice.batch.dc.dc_operating_point",
+            lambda circuit, **kwargs: type(
+                "FakeOp", (), {"converged": False, "x": None, "device_ops": {}}
+            )(),
+        )
+        rng = np.random.default_rng(1)
+        sizing = two_tia.random_sizing(rng)
+        result = VectorizedEvaluator(two_tia).evaluate_batch([sizing])[0]
+        assert result.metrics["simulation_failed"] == 1.0
+
+
+class TestCalibratedPairParity:
+    """FoM parity vs LocalEvaluator on every calibrated circuit × technology."""
+
+    def _calibrated_pairs():
+        from repro.env.fom import CALIBRATION_DIR
+
+        pairs = []
+        for path in sorted(CALIBRATION_DIR.glob("*.json")):
+            circuit_name, technology = path.stem.rsplit("_", 1)
+            pairs.append((circuit_name, technology))
+        return pairs
+
+    PAIRS = _calibrated_pairs()
+
+    def test_every_calibrated_pair_is_covered(self):
+        assert ("two_tia", "180nm") in self.PAIRS
+        assert ("ldo", "180nm") in self.PAIRS
+        assert len(self.PAIRS) >= 12
+
+    @pytest.mark.parametrize("circuit_name,technology", PAIRS)
+    def test_fom_parity_with_local(self, circuit_name, technology):
+        circuit = get_circuit(circuit_name, technology)
+        rng = np.random.default_rng(99)
+        designs = [circuit.expert_sizing()] + [
+            circuit.random_sizing(rng) for _ in range(2)
+        ]
+        fom = default_fom_config(circuit)
+        local = LocalEvaluator(circuit).evaluate_batch(designs)
+        vectorized = VectorizedEvaluator(circuit).evaluate_batch(designs)
+        for reference, result in zip(local, vectorized):
+            assert fom.compute(result.metrics) == pytest.approx(
+                fom.compute(reference.metrics), rel=1e-9, abs=1e-9
+            )
 
 
 class TestEvaluatorConfig:
