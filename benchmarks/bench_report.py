@@ -89,5 +89,11 @@ def record_backend(
     vectorized = report["backends"].get("vectorized", {}).get("designs_per_sec")
     if serial and vectorized:
         report["vectorized_speedup_over_serial"] = round(vectorized / serial, 2)
+    rl_loop = report["backends"].get("rl_update_loop", {}).get("designs_per_sec")
+    rl_batched = report["backends"].get("rl_update_batched", {}).get(
+        "designs_per_sec"
+    )
+    if rl_loop and rl_batched:
+        report["rl_update_speedup_over_loop"] = round(rl_batched / rl_loop, 2)
     path.write_text(json.dumps(report, indent=2) + "\n")
     return path

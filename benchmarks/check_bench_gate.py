@@ -1,19 +1,23 @@
 #!/usr/bin/env python
-"""CI benchmark gate for the evaluator throughput report.
+"""CI benchmark gate for the evaluator and RL-training throughput report.
 
 Reads the ``BENCH_evaluator.json`` produced by the throughput benchmarks and
-fails (exit code 1) when either:
+fails (exit code 1) when any of:
 
-* the vectorized backend does not beat serial evaluation by the acceptance
-  margin (``--min-speedup``, default 3x on the 32-design Two-TIA batch), or
-* vectorized designs/sec regressed below ``--regression-factor`` times the
-  committed baseline (``benchmarks/BENCH_evaluator.json``).  The factor is
-  deliberately generous because absolute rates vary across runner hardware;
-  the speedup *ratio* is the portable signal.
+* the vectorized SPICE backend does not beat serial evaluation by the
+  acceptance margin (``--min-speedup``, default 3x on the 32-design Two-TIA
+  batch),
+* the batched RL critic update does not beat the per-sample update loop by
+  ``--min-rl-speedup`` (default 3x designs-trained/sec at batch size 48), or
+* vectorized / batched-RL throughput regressed below
+  ``--regression-factor`` times the committed baseline
+  (``benchmarks/BENCH_evaluator.json``).  The factor is deliberately
+  generous because absolute rates vary across runner hardware; the speedup
+  *ratios* are the portable signal.
 
 Usage:
     python benchmarks/check_bench_gate.py REPORT [--baseline BASELINE]
-        [--min-speedup 3.0] [--regression-factor 0.5]
+        [--min-speedup 3.0] [--min-rl-speedup 3.0] [--regression-factor 0.5]
 """
 
 from __future__ import annotations
@@ -38,11 +42,19 @@ def main(argv=None) -> int:
         help="committed baseline report (default: benchmarks/BENCH_evaluator.json)",
     )
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--min-rl-speedup", type=float, default=3.0)
     parser.add_argument("--regression-factor", type=float, default=0.5)
     args = parser.parse_args(argv)
 
     report = _load(args.report)
     backends = report.get("backends", {})
+    baseline = _load(args.baseline) if args.baseline.exists() else {}
+    baseline_backends = baseline.get("backends", {})
+    if not args.baseline.exists():
+        print(
+            f"note: no committed baseline at {args.baseline}; "
+            "skipping regression checks"
+        )
     failures = []
 
     serial = backends.get("serial", {}).get("designs_per_sec")
@@ -64,25 +76,48 @@ def main(argv=None) -> int:
                 f"margin of {args.min_speedup:.1f}x over serial"
             )
 
-    if args.baseline.exists() and vectorized:
-        baseline = _load(args.baseline)
-        baseline_vec = (
-            baseline.get("backends", {}).get("vectorized", {}).get("designs_per_sec")
+    rl_loop = backends.get("rl_update_loop", {}).get("designs_per_sec")
+    rl_batched = backends.get("rl_update_batched", {}).get("designs_per_sec")
+    if not rl_loop or not rl_batched:
+        failures.append(
+            "report is missing rl_update_loop and/or rl_update_batched "
+            f"throughput (backends present: {sorted(backends)})"
         )
-        if baseline_vec:
-            floor = args.regression_factor * baseline_vec
-            print(
-                f"baseline vectorized={baseline_vec:.1f}/s "
-                f"regression floor={floor:.1f}/s measured={vectorized:.1f}/s"
+    else:
+        rl_speedup = rl_batched / rl_loop
+        print(
+            f"rl_update loop={rl_loop:.1f}/s batched={rl_batched:.1f}/s "
+            f"speedup={rl_speedup:.2f}x (required: {args.min_rl_speedup:.1f}x)"
+        )
+        if rl_speedup < args.min_rl_speedup:
+            failures.append(
+                f"batched RL update speedup {rl_speedup:.2f}x is below the "
+                f"acceptance margin of {args.min_rl_speedup:.1f}x over the "
+                "per-sample loop"
             )
-            if vectorized < floor:
-                failures.append(
-                    f"vectorized throughput {vectorized:.1f}/s regressed below "
-                    f"{args.regression_factor:.2f}x the committed baseline "
-                    f"({baseline_vec:.1f}/s)"
-                )
-    elif not args.baseline.exists():
-        print(f"note: no committed baseline at {args.baseline}; skipping regression check")
+
+    for backend_name, measured in (
+        ("vectorized", vectorized),
+        ("rl_update_batched", rl_batched),
+    ):
+        if not measured:
+            continue
+        baseline_rate = baseline_backends.get(backend_name, {}).get(
+            "designs_per_sec"
+        )
+        if not baseline_rate:
+            continue
+        floor = args.regression_factor * baseline_rate
+        print(
+            f"baseline {backend_name}={baseline_rate:.1f}/s "
+            f"regression floor={floor:.1f}/s measured={measured:.1f}/s"
+        )
+        if measured < floor:
+            failures.append(
+                f"{backend_name} throughput {measured:.1f}/s regressed below "
+                f"{args.regression_factor:.2f}x the committed baseline "
+                f"({baseline_rate:.1f}/s)"
+            )
 
     if failures:
         for failure in failures:

@@ -1,0 +1,159 @@
+"""Micro-benchmark: batched vs per-sample GCN critic updates.
+
+The batched DDPG critic update pushes the whole replay batch through the
+7-layer GCN stack as stacked ``(B, n, F)`` tensors — a handful of large
+matmuls — where the per-sample reference path runs ``batch_size`` sequential
+single-graph forward/backward passes in a Python loop.  This module measures
+both paths on the paper configuration (7 GCN layers, hidden 64,
+``batch_size=48``, Two-TIA), reports **designs-trained/sec** (replay samples
+consumed per wall-clock second of critic updating), and records the rates
+into ``BENCH_evaluator.json`` (see ``bench_report.py``).
+
+The acceptance bar — batched >= 3x the per-sample loop — is enforced by
+``check_bench_gate.py`` in CI; the in-test assertion uses a lower bar so a
+noisy machine cannot flake the test suite itself.  Rates are medians over
+interleaved measurement rounds, so a transient load spike cannot skew one
+side of the comparison.
+
+Raise ``REPRO_BENCH_RL_ROUNDS`` / ``REPRO_BENCH_RL_UPDATES`` for tighter
+statistics.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.env import SizingEnvironment
+from repro.rl import AgentConfig, GCNRLAgent
+
+from bench_report import record_backend
+from conftest import _bench_int
+
+#: Timing-sensitive: runs in the dedicated CI throughput job (by filename),
+#: not in every tier-1 matrix cell, so a loaded runner cannot flake tier-1.
+pytestmark = pytest.mark.slow
+
+#: Paper configuration: replay samples per critic update (``Ns``).
+BATCH_SIZE = _bench_int("REPRO_BENCH_RL_BATCH", 48)
+#: Interleaved measurement rounds (median over rounds is reported).
+ROUNDS = _bench_int("REPRO_BENCH_RL_ROUNDS", 5)
+#: Batched updates timed per round (the loop path runs proportionally fewer).
+UPDATES_PER_ROUND = _bench_int("REPRO_BENCH_RL_UPDATES", 20)
+#: In-test sanity bar (the CI gate enforces the real 3x acceptance margin).
+MIN_SPEEDUP_IN_TEST = 1.5
+
+
+def _prepared_agent(seed: int = 0) -> GCNRLAgent:
+    """Paper-config agent with a filled replay buffer, ready to update."""
+    environment = SizingEnvironment(get_circuit("two_tia"))
+    agent = GCNRLAgent(
+        environment, AgentConfig(batch_size=BATCH_SIZE, warmup=1), seed=seed
+    )
+    states, _ = environment.observe()
+    rng = np.random.default_rng(seed)
+    for _ in range(max(64, BATCH_SIZE)):
+        actions = rng.uniform(
+            -1.0, 1.0, size=(environment.num_components, agent.action_dim)
+        )
+        agent.replay_buffer.add(states, actions, float(rng.uniform()))
+    agent.reward_baseline = 0.5
+    return agent
+
+
+def _rate(update, num_updates: int) -> float:
+    """Designs-trained/sec of ``num_updates`` back-to-back critic updates."""
+    start = time.perf_counter()
+    for _ in range(num_updates):
+        update()
+    elapsed = time.perf_counter() - start
+    return num_updates * BATCH_SIZE / max(elapsed, 1e-9)
+
+
+def test_batched_critic_update_throughput(capsys):
+    """Critic-update microbenchmark: stacked tensors vs the per-sample loop.
+
+    Times the critic update itself (replay sample, forward/backward over the
+    batch, clip, Adam step) — the phase the batched tensor path vectorizes.
+    The actor ascent step is a single-graph pass shared verbatim by both
+    paths; its (identical) cost is reported separately via the full-update
+    rates stored in the report entries.
+    """
+    agent = _prepared_agent()
+    adjacency = agent.environment.circuit.normalized_adjacency()
+    type_indices = agent._type_indices()
+    batched = lambda: agent._update_critic_batched(adjacency, type_indices)  # noqa: E731
+    loop = lambda: agent._update_critic_loop(adjacency, type_indices)  # noqa: E731
+    batched()  # warm-up (allocates the persistent batched workspaces)
+    loop()
+
+    loop_updates = max(UPDATES_PER_ROUND // 4, 2)
+    batched_rates, loop_rates = [], []
+    for _ in range(ROUNDS):
+        batched_rates.append(_rate(batched, UPDATES_PER_ROUND))
+        loop_rates.append(_rate(loop, loop_updates))
+    batched_rate = statistics.median(batched_rates)
+    loop_rate = statistics.median(loop_rates)
+    speedup = batched_rate / loop_rate
+
+    # Full-update rates (critic + shared actor step) for context.
+    agent._update_networks()
+    agent._update_networks_loop()
+    full_batched = _rate(agent._update_networks, UPDATES_PER_ROUND)
+    full_loop = _rate(agent._update_networks_loop, loop_updates)
+
+    record_backend(
+        "rl_update_loop",
+        loop_rate,
+        BATCH_SIZE,
+        extra={
+            "updates_per_sec": round(loop_rate / BATCH_SIZE, 2),
+            "full_update_designs_per_sec": round(full_loop, 2),
+        },
+    )
+    record_backend(
+        "rl_update_batched",
+        batched_rate,
+        BATCH_SIZE,
+        extra={
+            "updates_per_sec": round(batched_rate / BATCH_SIZE, 2),
+            "full_update_designs_per_sec": round(full_batched, 2),
+        },
+    )
+    with capsys.disabled():
+        print(
+            f"\n[rl-throughput] batch={BATCH_SIZE} "
+            f"critic-update loop={loop_rate:.0f} batched={batched_rate:.0f} "
+            f"designs/s speedup={speedup:.2f}x "
+            f"(full update incl. actor step: {full_loop:.0f} -> "
+            f"{full_batched:.0f} designs/s)"
+        )
+    assert speedup > MIN_SPEEDUP_IN_TEST
+
+
+def test_batched_and_loop_updates_agree(capsys):
+    """A fast wrong update is worthless: both paths must land on the same
+    weights (to stacked-reduction precision) from identical agent states."""
+    batched_agent = _prepared_agent(seed=3)
+    loop_agent = _prepared_agent(seed=3)
+    losses = []
+    for _ in range(10):
+        loss_batched = batched_agent._update_networks()
+        loss_loop = loop_agent._update_networks_loop()
+        losses.append((loss_batched, loss_loop))
+    state_b = batched_agent.state_dict()
+    state_l = loop_agent.state_dict()
+    max_diff = max(
+        float(np.max(np.abs(state_b[net][key] - state_l[net][key])))
+        for net in state_b
+        for key in state_b[net]
+    )
+    with capsys.disabled():
+        print(f"\n[rl-throughput] parity after 10 updates: {max_diff:.2e}")
+    assert max_diff <= 1e-9
+    for loss_batched, loss_loop in losses:
+        assert loss_batched == pytest.approx(loss_loop, abs=1e-9)

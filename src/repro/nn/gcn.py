@@ -6,7 +6,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter, xavier_init
+from repro.nn.module import (
+    Module,
+    Parameter,
+    accumulate_affine_grads,
+    xavier_init,
+)
 
 
 class GCNLayer(Module):
@@ -16,6 +21,16 @@ class GCNLayer(Module):
     :func:`repro.circuits.graph.normalized_adjacency`.  The same weight matrix
     is shared by every node, which is what makes the layer transferable across
     topologies of different sizes.
+
+    Node features may be a single graph ``(n, in_features)`` or a stacked
+    batch ``(B, n, in_features)``; a single ``(n, n)`` adjacency broadcasts
+    over the batch (one topology, many designs — the replay-batch case), or a
+    ``(B, n, n)`` stack gives every batch element its own graph.
+
+    The backward pass needs only the aggregated features and the layer
+    output (activation gradients are functions of the output), which keeps
+    the cached working set of a deep stack small enough to stay cache
+    resident during batched training.
     """
 
     def __init__(
@@ -34,49 +49,105 @@ class GCNLayer(Module):
             xavier_init(rng, in_features, out_features), name=f"{name}.weight"
         )
         self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
-        self._input: Optional[np.ndarray] = None
         self._adjacency: Optional[np.ndarray] = None
-        self._pre_activation: Optional[np.ndarray] = None
+        self._aggregated: Optional[np.ndarray] = None
+        self._output: Optional[np.ndarray] = None
+        # Persistent workspaces for the stacked (B, n, F) path: the same
+        # pages are reused every update, which keeps the batched training
+        # loop out of the allocator and cache-warm.  Forward and backward
+        # strictly alternate per shape, so two forward buffers (aggregated,
+        # output) and two backward buffers (grad wrt aggregated / input)
+        # never alias live data.
+        self._fwd_bufs: Optional[tuple] = None
+        self._bwd_bufs: Optional[tuple] = None
 
-    def _activate(self, z: np.ndarray) -> np.ndarray:
-        if self.activation == "relu":
-            return np.maximum(z, 0.0)
-        if self.activation == "tanh":
-            return np.tanh(z)
-        return z
+    def _activation_grad_mult(self, grad: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``grad * act'(z)``, computed from the cached activation *output*.
 
-    def _activation_grad(self, z: np.ndarray) -> np.ndarray:
+        For ReLU ``act'(z) = (z > 0) = (out > 0)`` and the boolean mask
+        multiplies bitwise-identically to an explicit float mask; for tanh
+        ``act'(z) = 1 - tanh(z)^2 = 1 - out^2`` (same floats, tanh not
+        recomputed).
+        """
         if self.activation == "relu":
-            return (z > 0).astype(float)
+            return grad * (out > 0)
         if self.activation == "tanh":
-            return 1.0 - np.tanh(z) ** 2
-        return np.ones_like(z)
+            return grad * (1.0 - out**2)
+        return np.asarray(grad, dtype=float)
 
     def forward(self, h: np.ndarray, adjacency: np.ndarray) -> np.ndarray:
         """Aggregate neighbour features and apply the shared linear map.
 
         Args:
-            h: Node features, shape ``(num_nodes, in_features)``.
-            adjacency: Normalised adjacency ``Â``, shape ``(n, n)``.
+            h: Node features, shape ``(num_nodes, in_features)`` or a stacked
+                batch ``(B, num_nodes, in_features)``.
+            adjacency: Normalised adjacency ``Â``, shape ``(n, n)`` (shared by
+                the whole batch) or ``(B, n, n)``.
         """
         h = np.asarray(h, dtype=float)
         adjacency = np.asarray(adjacency, dtype=float)
-        self._input = h
         self._adjacency = adjacency
-        aggregated = adjacency @ h
-        self._pre_activation = aggregated @ self.weight.value + self.bias.value
-        return self._activate(self._pre_activation)
+        if h.ndim == 3 and adjacency.ndim == 2:
+            agg_shape = h.shape
+            out_shape = h.shape[:-1] + (self.out_features,)
+            if self._fwd_bufs is None or self._fwd_bufs[0].shape != agg_shape:
+                self._fwd_bufs = (np.empty(agg_shape), np.empty(out_shape))
+            agg_buf, z = self._fwd_bufs
+            self._aggregated = np.matmul(adjacency, h, out=agg_buf)
+            np.matmul(self._aggregated, self.weight.value, out=z)
+        else:
+            self._aggregated = adjacency @ h
+            z = self._aggregated @ self.weight.value
+        z += self.bias.value
+        if self.activation == "relu":
+            self._output = np.maximum(z, 0.0, out=z)
+        elif self.activation == "tanh":
+            self._output = np.tanh(z, out=z)
+        else:
+            self._output = z
+        return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Backpropagate through activation, weights and aggregation."""
-        if self._input is None or self._pre_activation is None:
+        if self._aggregated is None or self._output is None:
             raise RuntimeError("backward called before forward")
-        grad_z = np.asarray(grad_output) * self._activation_grad(self._pre_activation)
-        aggregated = self._adjacency @ self._input
-        self.weight.grad += aggregated.T @ grad_z
-        self.bias.grad += grad_z.sum(axis=0)
+        grad_output = np.asarray(grad_output)
+        aggregated = self._aggregated
+        if grad_output.ndim == 3 and self._adjacency.ndim == 2:
+            out_shape = grad_output.shape
+            in_shape = out_shape[:-1] + (self.in_features,)
+            if self._bwd_bufs is None or self._bwd_bufs[0].shape != out_shape:
+                self._bwd_bufs = (
+                    np.empty(out_shape),
+                    np.empty(in_shape),
+                    np.empty(in_shape),
+                    np.empty(out_shape, dtype=bool),
+                )
+            gz_buf, ga_buf, gh_buf, mask_buf = self._bwd_bufs
+            if self.activation == "relu":
+                np.greater(self._output, 0, out=mask_buf)
+                grad_z = np.multiply(grad_output, mask_buf, out=gz_buf)
+            elif self.activation == "tanh":
+                grad_z = np.multiply(
+                    grad_output, 1.0 - self._output**2, out=gz_buf
+                )
+            else:
+                grad_z = grad_output
+            accumulate_affine_grads(self.weight, self.bias, aggregated, grad_z)
+            # One flattened dgemm instead of a per-slice gufunc loop.
+            np.matmul(
+                grad_z.reshape(-1, self.out_features),
+                self.weight.value.T,
+                out=ga_buf.reshape(-1, self.in_features),
+            )
+            # Â is symmetric so its adjoint is itself; the transpose is still
+            # taken explicitly for asymmetric test adjacencies.
+            return np.matmul(self._adjacency.T, ga_buf, out=gh_buf)
+        grad_z = self._activation_grad_mult(grad_output, self._output)
+        accumulate_affine_grads(self.weight, self.bias, aggregated, grad_z)
         grad_aggregated = grad_z @ self.weight.value.T
-        # Â is symmetric, so the adjoint of (Â @ H) w.r.t. H is Â^T = Â.
+        if self._adjacency.ndim == 3:
+            return np.matmul(self._adjacency.transpose(0, 2, 1), grad_aggregated)
         return self._adjacency.T @ grad_aggregated
 
     def __call__(self, h: np.ndarray, adjacency: np.ndarray) -> np.ndarray:

@@ -6,11 +6,22 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter, xavier_init
+from repro.nn.module import (
+    Module,
+    Parameter,
+    accumulate_affine_grads,
+    xavier_init,
+)
 
 
 class Linear(Module):
-    """Fully-connected layer ``y = x @ W + b`` applied to the last axis."""
+    """Fully-connected layer ``y = x @ W + b`` applied to the last axis.
+
+    Inputs may carry any number of leading axes; ``(B, N, in_features)``
+    batches are the hot path of the batched actor-critic update.  The
+    backward pass accumulates batched parameter gradients slice by slice in
+    batch order, so a stacked backward matches the per-sample loop exactly.
+    """
 
     def __init__(
         self,
@@ -27,12 +38,24 @@ class Linear(Module):
         )
         self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
         self._input: Optional[np.ndarray] = None
+        # Persistent workspaces for the stacked (B, N, F) path — reused
+        # every update so batched training stays out of the allocator.
+        self._fwd_buf: Optional[np.ndarray] = None
+        self._bwd_buf: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Apply the affine map; caches the input for the backward pass."""
         x = np.asarray(x, dtype=float)
         self._input = x
-        return x @ self.weight.value + self.bias.value
+        if x.ndim == 3:
+            out_shape = x.shape[:-1] + (self.out_features,)
+            if self._fwd_buf is None or self._fwd_buf.shape != out_shape:
+                self._fwd_buf = np.empty(out_shape)
+            y = np.matmul(x, self.weight.value, out=self._fwd_buf)
+        else:
+            y = x @ self.weight.value
+        y += self.bias.value
+        return y
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Accumulate parameter gradients and return the input gradient."""
@@ -40,10 +63,11 @@ class Linear(Module):
             raise RuntimeError("backward called before forward")
         grad_output = np.asarray(grad_output, dtype=float)
         x = self._input
-        x2d = x.reshape(-1, self.in_features)
-        g2d = grad_output.reshape(-1, self.out_features)
-        self.weight.grad += x2d.T @ g2d
-        self.bias.grad += g2d.sum(axis=0)
+        accumulate_affine_grads(self.weight, self.bias, x, grad_output)
+        if x.ndim == 3:
+            if self._bwd_buf is None or self._bwd_buf.shape != x.shape:
+                self._bwd_buf = np.empty(x.shape)
+            return np.matmul(grad_output, self.weight.value.T, out=self._bwd_buf)
         return grad_output @ self.weight.value.T
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
@@ -54,19 +78,35 @@ class ReLU(Module):
     """Rectified linear activation."""
 
     def __init__(self):
-        self._mask: Optional[np.ndarray] = None
+        self._output: Optional[np.ndarray] = None
+        self._bufs: Optional[tuple] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Elementwise ``max(x, 0)``."""
         x = np.asarray(x, dtype=float)
-        self._mask = x > 0
-        return x * self._mask
+        if x.ndim == 3:
+            if self._bufs is None or self._bufs[0].shape != x.shape:
+                self._bufs = (np.empty(x.shape), np.empty(x.shape))
+            self._output = np.maximum(x, 0.0, out=self._bufs[0])
+        else:
+            self._output = np.maximum(x, 0.0)
+        return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        """Pass gradients only where the input was positive."""
-        if self._mask is None:
+        """Pass gradients only where the input was positive.
+
+        The mask is recovered from the cached output (``out > 0`` iff the
+        input was positive), and the boolean multiply is bitwise-identical
+        to multiplying by a float mask.
+        """
+        if self._output is None:
             raise RuntimeError("backward called before forward")
-        return np.asarray(grad_output) * self._mask
+        grad_output = np.asarray(grad_output)
+        if grad_output.ndim == 3 and self._bufs is not None:
+            return np.multiply(
+                grad_output, self._output > 0, out=self._bufs[1]
+            )
+        return grad_output * (self._output > 0)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)

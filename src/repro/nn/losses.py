@@ -6,14 +6,26 @@ import numpy as np
 
 
 def mse_loss(prediction: np.ndarray, target: np.ndarray) -> float:
-    """Mean squared error between prediction and target."""
+    """Mean squared error between prediction and target.
+
+    The mean runs over every element, so calling this once on a stacked
+    ``(B,)`` prediction/target pair is the in-graph equivalent of averaging
+    ``B`` single-sample losses — which is how the batched critic update
+    folds the whole replay batch into one loss value.
+    """
     prediction = np.asarray(prediction, dtype=float)
     target = np.asarray(target, dtype=float)
     return float(np.mean((prediction - target) ** 2))
 
 
 def mse_loss_grad(prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
-    """Gradient of :func:`mse_loss` with respect to the prediction."""
+    """Gradient of :func:`mse_loss` with respect to the prediction.
+
+    Because the loss averages over all elements, each entry of the returned
+    gradient is ``2 * (prediction - target) / B`` — identical, element for
+    element, to the ``1/B``-scaled per-sample gradients the sequential
+    critic loop feeds into ``backward`` one at a time.
+    """
     prediction = np.asarray(prediction, dtype=float)
     target = np.asarray(target, dtype=float)
     n = prediction.size

@@ -33,18 +33,24 @@ class GaussianProcess:
         self._cho = None
         self._alpha: Optional[np.ndarray] = None
 
-    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        sq_dist = (
+    @staticmethod
+    def _sq_dist(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (
             np.sum(a**2, axis=1)[:, None]
             + np.sum(b**2, axis=1)[None, :]
             - 2.0 * a @ b.T
         )
+
+    def _kernel_from_sq_dist(self, sq_dist: np.ndarray) -> np.ndarray:
         return self.signal_variance * np.exp(
             -0.5 * np.maximum(sq_dist, 0.0) / self.length_scale**2
         )
 
-    def _log_marginal(self, x: np.ndarray, y: np.ndarray) -> float:
-        k = self._kernel(x, x) + self.noise * np.eye(len(x))
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._kernel_from_sq_dist(self._sq_dist(a, b))
+
+    def _log_marginal(self, sq_dist: np.ndarray, y: np.ndarray) -> float:
+        k = self._kernel_from_sq_dist(sq_dist) + self.noise * np.eye(len(y))
         try:
             cho = cho_factor(k, lower=True)
         except np.linalg.LinAlgError:
@@ -54,24 +60,30 @@ class GaussianProcess:
         return float(-0.5 * y @ alpha - 0.5 * log_det - 0.5 * len(y) * np.log(2 * np.pi))
 
     def fit(self, x: np.ndarray, y: np.ndarray, tune: bool = True) -> "GaussianProcess":
-        """Fit the GP to data, optionally tuning hyper-parameters by grid search."""
+        """Fit the GP to data, optionally tuning hyper-parameters by grid search.
+
+        The pairwise squared-distance matrix only depends on the data, not on
+        the hyper-parameters, so it is computed once and shared by all grid
+        combinations and the final fit.
+        """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
         self._y_mean = float(np.mean(y))
         self._y_std = float(np.std(y)) or 1.0
         y_norm = (y - self._y_mean) / self._y_std
+        sq_dist = self._sq_dist(x, x)
 
         if tune and len(x) >= 5:
             best = (-np.inf, self.length_scale, self.noise)
             for length_scale in (0.2, 0.4, 0.8, 1.5, 3.0):
                 for noise in (1e-4, 1e-3, 1e-2):
                     self.length_scale, self.noise = length_scale, noise
-                    score = self._log_marginal(x, y_norm)
+                    score = self._log_marginal(sq_dist, y_norm)
                     if score > best[0]:
                         best = (score, length_scale, noise)
             _, self.length_scale, self.noise = best
 
-        k = self._kernel(x, x) + self.noise * np.eye(len(x))
+        k = self._kernel_from_sq_dist(sq_dist) + self.noise * np.eye(len(x))
         self._cho = cho_factor(k + 1e-10 * np.eye(len(x)), lower=True)
         self._alpha = cho_solve(self._cho, y_norm)
         self._x, self._y = x, y_norm

@@ -3,7 +3,7 @@
 from repro.rl.agent import AgentConfig, GCNRLAgent, TrainingRecord
 from repro.rl.networks import GCNActor, GCNCritic
 from repro.rl.noise import TruncatedGaussianNoise
-from repro.rl.replay_buffer import ReplayBuffer, Transition
+from repro.rl.replay_buffer import ReplayBuffer, Transition, TransitionBatch
 from repro.rl.transfer import (
     load_agent_weights,
     make_environment,
@@ -22,6 +22,7 @@ __all__ = [
     "TruncatedGaussianNoise",
     "ReplayBuffer",
     "Transition",
+    "TransitionBatch",
     "make_environment",
     "pretrain_agent",
     "save_agent_weights",

@@ -100,10 +100,13 @@ class GCNRLAgent:
             use_gcn=self.config.use_gcn,
             rng=net_rng,
         )
-        self.actor_optimizer = Adam(self.actor.parameters(), lr=self.config.actor_lr)
-        self.critic_optimizer = Adam(
-            self.critic.parameters(), lr=self.config.critic_lr
-        )
+        # Parameter lists are immutable after construction; collecting them
+        # once keeps zero_grad/clip out of the attribute-tree walk on the
+        # per-update hot path.
+        self._actor_params = self.actor.parameters()
+        self._critic_params = self.critic.parameters()
+        self.actor_optimizer = Adam(self._actor_params, lr=self.config.actor_lr)
+        self.critic_optimizer = Adam(self._critic_params, lr=self.config.critic_lr)
         self.noise = TruncatedGaussianNoise(
             initial_sigma=self.config.noise_sigma,
             final_sigma=self.config.noise_sigma_final,
@@ -113,6 +116,8 @@ class GCNRLAgent:
         self.reward_baseline: Optional[float] = None
         self.training_log: List[TrainingRecord] = []
         self._episode = 0
+        self._cached_type_indices: Optional[np.ndarray] = None
+        self._cached_observation: Optional[tuple] = None
 
     # --- environment handling -----------------------------------------------------
     def attach_environment(self, environment: SizingEnvironment) -> None:
@@ -134,20 +139,36 @@ class GCNRLAgent:
         self.reward_baseline = None
         self.noise.reset()
         self._episode = 0
+        self._cached_type_indices = None
+        self._cached_observation = None
 
     def _type_indices(self) -> np.ndarray:
-        return np.asarray(
-            [
-                TYPE_ORDER.index(comp.ctype)
-                for comp in self.environment.circuit.components
-            ],
-            dtype=int,
-        )
+        """Component-type index per node, cached per attached environment."""
+        if self._cached_type_indices is None:
+            self._cached_type_indices = np.asarray(
+                [
+                    TYPE_ORDER.index(comp.ctype)
+                    for comp in self.environment.circuit.components
+                ],
+                dtype=int,
+            )
+        return self._cached_type_indices
+
+    def _observe(self):
+        """The environment's (states, adjacency) pair, cached per attachment.
+
+        Both arrays are deterministic functions of the attached circuit and
+        technology, so they are computed once per environment instead of on
+        every act/update.
+        """
+        if self._cached_observation is None:
+            self._cached_observation = self.environment.observe()
+        return self._cached_observation
 
     # --- acting -----------------------------------------------------------------------
     def act(self, explore: bool = False) -> np.ndarray:
         """Compute the actor's action matrix for the current environment."""
-        states, adjacency = self.environment.observe()
+        states, adjacency = self._observe()
         actions = self.actor.forward(states, adjacency, self._type_indices())
         if explore:
             actions = self.noise.perturb(actions, self.rng)
@@ -169,16 +190,65 @@ class GCNRLAgent:
         return self.reward_baseline
 
     def _update_networks(self) -> float:
-        """One critic + actor update from a replay-buffer batch."""
+        """One critic + actor update from a replay-buffer batch.
+
+        The whole replay batch goes through the critic as one stacked
+        ``(B, n, F)`` forward/backward — a handful of large matmuls instead
+        of ``batch_size`` sequential graph passes — with the MSE averaged
+        in-graph.  The update consumes the identical RNG stream as
+        :meth:`_update_networks_loop` and reproduces its weights to stacked-
+        reduction precision (~1e-12 over a full training run).
+        """
         if len(self.replay_buffer) < 2:
             return float("nan")
-        batch = self.replay_buffer.sample(self.config.batch_size, self.rng)
-        adjacency = self.environment.circuit.normalized_adjacency()
+        _, adjacency = self._observe()
         type_indices = self._type_indices()
-        baseline = self.reward_baseline or 0.0
+        critic_loss = self._update_critic_batched(adjacency, type_indices)
+        self._update_actor(adjacency, type_indices)
+        return critic_loss
 
-        # --- critic update: minimise (R - B - Q(S, A))^2 over the batch.
-        self.critic.zero_grad()
+    def _update_networks_loop(self) -> float:
+        """Per-sample reference implementation of :meth:`_update_networks`.
+
+        Runs the critic update as ``batch_size`` sequential single-graph
+        forward/backward passes — the pre-batching training path, preserved
+        operation for operation.  Kept as the ground truth for the
+        batched/sequential parity tests and the RL throughput benchmark.
+        """
+        if len(self.replay_buffer) < 2:
+            return float("nan")
+        _, adjacency = self._observe()
+        type_indices = self._type_indices()
+        critic_loss = self._update_critic_loop(adjacency, type_indices)
+        self._update_actor(adjacency, type_indices)
+        return critic_loss
+
+    def _update_critic_batched(
+        self, adjacency: np.ndarray, type_indices: np.ndarray
+    ) -> float:
+        """One stacked critic update: minimise mean_b (R_b - B - Q(S_b, A_b))^2."""
+        batch = self.replay_buffer.sample(self.config.batch_size, self.rng)
+        baseline = self.reward_baseline or 0.0
+        for param in self._critic_params:
+            param.zero_grad()
+        targets = batch.rewards - baseline
+        predictions = self.critic.forward(
+            batch.states, batch.actions, adjacency, type_indices
+        )
+        critic_loss = mse_loss(predictions, targets)
+        self.critic.backward(mse_loss_grad(predictions, targets))
+        clip_gradients(self._critic_params, self.config.grad_clip)
+        self.critic_optimizer.step()
+        return float(critic_loss)
+
+    def _update_critic_loop(
+        self, adjacency: np.ndarray, type_indices: np.ndarray
+    ) -> float:
+        """Per-sample critic update (reference for parity and benchmarks)."""
+        batch = self.replay_buffer.sample(self.config.batch_size, self.rng)
+        baseline = self.reward_baseline or 0.0
+        for param in self._critic_params:
+            param.zero_grad()
         critic_loss = 0.0
         for transition in batch:
             target = transition.reward - baseline
@@ -189,27 +259,33 @@ class GCNRLAgent:
             grad = mse_loss_grad(np.array([prediction]), np.array([target]))
             self.critic.backward(float(grad[0]) / len(batch))
         critic_loss /= len(batch)
-        clip_gradients(self.critic.parameters(), self.config.grad_clip)
+        clip_gradients(self._critic_params, self.config.grad_clip)
         self.critic_optimizer.step()
+        return float(critic_loss)
 
-        # --- actor update: ascend dQ/da through the deterministic policy.
-        states, _ = self.environment.observe()
-        self.actor.zero_grad()
-        self.critic.zero_grad()
+    def _update_actor(
+        self, adjacency: np.ndarray, type_indices: np.ndarray
+    ) -> None:
+        """One actor ascent step on dQ/da (shared by both critic paths)."""
+        states, _ = self._observe()
+        for param in self._actor_params:
+            param.zero_grad()
+        for param in self._critic_params:
+            param.zero_grad()
         actions = self.actor.forward(states, adjacency, type_indices)
         self.critic.forward(states, actions, adjacency, type_indices)
         _, grad_actions = self.critic.backward(1.0)
         # Gradient ascent on Q: feed -dQ/da so the Adam step minimises -Q.
         self.actor.backward(-grad_actions)
-        clip_gradients(self.actor.parameters(), self.config.grad_clip)
+        clip_gradients(self._actor_params, self.config.grad_clip)
         self.actor_optimizer.step()
         # The critic's parameter gradients from the actor pass are discarded.
-        self.critic.zero_grad()
-        return float(critic_loss)
+        for param in self._critic_params:
+            param.zero_grad()
 
     def train_episode(self) -> TrainingRecord:
         """Run one optimization episode (one circuit simulation)."""
-        states, _ = self.environment.observe()
+        states, _ = self._observe()
         warmup = self._episode < self.config.warmup
         if warmup:
             actions = self.random_actions()
@@ -247,7 +323,7 @@ class GCNRLAgent:
         resulting agent state and training log are exactly those of
         ``num_episodes`` sequential :meth:`train_episode` calls.
         """
-        states, _ = self.environment.observe()
+        states, _ = self._observe()
         actions_batch = [self.random_actions() for _ in range(num_episodes)]
         running_best = self.environment.best_reward
         results = self.environment.step_batch(actions_batch)

@@ -6,6 +6,13 @@ shared across nodes, and component-type-specific heads.  The actor decodes
 per-node hidden features into bounded action vectors; the critic encodes the
 actions, aggregates over the graph and predicts the scalar reward.
 
+Every forward/backward accepts either a single graph (``(n, F)`` states) or
+a stacked batch (``(B, n, F)``) sharing one topology — the batched form is
+what turns a replay-batch critic update into a handful of large matmuls.
+The per-type heads gather their nodes once in ``forward`` and keep the
+gathered inputs cached inside each :class:`~repro.nn.layers.Linear`, so
+``backward`` never re-runs a forward pass to restore layer state.
+
 Setting ``use_gcn=False`` replaces the graph aggregation with the identity
 matrix, which yields the paper's NG-RL ablation (same capacity, no topology
 information).
@@ -13,7 +20,8 @@ information).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,6 +35,26 @@ NUM_TYPES = len(TYPE_ORDER)
 
 def _identity_adjacency(num_nodes: int) -> np.ndarray:
     return np.eye(num_nodes)
+
+
+@lru_cache(maxsize=64)
+def _type_groups_cached(type_key: Tuple[int, ...]) -> Tuple[Tuple[int, np.ndarray], ...]:
+    indices = np.asarray(type_key, dtype=int)
+    return tuple(
+        (t, np.flatnonzero(indices == t))
+        for t in range(NUM_TYPES)
+        if t in type_key
+    )
+
+
+def _type_groups(type_indices) -> Tuple[Tuple[int, np.ndarray], ...]:
+    """Non-empty ``(type, node_indices)`` groups, cached per node typing.
+
+    Gathering rows through a cached integer index array selects exactly the
+    same rows in the same order as a freshly built boolean mask, without
+    rebuilding four masks on every forward/backward call.
+    """
+    return _type_groups_cached(tuple(int(t) for t in type_indices))
 
 
 class GCNActor(Module):
@@ -58,8 +86,8 @@ class GCNActor(Module):
             for i in range(NUM_TYPES)
         ]
         self.output_activation = Tanh()
-        self._type_indices: Optional[np.ndarray] = None
-        self._decoder_inputs: Optional[np.ndarray] = None
+        self._groups: Optional[tuple] = None
+        self._hidden_shape: Optional[Tuple[int, ...]] = None
 
     def forward(
         self,
@@ -70,41 +98,42 @@ class GCNActor(Module):
         """Compute actions for every node.
 
         Args:
-            states: Node state matrix ``(n, state_dim)``.
-            adjacency: Normalised adjacency ``(n, n)``.
+            states: Node state matrix ``(n, state_dim)`` or a stacked batch
+                ``(B, n, state_dim)``.
+            adjacency: Normalised adjacency ``(n, n)`` (shared by the whole
+                batch in the stacked case).
             type_indices: Component-type index (into ``TYPE_ORDER``) per node.
 
         Returns:
-            Action matrix ``(n, action_dim)`` with entries in ``[-1, 1]``.
+            Action tensor matching the leading axes of ``states``, i.e.
+            ``(n, action_dim)`` or ``(B, n, action_dim)``, entries in
+            ``[-1, 1]``.
         """
         states = np.asarray(states, dtype=float)
-        n = states.shape[0]
+        n = states.shape[-2]
         propagation = adjacency if self.use_gcn else _identity_adjacency(n)
         h = self.input_activation(self.input_layer(states))
         for layer in self.gcn_layers:
             h = layer(h, propagation)
-        self._decoder_inputs = h
-        self._type_indices = np.asarray(type_indices, dtype=int)
-        pre_action = np.zeros((n, self.action_dim))
-        for t, decoder in enumerate(self.decoders):
-            mask = self._type_indices == t
-            if np.any(mask):
-                pre_action[mask] = decoder(h[mask])
+        self._hidden_shape = h.shape
+        self._groups = _type_groups(type_indices)
+        pre_action = np.zeros(h.shape[:-1] + (self.action_dim,))
+        for t, rows in self._groups:
+            # The gathered rows stay cached inside the decoder, so the
+            # backward pass can reuse them without a second forward.
+            pre_action[..., rows, :] = self.decoders[t](h[..., rows, :])
         return self.output_activation(pre_action)
 
     def backward(self, grad_actions: np.ndarray) -> np.ndarray:
         """Backpropagate a gradient w.r.t. the actions into all parameters."""
-        if self._decoder_inputs is None or self._type_indices is None:
+        if self._hidden_shape is None or self._groups is None:
             raise RuntimeError("backward called before forward")
         grad_pre = self.output_activation.backward(grad_actions)
-        grad_h = np.zeros_like(self._decoder_inputs)
-        for t, decoder in enumerate(self.decoders):
-            mask = self._type_indices == t
-            if np.any(mask):
-                # Re-run the decoder forward on the masked rows so its cached
-                # input matches, then backpropagate the masked gradient.
-                decoder.forward(self._decoder_inputs[mask])
-                grad_h[mask] = decoder.backward(grad_pre[mask])
+        grad_h = np.zeros(self._hidden_shape)
+        for t, rows in self._groups:
+            grad_h[..., rows, :] = self.decoders[t].backward(
+                grad_pre[..., rows, :]
+            )
         for layer in reversed(self.gcn_layers):
             grad_h = layer.backward(grad_h)
         grad_h = self.input_activation.backward(grad_h)
@@ -140,9 +169,9 @@ class GCNCritic(Module):
             for i in range(num_gcn_layers)
         ]
         self.output_layer = Linear(hidden_dim, 1, rng, name="critic.output")
-        self._type_indices: Optional[np.ndarray] = None
-        self._states: Optional[np.ndarray] = None
-        self._actions: Optional[np.ndarray] = None
+        self._groups: Optional[tuple] = None
+        self._action_shape: Optional[Tuple[int, ...]] = None
+        self._batched: bool = False
         self._num_nodes: int = 0
 
     def forward(
@@ -151,41 +180,67 @@ class GCNCritic(Module):
         actions: np.ndarray,
         adjacency: np.ndarray,
         type_indices: Sequence[int],
-    ) -> float:
-        """Predict the scalar reward of a full set of node actions."""
+    ) -> Union[float, np.ndarray]:
+        """Predict the reward of a full set of node actions.
+
+        Args:
+            states: ``(n, state_dim)`` node states, or ``(B, n, state_dim)``.
+            actions: ``(n, action_dim)`` node actions, or
+                ``(B, n, action_dim)``.
+            adjacency: Normalised adjacency ``(n, n)``.
+            type_indices: Component-type index per node.
+
+        Returns:
+            A scalar ``float`` for single-graph input, or a ``(B,)`` array of
+            per-design value predictions for a stacked batch.
+        """
         states = np.asarray(states, dtype=float)
         actions = np.asarray(actions, dtype=float)
-        n = states.shape[0]
+        n = states.shape[-2]
         self._num_nodes = n
-        self._states = states
-        self._actions = actions
-        self._type_indices = np.asarray(type_indices, dtype=int)
+        self._batched = states.ndim == 3
+        self._action_shape = actions.shape
+        self._groups = _type_groups(type_indices)
         propagation = adjacency if self.use_gcn else _identity_adjacency(n)
 
         encoded = self.state_encoder(states)
-        action_encoded = np.zeros_like(encoded)
-        for t, encoder in enumerate(self.action_encoders):
-            mask = self._type_indices == t
-            if np.any(mask):
-                action_encoded[mask] = encoder(actions[mask])
-        h = self.input_activation(encoded + action_encoded)
+        for t, rows in self._groups:
+            # Cached inside the encoder for the backward pass; added
+            # straight into the (freshly written) state encoding.
+            encoded[..., rows, :] += self.action_encoders[t](
+                actions[..., rows, :]
+            )
+        h = self.input_activation(encoded)
         for layer in self.gcn_layers:
             h = layer(h, propagation)
         node_values = self.output_layer(h)
+        if self._batched:
+            return node_values.mean(axis=(1, 2))
         return float(node_values.mean())
 
-    def backward(self, grad_q: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
-        """Backpropagate the scalar gradient ``dL/dQ``.
+    def backward(
+        self, grad_q: Union[float, np.ndarray] = 1.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Backpropagate the gradient ``dL/dQ``.
+
+        Args:
+            grad_q: Scalar for single-graph input, or ``(B,)`` array with one
+                loss gradient per design of the stacked batch.
 
         Returns:
             ``(grad_states, grad_actions)`` — the gradient of the predicted
-            value w.r.t. the input states and actions.  The action gradient is
-            what DDPG feeds into the actor update.
+            value w.r.t. the input states and actions, matching the input
+            shapes.  The action gradient is what DDPG feeds into the actor
+            update.
         """
-        if self._states is None or self._actions is None:
+        if self._action_shape is None or self._groups is None:
             raise RuntimeError("backward called before forward")
         n = self._num_nodes
-        grad_node_values = np.full((n, 1), grad_q / n)
+        if self._batched:
+            grad_q = np.asarray(grad_q, dtype=float).reshape(-1)
+            grad_node_values = np.tile((grad_q / n)[:, None, None], (1, n, 1))
+        else:
+            grad_node_values = np.full((n, 1), float(grad_q) / n)
         grad_h = self.output_layer.backward(grad_node_values)
         for layer in reversed(self.gcn_layers):
             grad_h = layer.backward(grad_h)
@@ -193,11 +248,10 @@ class GCNCritic(Module):
 
         # State path.
         grad_states = self.state_encoder.backward(grad_sum)
-        # Action path (per-type encoders).
-        grad_actions = np.zeros_like(self._actions, dtype=float)
-        for t, encoder in enumerate(self.action_encoders):
-            mask = self._type_indices == t
-            if np.any(mask):
-                encoder.forward(self._actions[mask])
-                grad_actions[mask] = encoder.backward(grad_sum[mask])
+        # Action path (per-type encoders, inputs cached at forward time).
+        grad_actions = np.zeros(self._action_shape)
+        for t, rows in self._groups:
+            grad_actions[..., rows, :] = self.action_encoders[t].backward(
+                grad_sum[..., rows, :]
+            )
         return grad_states, grad_actions

@@ -3,65 +3,134 @@
 The sizing task is a single-step (contextual-bandit style) RL problem: the
 state of a circuit/technology pair is fixed and every episode evaluates one
 full set of actions, so transitions carry no successor state.
+
+Storage is a set of preallocated ring arrays — ``(capacity, n, state_dim)``
+states, ``(capacity, n, action_dim)`` actions and ``(capacity,)`` rewards —
+so :meth:`ReplayBuffer.sample` returns stacked ``(B, n, F)`` tensors ready
+for the batched critic update with a single fancy-index gather, no Python
+loop over transitions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Iterator, Optional
 
 import numpy as np
 
 
 @dataclass
 class Transition:
-    """One stored experience tuple."""
+    """One experience tuple (a per-sample view of a :class:`TransitionBatch`)."""
 
     states: np.ndarray
     actions: np.ndarray
     reward: float
 
 
+@dataclass
+class TransitionBatch:
+    """A stacked batch of sampled transitions.
+
+    Attributes:
+        states: ``(B, n, state_dim)`` stacked state matrices.
+        actions: ``(B, n, action_dim)`` stacked action matrices.
+        rewards: ``(B,)`` rewards.
+    """
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+
+    def __len__(self) -> int:
+        return self.rewards.shape[0]
+
+    def __getitem__(self, index: int) -> Transition:
+        return Transition(
+            states=self.states[index],
+            actions=self.actions[index],
+            reward=float(self.rewards[index]),
+        )
+
+    def __iter__(self) -> Iterator[Transition]:
+        for index in range(len(self)):
+            yield self[index]
+
+
 class ReplayBuffer:
-    """Fixed-capacity FIFO replay buffer with uniform sampling."""
+    """Fixed-capacity FIFO replay buffer with uniform sampling.
+
+    The backing arrays are allocated on the first :meth:`add` (their shapes
+    depend on the attached circuit) and reused as a ring thereafter; every
+    stored transition of one buffer generation must share the same state and
+    action shapes.  :meth:`clear` drops the arrays so the buffer can be
+    reused for a different topology after transfer.
+    """
 
     def __init__(self, capacity: int = 10000):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._storage: List[Transition] = []
+        self._states: Optional[np.ndarray] = None
+        self._actions: Optional[np.ndarray] = None
+        self._rewards: Optional[np.ndarray] = None
+        self._size = 0
         self._next_index = 0
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
 
     def add(self, states: np.ndarray, actions: np.ndarray, reward: float) -> None:
         """Store a transition, overwriting the oldest entry when full."""
-        transition = Transition(
-            states=np.asarray(states, dtype=float).copy(),
-            actions=np.asarray(actions, dtype=float).copy(),
-            reward=float(reward),
-        )
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
-        else:
-            self._storage[self._next_index] = transition
-            self._next_index = (self._next_index + 1) % self.capacity
+        states = np.asarray(states, dtype=float)
+        actions = np.asarray(actions, dtype=float)
+        if self._states is None:
+            self._states = np.empty((self.capacity,) + states.shape)
+            self._actions = np.empty((self.capacity,) + actions.shape)
+            self._rewards = np.empty(self.capacity)
+        elif (
+            states.shape != self._states.shape[1:]
+            or actions.shape != self._actions.shape[1:]
+        ):
+            raise ValueError(
+                f"transition shapes {states.shape}/{actions.shape} do not match "
+                f"buffer storage {self._states.shape[1:]}/{self._actions.shape[1:]}"
+                " (clear() the buffer before switching topologies)"
+            )
+        self._states[self._next_index] = states
+        self._actions[self._next_index] = actions
+        self._rewards[self._next_index] = float(reward)
+        self._next_index = (self._next_index + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
 
     def sample(
         self, batch_size: int, rng: np.random.Generator
-    ) -> Sequence[Transition]:
-        """Sample ``batch_size`` transitions uniformly with replacement."""
-        if not self._storage:
+    ) -> TransitionBatch:
+        """Sample ``batch_size`` transitions uniformly with replacement.
+
+        Returns:
+            A :class:`TransitionBatch` of freshly gathered (copied) stacked
+            arrays; mutating it never touches the ring storage.
+        """
+        if self._size == 0:
             raise ValueError("cannot sample from an empty replay buffer")
-        indices = rng.integers(0, len(self._storage), size=batch_size)
-        return [self._storage[i] for i in indices]
+        indices = rng.integers(0, self._size, size=batch_size)
+        return TransitionBatch(
+            states=self._states[indices],
+            actions=self._actions[indices],
+            rewards=self._rewards[indices],
+        )
 
     def rewards(self) -> np.ndarray:
         """All stored rewards (useful for diagnostics and tests)."""
-        return np.asarray([t.reward for t in self._storage], dtype=float)
+        if self._rewards is None:
+            return np.empty(0)
+        return self._rewards[: self._size].copy()
 
     def clear(self) -> None:
-        """Remove every stored transition."""
-        self._storage = []
+        """Remove every stored transition and release the ring arrays."""
+        self._states = None
+        self._actions = None
+        self._rewards = None
+        self._size = 0
         self._next_index = 0

@@ -121,6 +121,137 @@ class TestActivations:
         assert np.allclose(first_linear.weight.grad, numeric, atol=1e-5)
 
 
+class TestBatchedGradients:
+    """Stacked (B, N, F) forward/backward against per-sample and numeric."""
+
+    def test_linear_batched_forward_matches_per_sample(self):
+        rng = np.random.default_rng(10)
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((6, 5, 4))
+        batched = layer.forward(x)
+        per_sample = np.stack([layer.forward(x[b]) for b in range(6)])
+        assert np.allclose(batched, per_sample, atol=0, rtol=0)
+
+    def test_linear_batched_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(11)
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((6, 5, 4))
+        target = rng.standard_normal((6, 5, 3))
+
+        def loss():
+            return mse_loss(layer.forward(x), target)
+
+        layer.zero_grad()
+        prediction = layer.forward(x)
+        layer.backward(mse_loss_grad(prediction, target))
+        assert np.allclose(layer.weight.grad, numeric_grad(loss, layer.weight.value), atol=1e-5)
+        assert np.allclose(layer.bias.grad, numeric_grad(loss, layer.bias.value), atol=1e-5)
+
+    def test_linear_batched_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(12)
+        layer = Linear(3, 2, rng)
+        x = rng.standard_normal((4, 5, 3))
+        target = rng.standard_normal((4, 5, 2))
+
+        def loss():
+            return mse_loss(layer.forward(x), target)
+
+        prediction = layer.forward(x)
+        grad_input = layer.backward(mse_loss_grad(prediction, target))
+        assert np.allclose(grad_input, numeric_grad(loss, x), atol=1e-5)
+
+    def test_linear_batched_grads_match_per_sample_accumulation(self):
+        rng = np.random.default_rng(13)
+        batched = Linear(4, 3, np.random.default_rng(20))
+        sequential = Linear(4, 3, np.random.default_rng(20))
+        x = rng.standard_normal((8, 5, 4))
+        grad = rng.standard_normal((8, 5, 3))
+
+        batched.zero_grad()
+        batched.forward(x)
+        batched.backward(grad)
+        sequential.zero_grad()
+        for b in range(8):
+            sequential.forward(x[b])
+            sequential.backward(grad[b])
+        # One flattened matmul vs a per-sample loop: same value, different
+        # floating-point reduction order.
+        assert np.allclose(batched.weight.grad, sequential.weight.grad, atol=1e-12)
+        assert np.allclose(batched.bias.grad, sequential.bias.grad, atol=1e-12)
+
+    def test_gcn_batched_forward_matches_per_sample(self):
+        rng = np.random.default_rng(14)
+        layer = GCNLayer(4, 3, activation="relu", rng=rng)
+        adjacency = np.array(
+            [[0.5, 0.5, 0.0], [0.5, 0.4, 0.3], [0.0, 0.3, 0.7]], dtype=float
+        )
+        h = rng.standard_normal((6, 3, 4))
+        batched = layer.forward(h, adjacency).copy()
+        per_sample = np.stack([layer.forward(h[b], adjacency) for b in range(6)])
+        assert np.allclose(batched, per_sample, atol=0, rtol=0)
+
+    def test_gcn_batched_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(15)
+        layer = GCNLayer(4, 3, activation="tanh", rng=rng)
+        adjacency = np.array(
+            [[0.5, 0.5, 0.0], [0.5, 0.4, 0.3], [0.0, 0.3, 0.7]], dtype=float
+        )
+        h = rng.standard_normal((5, 3, 4))
+        target = rng.standard_normal((5, 3, 3))
+
+        def loss():
+            return mse_loss(layer.forward(h, adjacency), target)
+
+        layer.zero_grad()
+        prediction = layer.forward(h, adjacency)
+        layer.backward(mse_loss_grad(prediction, target))
+        assert np.allclose(layer.weight.grad, numeric_grad(loss, layer.weight.value), atol=1e-5)
+        assert np.allclose(layer.bias.grad, numeric_grad(loss, layer.bias.value), atol=1e-5)
+
+    def test_gcn_batched_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(16)
+        layer = GCNLayer(4, 3, activation="relu", rng=rng)
+        adjacency = np.array(
+            [[0.6, 0.4, 0.0], [0.4, 0.3, 0.3], [0.0, 0.3, 0.7]], dtype=float
+        )
+        h = rng.standard_normal((4, 3, 4))
+        target = rng.standard_normal((4, 3, 3))
+
+        def loss():
+            return mse_loss(layer.forward(h, adjacency), target)
+
+        prediction = layer.forward(h, adjacency)
+        grad_input = layer.backward(mse_loss_grad(prediction, target))
+        assert np.allclose(grad_input, numeric_grad(loss, h), atol=1e-5)
+
+    def test_gcn_per_design_adjacency_stack(self):
+        """A (B, n, n) adjacency stack propagates each design's own graph."""
+        rng = np.random.default_rng(17)
+        layer = GCNLayer(4, 3, activation="none", rng=rng)
+        h = rng.standard_normal((2, 3, 4))
+        adjacency = np.stack([np.eye(3), np.full((3, 3), 1.0 / 3.0)])
+        batched = layer.forward(h, adjacency).copy()
+        for b in range(2):
+            expected = layer.forward(h[b], adjacency[b])
+            assert np.allclose(batched[b], expected)
+
+    def test_sequential_batched_gradcheck(self):
+        rng = np.random.default_rng(18)
+        net = Sequential([Linear(3, 5, rng), ReLU(), Linear(5, 2, rng), Tanh()])
+        x = rng.standard_normal((4, 6, 3))
+        target = rng.standard_normal((4, 6, 2))
+
+        def loss():
+            return mse_loss(net.forward(x), target)
+
+        net.zero_grad()
+        prediction = net.forward(x)
+        net.backward(mse_loss_grad(prediction, target))
+        first_linear = net.layers[0]
+        numeric = numeric_grad(loss, first_linear.weight.value)
+        assert np.allclose(first_linear.weight.grad, numeric, atol=1e-5)
+
+
 class TestGCNLayer:
     def _setup(self, activation="relu"):
         rng = np.random.default_rng(4)

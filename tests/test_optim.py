@@ -80,6 +80,42 @@ class TestGaussianProcess:
         with pytest.raises(RuntimeError):
             GaussianProcess().predict(np.zeros((1, 2)))
 
+    def test_grid_search_matches_per_combo_recompute(self):
+        """The shared sq_dist matrix must not change what the grid selects.
+
+        Reference: an independent fit whose marginal likelihood recomputes
+        the pairwise distances for every hyper-parameter combination (the
+        pre-optimization behaviour).  Selected hyper-parameters and
+        posterior predictions must be identical.
+        """
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(24, 2))
+        y = np.sin(2 * x[:, 0]) + 0.2 * x[:, 1]
+
+        gp = GaussianProcess().fit(x, y, tune=True)
+
+        reference = GaussianProcess()
+        y_norm = (y - np.mean(y)) / np.std(y)
+        best = (-np.inf, reference.length_scale, reference.noise)
+        for length_scale in (0.2, 0.4, 0.8, 1.5, 3.0):
+            for noise in (1e-4, 1e-3, 1e-2):
+                reference.length_scale, reference.noise = length_scale, noise
+                score = reference._log_marginal(
+                    reference._sq_dist(x, x), y_norm
+                )
+                if score > best[0]:
+                    best = (score, length_scale, noise)
+
+        assert gp.length_scale == best[1]
+        assert gp.noise == best[2]
+        query = rng.uniform(-1, 1, size=(5, 2))
+        reference.length_scale, reference.noise = best[1], best[2]
+        reference.fit(x, y, tune=False)
+        mean_a, std_a = gp.predict(query)
+        mean_b, std_b = reference.predict(query)
+        assert np.allclose(mean_a, mean_b)
+        assert np.allclose(std_a, std_b)
+
     def test_acquisition_functions_prefer_high_mean(self):
         mean = np.array([0.0, 1.0])
         std = np.array([0.1, 0.1])

@@ -13,6 +13,8 @@ from repro.rl import (
     GCNCritic,
     GCNRLAgent,
     ReplayBuffer,
+    Transition,
+    TransitionBatch,
     TruncatedGaussianNoise,
     make_environment,
 )
@@ -78,6 +80,53 @@ class TestReplayBuffer:
         buffer.add(states, np.zeros((2, 1)), 0.0)
         states[0, 0] = 99.0
         assert buffer.sample(1, np.random.default_rng(0))[0].states[0, 0] == 0.0
+
+    def test_sample_returns_stacked_arrays(self, rng):
+        buffer = ReplayBuffer(capacity=16)
+        for i in range(6):
+            buffer.add(np.full((3, 4), float(i)), np.full((3, 2), float(i)), float(i))
+        batch = buffer.sample(5, rng)
+        assert isinstance(batch, TransitionBatch)
+        assert batch.states.shape == (5, 3, 4)
+        assert batch.actions.shape == (5, 3, 2)
+        assert batch.rewards.shape == (5,)
+        # Rows are consistent: states/actions/rewards of one draw line up.
+        for b in range(5):
+            assert np.all(batch.states[b] == batch.rewards[b])
+            assert np.all(batch.actions[b] == batch.rewards[b])
+
+    def test_batch_iterates_as_transitions(self, rng):
+        buffer = ReplayBuffer()
+        for i in range(3):
+            buffer.add(np.full((2, 2), float(i)), np.full((2, 1), float(i)), float(i))
+        batch = buffer.sample(4, rng)
+        transitions = list(batch)
+        assert len(transitions) == 4
+        for index, transition in enumerate(transitions):
+            assert isinstance(transition, Transition)
+            assert transition.reward == batch.rewards[index]
+            assert np.array_equal(transition.states, batch.states[index])
+
+    def test_sampled_batch_is_a_copy_of_storage(self, rng):
+        buffer = ReplayBuffer()
+        buffer.add(np.zeros((2, 2)), np.zeros((2, 1)), 0.0)
+        batch = buffer.sample(2, rng)
+        batch.states[0, 0, 0] = 123.0
+        assert buffer.sample(2, rng).states[0, 0, 0] == 0.0
+
+    def test_add_rejects_shape_mismatch(self):
+        buffer = ReplayBuffer()
+        buffer.add(np.zeros((3, 4)), np.zeros((3, 2)), 0.0)
+        with pytest.raises(ValueError):
+            buffer.add(np.zeros((5, 4)), np.zeros((5, 2)), 0.0)
+
+    def test_clear_allows_new_topology_shape(self):
+        buffer = ReplayBuffer()
+        buffer.add(np.zeros((3, 4)), np.zeros((3, 2)), 0.0)
+        buffer.clear()
+        buffer.add(np.zeros((7, 4)), np.zeros((7, 2)), 1.0)
+        assert len(buffer) == 1
+        assert buffer.rewards().tolist() == [1.0]
 
 
 def small_graph_inputs(seed=0, n=5, state_dim=7):
@@ -175,6 +224,94 @@ class TestActorCritic:
             actor_a.forward(states, adjacency, types),
             actor_b.forward(states, adjacency, types),
         )
+
+
+class TestBatchedActorCritic:
+    """Stacked (B, n, F) actor/critic paths against per-sample ground truth."""
+
+    def test_actor_batched_forward_matches_per_sample(self):
+        states, adjacency, types = small_graph_inputs(seed=21)
+        actor = GCNActor(state_dim=7, hidden_dim=12, num_gcn_layers=2)
+        stacked = np.stack([states, states * 0.5, states * -0.25])
+        batched = actor.forward(stacked, adjacency, types).copy()
+        assert batched.shape == (3, 5, 3)
+        for b in range(3):
+            per_sample = actor.forward(stacked[b], adjacency, types)
+            assert np.allclose(batched[b], per_sample, atol=0, rtol=0)
+
+    def test_critic_batched_forward_matches_per_sample(self):
+        states, adjacency, types = small_graph_inputs(seed=22)
+        critic = GCNCritic(state_dim=7, hidden_dim=12, num_gcn_layers=2)
+        rng = np.random.default_rng(23)
+        stacked_states = np.stack([states] * 4)
+        stacked_actions = rng.uniform(-1, 1, size=(4, 5, 3))
+        batched = critic.forward(stacked_states, stacked_actions, adjacency, types)
+        assert batched.shape == (4,)
+        for b in range(4):
+            q = critic.forward(stacked_states[b], stacked_actions[b], adjacency, types)
+            assert batched[b] == pytest.approx(q, abs=1e-12)
+
+    def test_critic_batched_action_gradient_matches_numeric(self):
+        states, adjacency, types = small_graph_inputs(seed=24)
+        critic = GCNCritic(state_dim=7, hidden_dim=10, num_gcn_layers=2)
+        rng = np.random.default_rng(25)
+        stacked_states = np.stack([states] * 3)
+        actions = rng.uniform(-0.5, 0.5, size=(3, 5, 3))
+        grad_q = np.array([0.7, -1.3, 0.4])
+
+        critic.forward(stacked_states, actions, adjacency, types)
+        _, grad_actions = critic.backward(grad_q)
+
+        eps = 1e-6
+        numeric = np.zeros_like(actions)
+        for b in range(3):
+            for i in range(5):
+                for j in range(3):
+                    up, down = actions.copy(), actions.copy()
+                    up[b, i, j] += eps
+                    down[b, i, j] -= eps
+                    q_up = critic.forward(stacked_states, up, adjacency, types)
+                    q_down = critic.forward(stacked_states, down, adjacency, types)
+                    numeric[b, i, j] = grad_q @ (q_up - q_down) / (2 * eps)
+        assert np.allclose(grad_actions, numeric, atol=1e-5)
+
+    def test_critic_batched_param_grads_match_per_sample_loop(self):
+        """The batched backward equals 48 accumulated single-graph backwards."""
+        states, adjacency, types = small_graph_inputs(seed=26)
+        rng = np.random.default_rng(27)
+        batched = GCNCritic(7, 12, 2, rng=np.random.default_rng(30))
+        sequential = GCNCritic(7, 12, 2, rng=np.random.default_rng(30))
+        stacked_states = np.stack([states] * 6)
+        stacked_actions = rng.uniform(-1, 1, size=(6, 5, 3))
+        grad_q = rng.standard_normal(6)
+
+        batched.zero_grad()
+        batched.forward(stacked_states, stacked_actions, adjacency, types)
+        batched.backward(grad_q)
+        sequential.zero_grad()
+        for b in range(6):
+            sequential.forward(stacked_states[b], stacked_actions[b], adjacency, types)
+            sequential.backward(float(grad_q[b]))
+        for got, expected in zip(batched.parameters(), sequential.parameters()):
+            assert np.allclose(got.grad, expected.grad, atol=1e-12), got.name
+
+    def test_actor_batched_param_grads_match_per_sample_loop(self):
+        states, adjacency, types = small_graph_inputs(seed=28)
+        batched = GCNActor(7, 12, 2, rng=np.random.default_rng(31))
+        sequential = GCNActor(7, 12, 2, rng=np.random.default_rng(31))
+        rng = np.random.default_rng(29)
+        stacked = np.stack([states, states * 0.3, states * -1.0, states + 0.1])
+        grad_actions = rng.standard_normal((4, 5, 3))
+
+        batched.zero_grad()
+        batched.forward(stacked, adjacency, types)
+        batched.backward(grad_actions)
+        sequential.zero_grad()
+        for b in range(4):
+            sequential.forward(stacked[b], adjacency, types)
+            sequential.backward(grad_actions[b])
+        for got, expected in zip(batched.parameters(), sequential.parameters()):
+            assert np.allclose(got.grad, expected.grad, atol=1e-12), got.name
 
 
 class SyntheticEnvironment(SizingEnvironment):
@@ -286,3 +423,81 @@ class TestAgent:
         log = agent.train(6)
         assert len(log) == 6
         assert np.isfinite(agent.best_reward)
+
+
+def _max_weight_diff(agent_a: GCNRLAgent, agent_b: GCNRLAgent) -> float:
+    state_a, state_b = agent_a.state_dict(), agent_b.state_dict()
+    return max(
+        float(np.max(np.abs(state_a[net][key] - state_b[net][key])))
+        for net in state_a
+        for key in state_a[net]
+    )
+
+
+class TestBatchedUpdateParity:
+    """The batched critic update must reproduce the per-sample loop.
+
+    ``_update_networks`` folds the replay batch into stacked matmuls whose
+    reductions reorder floating point, so weights agree to reduction
+    precision rather than bit-for-bit — the acceptance bar is 1e-9 over a
+    full training run, the same bar the vectorized SPICE engine meets.
+    """
+
+    @staticmethod
+    def _train_pair(make_env, episodes, **config_kwargs):
+        config = AgentConfig(**config_kwargs)
+        batched = GCNRLAgent(make_env(), config, seed=0)
+        sequential = GCNRLAgent(make_env(), config, seed=0)
+        sequential._update_networks = sequential._update_networks_loop
+        log_batched = batched.train(episodes)
+        log_sequential = sequential.train(episodes)
+        return batched, sequential, log_batched, log_sequential
+
+    def test_synthetic_training_run_parity(self):
+        batched, sequential, log_b, log_s = self._train_pair(
+            lambda: SyntheticEnvironment(get_circuit("two_tia")),
+            episodes=30,
+            warmup=8,
+            num_gcn_layers=3,
+            hidden_dim=32,
+            batch_size=24,
+            updates_per_episode=3,
+        )
+        assert _max_weight_diff(batched, sequential) <= 1e-9
+        for rec_b, rec_s in zip(log_b, log_s):
+            assert rec_b.reward == pytest.approx(rec_s.reward, abs=1e-12)
+            assert rec_b.best_reward == pytest.approx(rec_s.best_reward, abs=1e-12)
+            if np.isfinite(rec_s.critic_loss):
+                assert rec_b.critic_loss == pytest.approx(rec_s.critic_loss, abs=1e-9)
+
+    def test_figure5_style_training_run_parity(self):
+        """Full paper-config training on the real simulator (Figure 5 protocol).
+
+        Paper architecture (7 GCN layers, hidden 64, batch 48, 5 updates per
+        episode) on the calibrated Two-TIA environment at the benchmark
+        harness's scaled episode budget; weights and learning curves of the
+        batched and per-sample paths must agree after every update of the
+        run.
+        """
+        batched, sequential, log_b, log_s = self._train_pair(
+            lambda: make_environment("two_tia", "180nm"),
+            episodes=40,
+            warmup=10,
+        )
+        assert _max_weight_diff(batched, sequential) <= 1e-9
+        for rec_b, rec_s in zip(log_b, log_s):
+            assert rec_b.reward == pytest.approx(rec_s.reward, abs=1e-12)
+            assert rec_b.best_reward == pytest.approx(rec_s.best_reward, abs=1e-12)
+        assert batched.best_reward == pytest.approx(sequential.best_reward, abs=1e-12)
+
+    def test_rng_streams_identical_after_updates(self, synthetic_env):
+        """Both update paths must consume the generator identically."""
+        config = AgentConfig(warmup=3, num_gcn_layers=2, hidden_dim=16, batch_size=8)
+        batched = GCNRLAgent(synthetic_env, config, seed=7)
+        sequential = GCNRLAgent(
+            SyntheticEnvironment(get_circuit("two_tia")), config, seed=7
+        )
+        sequential._update_networks = sequential._update_networks_loop
+        batched.train(8)
+        sequential.train(8)
+        assert batched.rng.integers(0, 2**31) == sequential.rng.integers(0, 2**31)
