@@ -286,6 +286,34 @@ class SizingEnvironment:
         return self.random_batch(rng, 1)[0]
 
     # --- bookkeeping ----------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Resumable snapshot of the optimization history and best design.
+
+        Everything else about the environment (circuit, FoM, evaluator) is a
+        deterministic function of its construction arguments, so a checkpoint
+        only needs the mutable run state.
+        """
+        return {
+            "history": [
+                (entry.step_index, entry.reward, dict(entry.metrics))
+                for entry in self.history
+            ],
+            "best_reward": self.best_reward,
+            "best_sizing": self.best_sizing,
+            "best_metrics": dict(self.best_metrics) if self.best_metrics else self.best_metrics,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot saved by :meth:`state_dict`."""
+        self.history = [
+            HistoryEntry(step_index=int(index), reward=reward, metrics=dict(metrics))
+            for index, reward, metrics in state["history"]
+        ]
+        self.best_reward = state["best_reward"]
+        self.best_sizing = state["best_sizing"]
+        best_metrics = state["best_metrics"]
+        self.best_metrics = dict(best_metrics) if best_metrics else best_metrics
+
     def reset_history(self) -> None:
         """Clear the optimization history and the best-design record."""
         self.history = []

@@ -11,6 +11,7 @@ from repro.experiments.figures import (
     figure7_technology_transfer_curves,
     figure8_topology_transfer_curves,
 )
+from repro.experiments.driver import DriverStep, OptimizationDriver
 from repro.experiments.records import (
     AggregateResult,
     RunRecord,
@@ -21,6 +22,7 @@ from repro.experiments.records import (
 from repro.experiments.runner import (
     ALL_METHODS,
     build_environment,
+    build_strategy,
     clear_run_cache,
     default_run_store,
     run_key_for,
@@ -54,10 +56,13 @@ __all__ = [
     "mean_learning_curve",
     "max_learning_curve",
     "ALL_METHODS",
+    "OptimizationDriver",
+    "DriverStep",
     "run_method",
     "run_methods",
     "run_key_for",
     "build_environment",
+    "build_strategy",
     "clear_run_cache",
     "default_run_store",
     "Table",

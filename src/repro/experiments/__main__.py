@@ -26,6 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.config import ExperimentSettings
+from repro.optim.registry import list_optimizers, unknown_method_message
 from repro.experiments.figures import (
     figure5_learning_curves,
     figure7_technology_transfer_curves,
@@ -46,6 +47,15 @@ STORE_COMMANDS = ["sweep", "ls", "export"]
 
 def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
     settings = ExperimentSettings()
+    if args.methods:
+        # Method choices (and the did-you-mean hint) come straight from the
+        # strategy registry — the single source of truth for all methods.
+        methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+        known = set(list_optimizers())
+        for method in methods:
+            if method not in known:
+                raise ValueError(unknown_method_message(method))
+        settings.methods = methods
     if args.steps:
         settings.steps = args.steps
     if args.seeds:
@@ -74,7 +84,12 @@ def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
     # the directory and silently discard every result on exit.
     if settings.store_dir and not args.store_backend and settings.store_backend == "memory":
         settings.store_backend = "jsonl"
-    # Fail fast on an inconsistent combination before any run starts.
+    # Fail fast on inconsistent combinations before any run starts.
+    if args.max_steps is not None and args.max_runs is None:
+        raise ValueError(
+            "--max-steps only takes effect together with --max-runs "
+            "(it bounds the partial run after the allowed executions)"
+        )
     settings.evaluator_config()
     if settings.store_backend != "memory" and not settings.store_dir:
         raise ValueError(
@@ -115,7 +130,12 @@ def _sweep(settings: ExperimentSettings, store: Optional[RunStore], args) -> Non
             f"{request.technology} seed={request.seed} steps={request.steps}"
         )
 
-    report = campaign.run(max_runs=args.max_runs, progress=progress)
+    report = campaign.run(
+        max_runs=args.max_runs,
+        progress=progress,
+        checkpoint_every=args.checkpoint_every,
+        max_steps=args.max_steps,
+    )
     print(report.summary())
 
 
@@ -203,10 +223,36 @@ def main(argv: List[str] = None) -> int:
         help="comma-separated technology nodes for the sweep grid",
     )
     parser.add_argument(
+        "--methods",
+        default=None,
+        help=(
+            "comma-separated method names for the sweep/table grids "
+            f"(registered: {', '.join(list_optimizers())})"
+        ),
+    )
+    parser.add_argument(
         "--max-runs",
         type=int,
         default=None,
         help="stop the sweep after this many executed runs (resume later)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help=(
+            "persist each run's mid-run driver state to the store every K "
+            "ask/tell steps, so a killed sweep resumes mid-method (0 disables)"
+        ),
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help=(
+            "with --max-runs: pause the next pending run after this many "
+            "ask/tell steps (checkpointed mid-method kill, for testing resume)"
+        ),
     )
     parser.add_argument(
         "--method", default=None, help="filter for ls/export: method name"

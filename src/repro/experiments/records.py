@@ -22,6 +22,11 @@ class RunRecord:
         best_metrics: Raw metrics of the best design.
         rewards: Per-step rewards (for learning curves).
         extra: Free-form annotations (e.g. transfer source).
+        wall_time_s: Wall-clock seconds the optimization loop consumed
+            (accumulated across checkpoint/resume cycles), so learning
+            curves can be plotted against wall-clock as well as sim-count.
+        step_evaluations: Simulator evaluations per ask/tell driver step,
+            in order (``sum(step_evaluations) == len(rewards)``).
     """
 
     method: str
@@ -33,6 +38,8 @@ class RunRecord:
     best_metrics: Dict[str, float] = field(default_factory=dict)
     rewards: List[float] = field(default_factory=list)
     extra: Dict[str, str] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    step_evaluations: List[int] = field(default_factory=list)
 
     def best_so_far(self) -> np.ndarray:
         """Running maximum of the reward."""
@@ -56,6 +63,8 @@ class RunRecord:
             "best_metrics": {k: float(v) for k, v in self.best_metrics.items()},
             "rewards": [float(r) for r in self.rewards],
             "extra": dict(self.extra),
+            "wall_time_s": float(self.wall_time_s),
+            "step_evaluations": [int(n) for n in self.step_evaluations],
         }
 
     @classmethod
@@ -73,6 +82,8 @@ class RunRecord:
             },
             rewards=[float(r) for r in data.get("rewards", [])],
             extra=dict(data.get("extra", {})),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            step_evaluations=[int(n) for n in data.get("step_evaluations", [])],
         )
 
 

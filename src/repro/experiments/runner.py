@@ -9,6 +9,14 @@ from the store instead of re-simulating.  The default store is an in-process
 dict); passing ``store=`` a :class:`~repro.store.JsonlStore` or
 :class:`~repro.store.SqliteStore` makes runs durable across processes, which
 is what the :class:`~repro.store.Campaign` orchestrator builds on.
+
+Every method — black-box baselines, the human expert and the RL agents —
+executes through one :class:`~repro.experiments.driver.OptimizationDriver`
+loop over the ask/tell :class:`~repro.optim.Strategy` protocol, so budget
+accounting, per-step callbacks and mid-run checkpoint/resume behave
+identically across methods.  With ``checkpoint_every`` set the driver files
+periodic checkpoints under the run's key; a killed run re-requested later
+resumes from its last checkpoint instead of restarting.
 """
 
 from __future__ import annotations
@@ -20,15 +28,18 @@ from repro.env.environment import SizingEnvironment
 from repro.env.fom import default_fom_config
 from repro.eval import EvaluatorConfig
 from repro.experiments.config import ExperimentSettings
+from repro.experiments.driver import OptimizationDriver
 from repro.experiments.records import RunRecord
-from repro.optim.registry import get_optimizer
-from repro.rl.agent import AgentConfig, GCNRLAgent
+from repro.optim.registry import get_strategy, list_optimizers
+from repro.optim.strategy import Strategy
+from repro.rl.agent import AgentConfig
 from repro.store import MemoryStore, RunKey, RunStore, make_run_key
 
-#: Methods implemented by the runner.
+#: Methods needing the RL agent configuration (warm-up schedule in the key).
 RL_METHODS = ("gcn_rl", "ng_rl")
-BLACK_BOX_METHODS = ("random", "es", "bo", "mace")
-ALL_METHODS = ("human",) + BLACK_BOX_METHODS + RL_METHODS
+
+#: All runnable methods — the strategy registry is the single source of truth.
+ALL_METHODS = tuple(list_optimizers())
 
 #: Process-wide default store (what the old ``_RUN_CACHE`` dict used to be).
 _DEFAULT_STORE = MemoryStore()
@@ -81,6 +92,26 @@ def default_agent_config(
     )
 
 
+def build_strategy(
+    method: str,
+    environment: SizingEnvironment,
+    steps: int,
+    seed: int,
+    settings: Optional[ExperimentSettings] = None,
+) -> Strategy:
+    """Instantiate the registered strategy the runner uses for ``method``.
+
+    The RL methods receive the harness's standard agent configuration (the
+    warm-up schedule depends on the budget and settings); every other
+    strategy is constructed with its registry defaults.
+    """
+    settings = settings or ExperimentSettings()
+    if method in RL_METHODS:
+        config = default_agent_config(steps, settings, use_gcn=(method == "gcn_rl"))
+        return get_strategy(method, environment, seed=seed, config=config)
+    return get_strategy(method, environment, seed=seed)
+
+
 def run_key_for(
     method: str,
     circuit_name: str,
@@ -131,12 +162,14 @@ def run_method(
     use_cache: bool = True,
     evaluator_config: Optional[EvaluatorConfig] = None,
     store: Optional[RunStore] = None,
-) -> RunRecord:
+    checkpoint_every: int = 0,
+    max_steps: Optional[int] = None,
+) -> Optional[RunRecord]:
     """Run one sizing method and return its :class:`RunRecord`.
 
     Args:
-        method: One of ``human``, ``random``, ``es``, ``bo``, ``mace``,
-            ``ng_rl`` or ``gcn_rl``.
+        method: Any registered strategy name (``human``, ``random``, ``es``,
+            ``bo``, ``mace``, ``ng_rl``, ``gcn_rl``, ...).
         circuit_name: Benchmark circuit registry name.
         technology: Technology node name.
         steps: Simulation budget (ignored for ``human``).
@@ -145,13 +178,23 @@ def run_method(
             default evaluator stack).
         weight_overrides: Optional FoM weight multipliers (Table II variants).
         apply_spec: Enforce the circuit's hard spec in the FoM.
-        use_cache: Reuse a previous identical run from the store if present.
+        use_cache: Reuse a previous identical run — or resume its mid-run
+            checkpoint — from the store if present.
         evaluator_config: Evaluator stack override; defaults to the one in
             ``settings``.
         store: Run store to read/write.  Defaults to the process-wide
             in-memory store; pass a persistent backend to make runs durable.
             An explicitly given store is always written to (even with
             ``use_cache=False``, which only disables *reading*).
+        checkpoint_every: Persist the driver's full mid-run state to the
+            store every K ask/tell steps (0 disables periodic checkpoints).
+        max_steps: Pause the run after this many ask/tell steps, writing a
+            final checkpoint, and return ``None`` (the record is incomplete).
+            Re-running the same request later resumes from the checkpoint.
+
+    Returns:
+        The completed :class:`RunRecord`, or ``None`` when ``max_steps``
+        paused the run before the budget was spent.
     """
     settings = settings or ExperimentSettings()
     evaluator_config = evaluator_config or settings.evaluator_config()
@@ -181,53 +224,42 @@ def run_method(
     )
 
     try:
-        if method == "human":
-            result = environment.evaluate_sizing(environment.circuit.expert_sizing())
-            record = RunRecord(
-                method=method,
-                circuit=circuit_name,
-                technology=technology,
-                seed=seed,
-                steps=1,
-                best_reward=result.reward,
-                best_metrics=dict(result.metrics),
-                rewards=[result.reward],
-            )
-        elif method in RL_METHODS:
-            config = default_agent_config(steps, settings, use_gcn=(method == "gcn_rl"))
-            agent = GCNRLAgent(environment, config=config, seed=seed)
-            agent.train(steps)
-            record = RunRecord(
-                method=method,
-                circuit=circuit_name,
-                technology=technology,
-                seed=seed,
-                steps=steps,
-                best_reward=environment.best_reward,
-                best_metrics=dict(environment.best_metrics or {}),
-                rewards=list(environment.rewards()),
-            )
-        elif method in BLACK_BOX_METHODS:
-            optimizer = get_optimizer(method, environment, seed=seed)
-            result = optimizer.run(steps)
-            record = RunRecord(
-                method=method,
-                circuit=circuit_name,
-                technology=technology,
-                seed=seed,
-                steps=steps,
-                best_reward=result.best_reward,
-                best_metrics=dict(result.best_metrics),
-                rewards=list(result.rewards),
-            )
-        else:
-            raise KeyError(f"unknown method {method!r}; expected one of {ALL_METHODS}")
+        budget = 1 if method == "human" else steps
+        strategy = build_strategy(method, environment, steps, seed, settings)
+        driver = OptimizationDriver(
+            strategy,
+            environment,
+            budget=budget,
+            store=target_store,
+            run_key=key,
+            checkpoint_every=checkpoint_every,
+            resume=use_cache,
+        )
+        result = driver.run(max_steps=max_steps)
     finally:
-        # Release worker pools even when the optimizer/agent raises.
+        # Release worker pools even when the strategy/driver raises.
         environment.evaluator.close()
 
+    if not driver.finished:
+        # Paused by max_steps: the checkpoint holds the partial state.
+        return None
+
+    record = RunRecord(
+        method=method,
+        circuit=circuit_name,
+        technology=technology,
+        seed=seed,
+        steps=budget,
+        best_reward=result.best_reward,
+        best_metrics=dict(result.best_metrics),
+        rewards=list(result.rewards),
+        wall_time_s=result.wall_time_s,
+        step_evaluations=list(result.step_evaluations),
+    )
     if use_cache or store is not None:
         target_store.put(key, record)
+        # The completed record supersedes any mid-run checkpoint.
+        target_store.delete_checkpoint(key)
     return record
 
 

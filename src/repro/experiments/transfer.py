@@ -10,6 +10,7 @@ from repro.experiments.config import ExperimentSettings
 from repro.experiments.records import RunRecord
 from repro.experiments.runner import build_environment, default_agent_config
 from repro.rl.agent import AgentConfig, GCNRLAgent
+from repro.rl.transfer import train_agent
 from repro.store import RunKey, RunStore, make_run_key
 
 _PRETRAINED_CACHE: Dict[Tuple, Dict] = {}
@@ -58,7 +59,7 @@ def pretrain_weights(
     try:
         config = default_agent_config(settings.pretrain_steps, settings, use_gcn)
         agent = GCNRLAgent(environment, config=config, seed=seed)
-        agent.train(settings.pretrain_steps)
+        train_agent(agent, settings.pretrain_steps)
         weights = agent.state_dict()
     finally:
         environment.evaluator.close()
@@ -160,7 +161,7 @@ def _finetune(
         if pretrained is not None:
             weights = pretrained() if callable(pretrained) else pretrained
             agent.load_state_dict(weights)
-        agent.train(settings.transfer_steps)
+        train_agent(agent, settings.transfer_steps)
         record = RunRecord(
             method=label,
             circuit=circuit_name,

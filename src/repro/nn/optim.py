@@ -122,3 +122,20 @@ class Adam:
         """Reset all parameter gradients."""
         for param in self.parameters:
             param.zero_grad()
+
+    def state_dict(self) -> dict:
+        """Moment slabs and step counter (for mid-run checkpointing)."""
+        return {"m": self._m.copy(), "v": self._v.copy(), "t": int(self._t)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments saved by :meth:`state_dict` (same parameter set)."""
+        m = np.asarray(state["m"], dtype=float)
+        v = np.asarray(state["v"], dtype=float)
+        if m.shape != self._m.shape or v.shape != self._v.shape:
+            raise ValueError(
+                f"optimizer state covers {m.shape[0]} values, expected "
+                f"{self._m.shape[0]} (parameter set changed?)"
+            )
+        self._m = m.copy()
+        self._v = v.copy()
+        self._t = int(state["t"])

@@ -1,6 +1,6 @@
-"""Black-box baseline optimizers compared against GCN-RL in the paper."""
+"""Optimization strategies compared in the paper, behind one ask/tell API."""
 
-from repro.optim.base import BlackBoxOptimizer, OptimizationResult
+from repro.optim.base import OptimizationResult
 from repro.optim.bayesian import BayesianOptimization
 from repro.optim.evolution import EvolutionStrategy
 from repro.optim.gaussian_process import (
@@ -9,23 +9,44 @@ from repro.optim.gaussian_process import (
     probability_of_improvement,
     upper_confidence_bound,
 )
+from repro.optim.human import HumanExpert
 from repro.optim.mace import MACE, pareto_front_indices
 from repro.optim.random_search import RandomSearch
-from repro.optim.registry import OPTIMIZER_CLASSES, get_optimizer, list_optimizers
+from repro.optim.registry import (
+    OPTIMIZER_CLASSES,
+    STRATEGY_CLASSES,
+    get_optimizer,
+    get_strategy,
+    list_optimizers,
+    register_strategy,
+    strategy_config_fields,
+)
+from repro.optim.strategy import Proposal, Strategy
+
+#: Deprecated alias: the pre-ask/tell base class name.  Methods no longer
+#: implement a monolithic ``run`` loop; subclass :class:`Strategy` instead.
+BlackBoxOptimizer = Strategy
 
 __all__ = [
+    "Strategy",
+    "Proposal",
     "BlackBoxOptimizer",
     "OptimizationResult",
     "RandomSearch",
     "EvolutionStrategy",
     "BayesianOptimization",
     "MACE",
+    "HumanExpert",
     "GaussianProcess",
     "expected_improvement",
     "probability_of_improvement",
     "upper_confidence_bound",
     "pareto_front_indices",
+    "STRATEGY_CLASSES",
     "OPTIMIZER_CLASSES",
+    "register_strategy",
+    "get_strategy",
     "get_optimizer",
     "list_optimizers",
+    "strategy_config_fields",
 ]

@@ -1,24 +1,19 @@
-"""Common interface for the black-box baseline optimizers.
+"""Result type shared by every optimization strategy.
 
-Every baseline (random search, ES, BO, MACE) optimizes the FoM over the
-normalised design space ``[-1, 1]^d`` through a :class:`SizingEnvironment`;
-the environment handles denormalisation, refinement, simulation and history
-tracking so that learning curves are directly comparable with the RL agent.
-Candidate designs are submitted through the environment's *batch* interface
-(``evaluate_normalized_batch``), so whole populations/proposal batches reach
-the :class:`~repro.eval.Evaluator` in one call and can be parallelised or
-cached below the algorithm.
+The method implementations themselves live behind the ask/tell protocol of
+:mod:`repro.optim.strategy`; this module only defines the
+:class:`OptimizationResult` record the :class:`~repro.experiments.driver.
+OptimizationDriver` produces for every method, so learning curves, budgets
+and wall-clock timing are directly comparable across the paper's baselines
+and the RL agent.
 """
 
 from __future__ import annotations
 
-import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping
 
 import numpy as np
-
-from repro.env.environment import SizingEnvironment
 
 
 @dataclass
@@ -32,6 +27,11 @@ class OptimizationResult:
         best_sizing: Physical sizing of the best design.
         rewards: Reward of every evaluation in order.
         num_evaluations: Total simulator calls consumed.
+        wall_time_s: Wall-clock seconds spent inside the optimization loop
+            (accumulated across checkpoint/resume cycles), so learning curves
+            can be plotted against wall-clock as well as simulation count.
+        step_evaluations: Simulator evaluations consumed by each ask/tell
+            step, in order (``sum(step_evaluations) == num_evaluations``).
     """
 
     method: str
@@ -40,6 +40,8 @@ class OptimizationResult:
     best_sizing: Dict[str, Dict[str, float]]
     rewards: List[float] = field(default_factory=list)
     num_evaluations: int = 0
+    wall_time_s: float = 0.0
+    step_evaluations: List[int] = field(default_factory=list)
 
     def best_so_far(self) -> np.ndarray:
         """Running maximum of the reward (learning-curve series).
@@ -63,44 +65,23 @@ class OptimizationResult:
             },
             "rewards": [float(r) for r in self.rewards],
             "num_evaluations": int(self.num_evaluations),
+            "wall_time_s": float(self.wall_time_s),
+            "step_evaluations": [int(n) for n in self.step_evaluations],
         }
 
-
-class BlackBoxOptimizer(abc.ABC):
-    """Base class for simulation-in-the-loop black-box optimizers."""
-
-    #: Registry name, overridden by subclasses.
-    name = "abstract"
-
-    def __init__(self, environment: SizingEnvironment, seed: int = 0):
-        self.environment = environment
-        self.rng = np.random.default_rng(seed)
-        self.dimension = environment.parameter_dimension
-
-    @abc.abstractmethod
-    def run(self, budget: int) -> OptimizationResult:
-        """Run the optimizer for ``budget`` simulator evaluations."""
-
-    def _evaluate_batch(self, points: Sequence[np.ndarray]) -> np.ndarray:
-        """Evaluate many normalised design points in one environment batch.
-
-        Returns the rewards in input order as a ``float64`` array.
-        """
-        points = np.clip(np.asarray(points, dtype=float), -1.0, 1.0)
-        results = self.environment.evaluate_normalized_batch(points)
-        return np.asarray([result.reward for result in results], dtype=np.float64)
-
-    def _evaluate(self, point: np.ndarray) -> float:
-        """Evaluate one normalised design point and return its reward."""
-        return float(self._evaluate_batch(np.asarray(point, dtype=float)[None, :])[0])
-
-    def _result(self) -> OptimizationResult:
-        """Package the environment history into an :class:`OptimizationResult`."""
-        return OptimizationResult(
-            method=self.name,
-            best_reward=self.environment.best_reward,
-            best_metrics=dict(self.environment.best_metrics or {}),
-            best_sizing=dict(self.environment.best_sizing or {}),
-            rewards=list(self.environment.rewards()),
-            num_evaluations=len(self.environment.history),
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OptimizationResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        return cls(
+            method=data["method"],
+            best_reward=float(data["best_reward"]),
+            best_metrics={k: float(v) for k, v in data.get("best_metrics", {}).items()},
+            best_sizing={
+                comp: {name: float(value) for name, value in params.items()}
+                for comp, params in data.get("best_sizing", {}).items()
+            },
+            rewards=[float(r) for r in data.get("rewards", [])],
+            num_evaluations=int(data.get("num_evaluations", 0)),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            step_evaluations=[int(n) for n in data.get("step_evaluations", [])],
         )

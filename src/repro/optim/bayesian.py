@@ -2,19 +2,28 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Sequence
+
 import numpy as np
 
-from repro.optim.base import BlackBoxOptimizer, OptimizationResult
 from repro.optim.gaussian_process import GaussianProcess, expected_improvement
+from repro.optim.registry import register_strategy
+from repro.optim.strategy import Proposal, Strategy
 
 
-class BayesianOptimization(BlackBoxOptimizer):
+@register_strategy
+class BayesianOptimization(Strategy):
     """Sequential GP-based Bayesian optimization with the EI acquisition.
 
     The acquisition is maximised over a random candidate pool refined with a
     small local perturbation step around the incumbent, which is accurate
     enough for the modest dimensionality of the sizing problems while keeping
     the O(N^3) GP cost the dominant term, as in the paper's description.
+
+    The first ask proposes the whole initial design as one batch; every
+    later ask refits the GP on the observations accumulated through
+    :meth:`tell` and proposes the acquisition maximiser.  The observation
+    set *is* the model state, so ``state_dict`` is just (observations, RNG).
     """
 
     name = "bo"
@@ -31,8 +40,9 @@ class BayesianOptimization(BlackBoxOptimizer):
         self.num_initial = num_initial
         self.candidate_pool = candidate_pool
         self.max_training_points = max_training_points
-        self._x: list = []
-        self._y: list = []
+        self._x: List[np.ndarray] = []
+        self._y: List[float] = []
+        self._initialized = False
 
     def _candidates(self, incumbent: np.ndarray) -> np.ndarray:
         uniform = self.rng.uniform(
@@ -59,29 +69,40 @@ class BayesianOptimization(BlackBoxOptimizer):
             return x[idx], y[idx]
         return x, y
 
-    def run(self, budget: int) -> OptimizationResult:
-        """Run BO for ``budget`` evaluations (including the initial design)."""
-        num_initial = min(self.num_initial, budget)
-        if num_initial > 0:
+    def ask(self) -> List[Proposal]:
+        if not self._initialized:
             # The initial design is one evaluator batch (same RNG stream as
             # the previous sample-evaluate-sample loop).
-            points = self.rng.uniform(
-                -1.0, 1.0, size=(num_initial, self.dimension)
-            )
-            rewards = self._evaluate_batch(points)
-            self._x.extend(points)
-            self._y.extend(rewards.tolist())
+            count = min(self.num_initial, self.budget_remaining())
+            points = self.rng.uniform(-1.0, 1.0, size=(count, self.dimension))
+            return self.vector_proposals(points)
+        x_train, y_train = self._training_set()
+        gp = GaussianProcess().fit(x_train, y_train)
+        incumbent_point = self._x[int(np.argmax(self._y))]
+        candidates = self._candidates(np.asarray(incumbent_point))
+        mean, std = gp.predict(candidates)
+        acquisition = expected_improvement(mean, std, float(np.max(self._y)))
+        chosen = candidates[int(np.argmax(acquisition))]
+        return [Proposal(vector=chosen)]
 
-        for _ in range(budget - num_initial):
-            x_train, y_train = self._training_set()
-            gp = GaussianProcess().fit(x_train, y_train)
-            incumbent_point = self._x[int(np.argmax(self._y))]
-            candidates = self._candidates(np.asarray(incumbent_point))
-            mean, std = gp.predict(candidates)
-            acquisition = expected_improvement(mean, std, float(np.max(self._y)))
-            chosen = candidates[int(np.argmax(acquisition))]
-            reward = self._evaluate(chosen)
-            self._x.append(chosen)
-            self._y.append(reward)
+    def tell(self, proposals: Sequence[Proposal], results: Sequence) -> None:
+        rewards = self.rewards_of(results)
+        for proposal, reward in zip(proposals, rewards):
+            self._x.append(np.asarray(proposal.vector, dtype=float))
+            self._y.append(float(reward))
+        self._initialized = True
 
-        return self._result()
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            x=[point.copy() for point in self._x],
+            y=list(self._y),
+            initialized=bool(self._initialized),
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._x = [np.asarray(point, dtype=float).copy() for point in state["x"]]
+        self._y = [float(value) for value in state["y"]]
+        self._initialized = bool(state["initialized"])

@@ -5,18 +5,26 @@ implements a compact covariance-matrix-adaptation ES: a multivariate Gaussian
 search distribution whose mean, step size and covariance are adapted from the
 best-ranked offspring of each generation, with box constraints handled by
 clipping to the normalised design cube.
+
+One ask/tell cycle is one generation: :meth:`ask` samples λ offspring from
+the current search distribution, :meth:`tell` performs the mean / step-size /
+covariance adaptation from their ranked rewards.  The whole distribution
+state is round-tripped by ``state_dict``, so a checkpointed ES resumes its
+adaptation trajectory bit-identically.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.optim.base import BlackBoxOptimizer, OptimizationResult
+from repro.optim.registry import register_strategy
+from repro.optim.strategy import Proposal, Strategy
 
 
-class EvolutionStrategy(BlackBoxOptimizer):
+@register_strategy
+class EvolutionStrategy(Strategy):
     """(µ, λ) evolution strategy with covariance-matrix adaptation."""
 
     name = "es"
@@ -53,74 +61,110 @@ class EvolutionStrategy(BlackBoxOptimizer):
         )
         self.chi_n = np.sqrt(d) * (1 - 1 / (4 * d) + 1 / (21 * d**2))
 
-    def run(self, budget: int) -> OptimizationResult:
-        """Run generations of the ES until the evaluation budget is exhausted."""
+        # Search-distribution state, adapted generation by generation.
+        self.mean = np.zeros(d)
+        self.sigma = initial_sigma
+        self.covariance = np.eye(d)
+        self.path_sigma = np.zeros(d)
+        self.path_c = np.zeros(d)
+        self.generation = 0
+        self._done = False
+        # Cholesky factor used to sample the pending generation; transient
+        # between ask and tell (checkpoints only happen at step boundaries).
+        self._chol: Optional[np.ndarray] = None
+
+    def ask(self) -> List[Proposal]:
+        """Sample one generation of offspring from N(mean, sigma^2 C)."""
         d = self.dimension
-        mean = np.zeros(d)
-        sigma = self.initial_sigma
-        covariance = np.eye(d)
-        path_sigma = np.zeros(d)
-        path_c = np.zeros(d)
-        evaluations = 0
-        generation = 0
+        lam = min(self.population_size, self.budget_remaining())
+        try:
+            chol = np.linalg.cholesky(self.covariance + 1e-10 * np.eye(d))
+        except np.linalg.LinAlgError:
+            self.covariance = np.eye(d)
+            chol = np.eye(d)
+        raw = self.rng.standard_normal((lam, d))
+        offspring = self.mean + self.sigma * raw @ chol.T
+        offspring = np.clip(offspring, -1.0, 1.0)
+        self._chol = chol
+        return self.vector_proposals(offspring)
 
-        while evaluations < budget:
-            lam = min(self.population_size, budget - evaluations)
-            # Sample offspring from N(mean, sigma^2 C).
-            try:
-                chol = np.linalg.cholesky(
-                    covariance + 1e-10 * np.eye(d)
-                )
-            except np.linalg.LinAlgError:
-                covariance = np.eye(d)
-                chol = np.eye(d)
-            raw = self.rng.standard_normal((lam, d))
-            offspring = mean + sigma * raw @ chol.T
-            offspring = np.clip(offspring, -1.0, 1.0)
+    def tell(self, proposals: Sequence[Proposal], results: Sequence) -> None:
+        """Adapt mean, step size and covariance from the ranked offspring."""
+        rewards = self.rewards_of(results)
+        offspring = np.asarray([p.vector for p in proposals], dtype=float)
+        lam = len(offspring)
+        if lam < self.num_parents:
+            # Too few offspring left in the budget for a rank-µ update.
+            self._done = True
+            return
+        d = self.dimension
+        chol = self._chol if self._chol is not None else np.linalg.cholesky(
+            self.covariance + 1e-10 * np.eye(d)
+        )
 
-            # The whole generation is one evaluator batch.
-            rewards = self._evaluate_batch(offspring)
-            evaluations += lam
-            if lam < self.num_parents:
-                break
+        order = np.argsort(-rewards)
+        parents = offspring[order[: self.num_parents]]
+        steps = (parents - self.mean) / max(self.sigma, 1e-12)
+        new_mean = self.mean + self.sigma * self.weights @ steps
 
-            order = np.argsort(-rewards)
-            parents = offspring[order[: self.num_parents]]
-            steps = (parents - mean) / max(sigma, 1e-12)
-            new_mean = mean + sigma * self.weights @ steps
+        # Step-size adaptation (cumulative path length control).
+        inv_chol = np.linalg.inv(chol)
+        mean_step = self.weights @ steps
+        self.path_sigma = (1 - self.c_sigma) * self.path_sigma + np.sqrt(
+            self.c_sigma * (2 - self.c_sigma) * self.mu_eff
+        ) * (inv_chol @ mean_step)
+        self.sigma *= np.exp(
+            (self.c_sigma / self.d_sigma)
+            * (np.linalg.norm(self.path_sigma) / self.chi_n - 1)
+        )
+        self.sigma = float(np.clip(self.sigma, 1e-3, 1.0))
 
-            # Step-size adaptation (cumulative path length control).
-            inv_chol = np.linalg.inv(chol)
-            mean_step = self.weights @ steps
-            path_sigma = (1 - self.c_sigma) * path_sigma + np.sqrt(
-                self.c_sigma * (2 - self.c_sigma) * self.mu_eff
-            ) * (inv_chol @ mean_step)
-            sigma *= np.exp(
-                (self.c_sigma / self.d_sigma)
-                * (np.linalg.norm(path_sigma) / self.chi_n - 1)
-            )
-            sigma = float(np.clip(sigma, 1e-3, 1.0))
+        # Covariance adaptation (rank-1 + rank-µ updates).
+        h_sigma = float(
+            np.linalg.norm(self.path_sigma)
+            / np.sqrt(1 - (1 - self.c_sigma) ** (2 * (self.generation + 1)))
+            < (1.4 + 2 / (d + 1)) * self.chi_n
+        )
+        self.path_c = (1 - self.c_c) * self.path_c + h_sigma * np.sqrt(
+            self.c_c * (2 - self.c_c) * self.mu_eff
+        ) * mean_step
+        rank_mu = sum(
+            w * np.outer(s, s) for w, s in zip(self.weights, steps)
+        )
+        covariance = (
+            (1 - self.c_1 - self.c_mu) * self.covariance
+            + self.c_1 * np.outer(self.path_c, self.path_c)
+            + self.c_mu * rank_mu
+        )
+        self.covariance = 0.5 * (covariance + covariance.T)
 
-            # Covariance adaptation (rank-1 + rank-µ updates).
-            h_sigma = float(
-                np.linalg.norm(path_sigma)
-                / np.sqrt(1 - (1 - self.c_sigma) ** (2 * (generation + 1)))
-                < (1.4 + 2 / (d + 1)) * self.chi_n
-            )
-            path_c = (1 - self.c_c) * path_c + h_sigma * np.sqrt(
-                self.c_c * (2 - self.c_c) * self.mu_eff
-            ) * mean_step
-            rank_mu = sum(
-                w * np.outer(s, s) for w, s in zip(self.weights, steps)
-            )
-            covariance = (
-                (1 - self.c_1 - self.c_mu) * covariance
-                + self.c_1 * np.outer(path_c, path_c)
-                + self.c_mu * rank_mu
-            )
-            covariance = 0.5 * (covariance + covariance.T)
+        self.mean = np.clip(new_mean, -1.0, 1.0)
+        self.generation += 1
+        self._chol = None
 
-            mean = np.clip(new_mean, -1.0, 1.0)
-            generation += 1
+    def done(self) -> bool:
+        return self._done
 
-        return self._result()
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            mean=self.mean.copy(),
+            sigma=float(self.sigma),
+            covariance=self.covariance.copy(),
+            path_sigma=self.path_sigma.copy(),
+            path_c=self.path_c.copy(),
+            generation=int(self.generation),
+            done=bool(self._done),
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self.mean = np.asarray(state["mean"], dtype=float).copy()
+        self.sigma = float(state["sigma"])
+        self.covariance = np.asarray(state["covariance"], dtype=float).copy()
+        self.path_sigma = np.asarray(state["path_sigma"], dtype=float).copy()
+        self.path_c = np.asarray(state["path_c"], dtype=float).copy()
+        self.generation = int(state["generation"])
+        self._done = bool(state["done"])
+        self._chol = None

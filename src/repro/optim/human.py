@@ -1,0 +1,43 @@
+"""The paper's human-expert baseline as a one-shot strategy.
+
+Every benchmark circuit ships an expert sizing; "optimizing" with the human
+method is a single simulator evaluation of that design.  Registering it as a
+:class:`~repro.optim.strategy.Strategy` lets the runner, campaigns and the
+CLI treat all seven paper methods uniformly through one driver loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.optim.registry import register_strategy
+from repro.optim.strategy import Proposal, Strategy
+
+
+@register_strategy
+class HumanExpert(Strategy):
+    """Evaluates the circuit's expert sizing once, then is done."""
+
+    name = "human"
+
+    def __init__(self, environment, seed: int = 0):
+        super().__init__(environment, seed)
+        self._evaluated = False
+
+    def ask(self) -> List[Proposal]:
+        return [Proposal(sizing=self.environment.circuit.expert_sizing())]
+
+    def tell(self, proposals: Sequence[Proposal], results: Sequence) -> None:
+        self._evaluated = True
+
+    def done(self) -> bool:
+        return self._evaluated
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["evaluated"] = bool(self._evaluated)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._evaluated = bool(state["evaluated"])

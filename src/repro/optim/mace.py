@@ -6,21 +6,26 @@ different exploration/exploitation trade-offs are covered simultaneously.
 This implementation evaluates the three acquisitions on a shared candidate
 pool, extracts the Pareto-optimal candidates and draws one batch from that
 front per GP refit.
+
+One ask/tell cycle is one GP refit: :meth:`ask` proposes the initial design
+(first cycle) or one Pareto-front batch, :meth:`tell` records the outcomes
+into the observation set the next refit trains on.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
-from repro.optim.base import BlackBoxOptimizer, OptimizationResult
 from repro.optim.gaussian_process import (
     GaussianProcess,
     expected_improvement,
     probability_of_improvement,
     upper_confidence_bound,
 )
+from repro.optim.registry import register_strategy
+from repro.optim.strategy import Proposal, Strategy
 
 
 def pareto_front_indices(objectives: np.ndarray) -> np.ndarray:
@@ -38,7 +43,8 @@ def pareto_front_indices(objectives: np.ndarray) -> np.ndarray:
     return np.where(~dominated)[0]
 
 
-class MACE(BlackBoxOptimizer):
+@register_strategy
+class MACE(Strategy):
     """Batch BO with a multi-objective acquisition ensemble (EI, PI, LCB)."""
 
     name = "mace"
@@ -59,6 +65,7 @@ class MACE(BlackBoxOptimizer):
         self.max_training_points = max_training_points
         self._x: List[np.ndarray] = []
         self._y: List[float] = []
+        self._initialized = False
 
     def _training_set(self):
         x = np.asarray(self._x, dtype=float)
@@ -102,29 +109,38 @@ class MACE(BlackBoxOptimizer):
             chosen = np.concatenate([front, extra])
         return candidates[chosen]
 
-    def run(self, budget: int) -> OptimizationResult:
-        """Run MACE for ``budget`` evaluations."""
-        num_initial = min(self.num_initial, budget)
-        if num_initial > 0:
+    def ask(self) -> List[Proposal]:
+        if not self._initialized:
             # The initial design is one evaluator batch (same RNG stream as
             # the previous sample-evaluate-sample loop).
-            points = self.rng.uniform(
-                -1.0, 1.0, size=(num_initial, self.dimension)
-            )
-            rewards = self._evaluate_batch(points)
-            self._x.extend(points)
-            self._y.extend(rewards.tolist())
+            count = min(self.num_initial, self.budget_remaining())
+            points = self.rng.uniform(-1.0, 1.0, size=(count, self.dimension))
+            return self.vector_proposals(points)
+        x_train, y_train = self._training_set()
+        gp = GaussianProcess().fit(x_train, y_train)
+        # The Pareto-front proposals of each refit are one evaluator batch
+        # — MACE's raison d'être is exactly this batched evaluation.
+        batch = self._select_batch(gp, min(self.batch_size, self.budget_remaining()))
+        return self.vector_proposals(batch)
 
-        remaining = budget - num_initial
-        while remaining > 0:
-            x_train, y_train = self._training_set()
-            gp = GaussianProcess().fit(x_train, y_train)
-            # The Pareto-front proposals of each refit are one evaluator batch
-            # — MACE's raison d'être is exactly this batched evaluation.
-            batch = self._select_batch(gp, min(self.batch_size, remaining))
-            rewards = self._evaluate_batch(batch)
-            self._x.extend(batch)
-            self._y.extend(rewards.tolist())
-            remaining -= len(batch)
+    def tell(self, proposals: Sequence[Proposal], results: Sequence) -> None:
+        rewards = self.rewards_of(results)
+        for proposal, reward in zip(proposals, rewards):
+            self._x.append(np.asarray(proposal.vector, dtype=float))
+            self._y.append(float(reward))
+        self._initialized = True
 
-        return self._result()
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            x=[point.copy() for point in self._x],
+            y=list(self._y),
+            initialized=bool(self._initialized),
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._x = [np.asarray(point, dtype=float).copy() for point in state["x"]]
+        self._y = [float(value) for value in state["y"]]
+        self._initialized = bool(state["initialized"])

@@ -2,22 +2,27 @@
 
 from __future__ import annotations
 
-from repro.optim.base import BlackBoxOptimizer, OptimizationResult
+from typing import List, Sequence
+
+from repro.optim.registry import register_strategy
+from repro.optim.strategy import Proposal, Strategy
 
 
-class RandomSearch(BlackBoxOptimizer):
-    """Baseline that samples design points uniformly at random."""
+@register_strategy
+class RandomSearch(Strategy):
+    """Baseline that samples design points uniformly at random.
+
+    One ask proposes the entire remaining budget as a single batch — the
+    same RNG stream as sequential per-design sampling — so the run
+    parallelises perfectly and the strategy carries no state beyond its RNG.
+    """
 
     name = "random"
 
-    def run(self, budget: int) -> OptimizationResult:
-        """Evaluate ``budget`` uniformly random designs as one batch.
+    def ask(self) -> List[Proposal]:
+        count = self.budget_remaining()
+        points = self.rng.uniform(-1.0, 1.0, size=(count, self.dimension))
+        return self.vector_proposals(points)
 
-        The whole population is sampled up front (the same RNG stream as
-        sequential per-design sampling) and submitted in a single evaluator
-        batch, so the run parallelises perfectly.
-        """
-        if budget > 0:
-            points = self.rng.uniform(-1.0, 1.0, size=(budget, self.dimension))
-            self._evaluate_batch(points)
-        return self._result()
+    def tell(self, proposals: Sequence[Proposal], results: Sequence) -> None:
+        """Random search learns nothing from the outcomes."""

@@ -1,36 +1,118 @@
-"""Registry of black-box optimizers, keyed by the names used in the paper."""
+"""One registry for every optimization method of the paper.
+
+Strategies self-register with the :func:`register_strategy` class decorator,
+so the black-box baselines (random, ES, BO, MACE), the human-expert baseline
+and the RL agents (GCN-RL, NG-RL) all live behind one source of truth:
+:func:`list_optimizers` enumerates them, :func:`get_strategy` instantiates
+them with validated config kwargs, and the CLI/runner derive their method
+choices and error suggestions from the same table.
+
+The RL strategies live in :mod:`repro.rl.strategy`; importing them from here
+at module scope would pull the whole RL stack into every ``repro.optim``
+import, so the registry imports the method modules lazily on first query.
+"""
 
 from __future__ import annotations
 
+import difflib
+import importlib
+import inspect
 from typing import Dict, List, Type
 
 from repro.env.environment import SizingEnvironment
-from repro.optim.base import BlackBoxOptimizer
-from repro.optim.bayesian import BayesianOptimization
-from repro.optim.evolution import EvolutionStrategy
-from repro.optim.mace import MACE
-from repro.optim.random_search import RandomSearch
+from repro.optim.strategy import Strategy
 
-#: All registered optimizer classes.
-OPTIMIZER_CLASSES: Dict[str, Type[BlackBoxOptimizer]] = {
-    RandomSearch.name: RandomSearch,
-    EvolutionStrategy.name: EvolutionStrategy,
-    BayesianOptimization.name: BayesianOptimization,
-    MACE.name: MACE,
-}
+#: All registered strategy classes, keyed by their paper method name.
+STRATEGY_CLASSES: Dict[str, Type[Strategy]] = {}
+
+#: Deprecated alias of :data:`STRATEGY_CLASSES` (pre-ask/tell name).
+OPTIMIZER_CLASSES = STRATEGY_CLASSES
+
+#: Modules whose import registers the paper's methods (imported lazily).
+_STRATEGY_MODULES = (
+    "repro.optim.random_search",
+    "repro.optim.evolution",
+    "repro.optim.bayesian",
+    "repro.optim.mace",
+    "repro.optim.human",
+    "repro.rl.strategy",
+)
+
+
+def register_strategy(cls: Type[Strategy]) -> Type[Strategy]:
+    """Class decorator adding a :class:`Strategy` subclass to the registry."""
+    name = getattr(cls, "name", None)
+    if not name or name == Strategy.name:
+        raise ValueError(
+            f"{cls.__name__} must define a concrete `name` to be registered"
+        )
+    existing = STRATEGY_CLASSES.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"strategy name {name!r} already registered by {existing.__name__}"
+        )
+    STRATEGY_CLASSES[name] = cls
+    return cls
+
+
+def _ensure_registered() -> None:
+    """Import every method module so its strategies are registered."""
+    for module in _STRATEGY_MODULES:
+        importlib.import_module(module)
 
 
 def list_optimizers() -> List[str]:
-    """Names of all registered black-box optimizers."""
-    return sorted(OPTIMIZER_CLASSES)
+    """Names of all registered optimization strategies (all paper methods)."""
+    _ensure_registered()
+    return sorted(STRATEGY_CLASSES)
 
 
-def get_optimizer(
+def strategy_config_fields(cls: Type[Strategy]) -> List[str]:
+    """The config kwargs a strategy class accepts besides environment/seed."""
+    fields = []
+    for parameter in inspect.signature(cls.__init__).parameters.values():
+        if parameter.name in ("self", "environment", "seed"):
+            continue
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            fields.append(parameter.name)
+    return fields
+
+
+def unknown_method_message(name: str) -> str:
+    """Error text for an unregistered method, with a did-you-mean hint."""
+    known = list_optimizers()
+    close = difflib.get_close_matches(name.lower(), known, n=1)
+    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    return f"unknown optimizer {name!r}{hint}; available: {', '.join(known)}"
+
+
+def get_strategy(
     name: str, environment: SizingEnvironment, seed: int = 0, **kwargs
-) -> BlackBoxOptimizer:
-    """Instantiate a black-box optimizer by name."""
+) -> Strategy:
+    """Instantiate an optimization strategy by registry name.
+
+    Unknown config kwargs are rejected up front with the strategy's accepted
+    field names, instead of surfacing later as an opaque ``TypeError`` from
+    the constructor.
+    """
+    _ensure_registered()
     key = name.lower()
-    if key not in OPTIMIZER_CLASSES:
-        known = ", ".join(list_optimizers())
-        raise KeyError(f"unknown optimizer {name!r}; available: {known}")
-    return OPTIMIZER_CLASSES[key](environment, seed=seed, **kwargs)
+    if key not in STRATEGY_CLASSES:
+        raise KeyError(unknown_method_message(name))
+    cls = STRATEGY_CLASSES[key]
+    accepted = strategy_config_fields(cls)
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        accepted_text = ", ".join(accepted) if accepted else "none"
+        raise TypeError(
+            f"strategy {key!r} does not accept config field(s) "
+            f"{', '.join(repr(k) for k in unknown)}; accepted: {accepted_text}"
+        )
+    return cls(environment, seed=seed, **kwargs)
+
+
+#: Deprecated alias of :func:`get_strategy` (pre-ask/tell name).
+get_optimizer = get_strategy

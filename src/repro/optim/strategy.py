@@ -1,0 +1,159 @@
+"""The ask/tell ``Strategy`` protocol every optimization method speaks.
+
+A strategy never runs its own loop.  It is *asked* for a batch of candidate
+designs (:class:`Proposal`), someone else — normally the
+:class:`~repro.experiments.driver.OptimizationDriver` — evaluates them
+through the environment's :class:`~repro.eval.Evaluator`, and the strategy
+is *told* the outcomes so it can update its internal state.  Inverting the
+old ``run(budget)`` monoliths this way makes every method steppable,
+checkpointable (:meth:`Strategy.state_dict` /
+:meth:`Strategy.load_state_dict` round-trip the full mid-run state,
+including the RNG stream), and composable: budget accounting, persistence,
+callbacks and scheduling are driver features instead of per-method
+reimplementations.
+
+The protocol::
+
+    strategy.remaining = budget          # maintained by the driver
+    while not strategy.done() and budget left:
+        proposals = strategy.ask()       # candidate designs
+        results = evaluate(proposals)    # one evaluator batch
+        strategy.tell(proposals, results)
+
+A proposal carries exactly one design representation — a flat normalised
+``vector`` in ``[-1, 1]^d`` (black-box methods), a per-component ``actions``
+matrix (the RL agent), or a refined physical ``sizing`` (the human expert
+baseline) — and the driver dispatches each kind to the matching environment
+batch entry point, so the simulator batches are identical to the ones the
+old monolithic loops produced.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.env.environment import SizingEnvironment, StepResult
+from repro.optim.base import OptimizationResult
+
+
+@dataclass
+class Proposal:
+    """One candidate design, in exactly one representation.
+
+    Attributes:
+        vector: Flat normalised design vector in ``[-1, 1]^d``.
+        actions: Per-component action matrix ``(num_components, action_dim)``.
+        sizing: Refined physical sizing (component -> parameter -> value).
+    """
+
+    vector: Optional[np.ndarray] = None
+    actions: Optional[np.ndarray] = None
+    sizing: Optional[Dict[str, Dict[str, float]]] = None
+
+    def kind(self) -> str:
+        """``"vector"``, ``"actions"`` or ``"sizing"`` — whichever is set."""
+        set_fields = [
+            name
+            for name, value in (
+                ("vector", self.vector),
+                ("actions", self.actions),
+                ("sizing", self.sizing),
+            )
+            if value is not None
+        ]
+        if len(set_fields) != 1:
+            raise ValueError(
+                "a Proposal must set exactly one of vector/actions/sizing, "
+                f"got {set_fields or 'none'}"
+            )
+        return set_fields[0]
+
+
+class Strategy(abc.ABC):
+    """Base class of the stepwise ask/tell optimization protocol.
+
+    Subclasses implement :meth:`ask` and :meth:`tell` (and extend
+    :meth:`state_dict`/:meth:`load_state_dict` with whatever state their
+    update rule carries).  The legacy ``run(budget)`` entry point is kept as
+    a thin deprecated shim that drives the strategy through an
+    :class:`~repro.experiments.driver.OptimizationDriver`.
+    """
+
+    #: Registry name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(self, environment: SizingEnvironment, seed: int = 0):
+        self.environment = environment
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.dimension = environment.parameter_dimension
+        #: Evaluations left in the current budget.  The driver refreshes this
+        #: before every :meth:`ask`; set it manually for standalone use.
+        self.remaining: Optional[int] = None
+
+    # --- the ask/tell protocol ----------------------------------------------------
+    @abc.abstractmethod
+    def ask(self) -> List[Proposal]:
+        """Propose the next batch of candidate designs to evaluate."""
+
+    @abc.abstractmethod
+    def tell(
+        self, proposals: Sequence[Proposal], results: Sequence[StepResult]
+    ) -> None:
+        """Incorporate the evaluation results of a previously asked batch."""
+
+    def done(self) -> bool:
+        """Whether the strategy has converged/finished before the budget."""
+        return False
+
+    def budget_remaining(self) -> int:
+        """The evaluations left in the budget (set by the driver)."""
+        if self.remaining is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.ask() needs `remaining` to be set; "
+                "the OptimizationDriver maintains it automatically — for "
+                "standalone ask/tell use assign strategy.remaining yourself"
+            )
+        return int(self.remaining)
+
+    # --- persistence --------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Full resumable state (subclasses extend via ``super()``).
+
+        The base captures the RNG stream so a reloaded strategy continues
+        the *identical* sequence of proposals it would have produced
+        uninterrupted.
+        """
+        return {"rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self.rng.bit_generator.state = state["rng"]
+
+    # --- legacy shim --------------------------------------------------------------
+    def run(self, budget: int) -> OptimizationResult:
+        """Deprecated: run the full loop in one call.
+
+        Kept for backwards compatibility with the pre-ask/tell API.  New
+        code should construct an
+        :class:`~repro.experiments.driver.OptimizationDriver` directly,
+        which adds checkpointing, callbacks and store persistence.
+        """
+        from repro.experiments.driver import OptimizationDriver
+
+        return OptimizationDriver(self, budget=budget).run()
+
+    # --- helpers ------------------------------------------------------------------
+    @staticmethod
+    def vector_proposals(points: np.ndarray) -> List[Proposal]:
+        """Wrap the rows of a ``(count, d)`` array as vector proposals."""
+        return [Proposal(vector=np.asarray(point, dtype=float)) for point in points]
+
+    @staticmethod
+    def rewards_of(results: Sequence[StepResult]) -> np.ndarray:
+        """The rewards of a result batch, in order, as ``float64``."""
+        return np.asarray([result.reward for result in results], dtype=np.float64)

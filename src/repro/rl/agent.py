@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -380,3 +380,36 @@ class GCNRLAgent:
         """Load actor/critic weights saved by :meth:`state_dict`."""
         self.actor.load_state_dict(state["actor"])
         self.critic.load_state_dict(state["critic"])
+
+    def training_state_dict(self) -> Dict:
+        """The *complete* mid-run training state (checkpointing).
+
+        Unlike :meth:`state_dict` (weights only, the unit of knowledge
+        transfer), this covers everything a bit-identical resume needs:
+        weights, both Adam moment sets, the replay buffer, the reward
+        baseline, the exploration schedule, the episode counter, the
+        training log and the agent's RNG stream.
+        """
+        return {
+            "weights": self.state_dict(),
+            "actor_optimizer": self.actor_optimizer.state_dict(),
+            "critic_optimizer": self.critic_optimizer.state_dict(),
+            "replay_buffer": self.replay_buffer.state_dict(),
+            "reward_baseline": self.reward_baseline,
+            "noise": self.noise.state_dict(),
+            "episode": int(self._episode),
+            "rng": self.rng.bit_generator.state,
+            "training_log": [replace(record) for record in self.training_log],
+        }
+
+    def load_training_state_dict(self, state: Dict) -> None:
+        """Restore a checkpoint saved by :meth:`training_state_dict`."""
+        self.load_state_dict(state["weights"])
+        self.actor_optimizer.load_state_dict(state["actor_optimizer"])
+        self.critic_optimizer.load_state_dict(state["critic_optimizer"])
+        self.replay_buffer.load_state_dict(state["replay_buffer"])
+        self.reward_baseline = state["reward_baseline"]
+        self.noise.load_state_dict(state["noise"])
+        self._episode = int(state["episode"])
+        self.rng.bit_generator.state = state["rng"]
+        self.training_log = [replace(record) for record in state["training_log"]]

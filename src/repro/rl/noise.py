@@ -53,3 +53,11 @@ class TruncatedGaussianNoise:
         actions = np.asarray(actions, dtype=float)
         noisy = actions + rng.normal(0.0, self.sigma, size=actions.shape)
         return np.clip(noisy, self.low, self.high)
+
+    def state_dict(self) -> dict:
+        """The decayed deviation (the only mutable state of the schedule)."""
+        return {"sigma": float(self.sigma)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a schedule position saved by :meth:`state_dict`."""
+        self.sigma = float(state["sigma"])

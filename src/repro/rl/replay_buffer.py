@@ -134,3 +134,41 @@ class ReplayBuffer:
         self._rewards = None
         self._size = 0
         self._next_index = 0
+
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the buffer contents and ring position.
+
+        Only the live entries are copied: until the ring wraps they occupy
+        ``[0, size)``, so unfilled capacity is never serialised; once the
+        buffer is full the whole ring (whose order encodes overwrite
+        position) is stored.
+        """
+        if self._states is None:
+            return {"capacity": self.capacity, "size": 0, "next_index": 0}
+        live = self.capacity if self._size == self.capacity else self._size
+        return {
+            "capacity": self.capacity,
+            "size": int(self._size),
+            "next_index": int(self._next_index),
+            "states": self._states[:live].copy(),
+            "actions": self._actions[:live].copy(),
+            "rewards": self._rewards[:live].copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot saved by :meth:`state_dict`."""
+        self.capacity = int(state["capacity"])
+        if state["size"] == 0:
+            self.clear()
+            return
+        states = np.asarray(state["states"], dtype=float)
+        actions = np.asarray(state["actions"], dtype=float)
+        rewards = np.asarray(state["rewards"], dtype=float)
+        self._states = np.empty((self.capacity,) + states.shape[1:])
+        self._actions = np.empty((self.capacity,) + actions.shape[1:])
+        self._rewards = np.empty(self.capacity)
+        self._states[: len(states)] = states
+        self._actions[: len(actions)] = actions
+        self._rewards[: len(rewards)] = rewards
+        self._size = int(state["size"])
+        self._next_index = int(state["next_index"])

@@ -17,13 +17,45 @@ import pickle
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-import numpy as np
 
 from repro.circuits.library import get_circuit
 from repro.env.environment import SizingEnvironment
 from repro.env.fom import default_fom_config
 from repro.eval import EvaluatorConfig
 from repro.rl.agent import AgentConfig, GCNRLAgent
+
+
+def train_agent(
+    agent: GCNRLAgent,
+    episodes: int,
+    store=None,
+    run_key=None,
+    checkpoint_every: int = 0,
+) -> GCNRLAgent:
+    """Train an agent for ``episodes`` through the generic driver loop.
+
+    This is the single training entry point of the transfer harness: the
+    agent is wrapped in its ask/tell strategy and driven by an
+    :class:`~repro.experiments.driver.OptimizationDriver`, so pretraining
+    and fine-tuning inherit budget accounting, callbacks and mid-run
+    checkpointing (pass ``store``/``run_key``/``checkpoint_every``) exactly
+    like every other method.  The episode sequence is bit-identical to the
+    legacy ``agent.train(episodes)`` loop.
+    """
+    # Lazy imports: repro.experiments.driver imports repro.optim, which this
+    # package's strategy module registers itself into.
+    from repro.experiments.driver import OptimizationDriver
+    from repro.rl.strategy import GCNRLStrategy
+
+    strategy = GCNRLStrategy.from_agent(agent)
+    OptimizationDriver(
+        strategy,
+        budget=episodes,
+        store=store,
+        run_key=run_key,
+        checkpoint_every=checkpoint_every,
+    ).run()
+    return agent
 
 
 def save_agent_weights(agent: GCNRLAgent, path: Union[str, Path]) -> Path:
@@ -79,8 +111,7 @@ def pretrain_agent(
         evaluator_config=evaluator_config,
     )
     agent = GCNRLAgent(environment, config=config, seed=seed)
-    agent.train(episodes)
-    return agent
+    return train_agent(agent, episodes)
 
 
 def transfer_to_technology(
@@ -105,8 +136,7 @@ def transfer_to_technology(
         evaluator_config=evaluator_config,
     )
     agent.attach_environment(environment)
-    agent.train(episodes)
-    return agent
+    return train_agent(agent, episodes)
 
 
 def transfer_to_topology(
@@ -136,5 +166,4 @@ def transfer_to_topology(
         evaluator_config=evaluator_config,
     )
     agent.attach_environment(environment)
-    agent.train(episodes)
-    return agent
+    return train_agent(agent, episodes)

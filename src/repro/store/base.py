@@ -249,6 +249,38 @@ class RunStore(abc.ABC):
         """Every distinct key currently in the store."""
         return [stored.key for stored in self.items()]
 
+    # --- mid-run checkpoints ------------------------------------------------------
+    # A checkpoint is an opaque byte blob (the pickled driver state) stored
+    # *next to* the run's final record: the OptimizationDriver writes one
+    # every K steps under the run's canonical key, resumes from it after a
+    # kill, and the runner deletes it once the completed record is put.
+    # The base implementation keeps checkpoints in process memory (enough
+    # for MemoryStore and same-process interruption workflows); durable
+    # backends override with on-disk storage.
+
+    def _checkpoint_rows(self) -> Dict[str, bytes]:
+        rows = getattr(self, "_checkpoints", None)
+        if rows is None:
+            rows = {}
+            self._checkpoints = rows
+        return rows
+
+    def put_checkpoint(self, key: RunKey, state: bytes) -> None:
+        """Store the mid-run checkpoint blob for ``key`` (latest wins)."""
+        self._checkpoint_rows()[key.key_id()] = bytes(state)
+
+    def get_checkpoint(self, key: RunKey) -> Optional[bytes]:
+        """Return the checkpoint blob stored for ``key``, or ``None``."""
+        return self._checkpoint_rows().get(key.key_id())
+
+    def delete_checkpoint(self, key: RunKey) -> None:
+        """Drop the checkpoint for ``key`` (no-op when absent)."""
+        self._checkpoint_rows().pop(key.key_id(), None)
+
+    def clear_checkpoints(self) -> None:
+        """Drop every stored checkpoint."""
+        self._checkpoint_rows().clear()
+
     def close(self) -> None:
         """Release any resources (file handles, connections); idempotent."""
 

@@ -128,30 +128,36 @@ class CampaignReport:
 
     Attributes:
         total: Number of cells in the grid.
-        executed: Cells actually run this sweep.
+        executed: Cells actually run to completion this sweep.
         skipped: Cells served from the store without re-execution.
+        partial: Cells paused mid-run (their checkpoint is in the store;
+            the next sweep resumes them where they stopped).
         interrupted: ``True`` when ``max_runs`` stopped the sweep early.
-        records: One record per *visited* cell, in sweep order.
+        records: One record per *completed* visited cell, in sweep order.
     """
 
     total: int
     executed: int = 0
     skipped: int = 0
+    partial: int = 0
     interrupted: bool = False
     records: List[RunRecord] = field(default_factory=list)
 
     @property
     def remaining(self) -> int:
-        """Cells the sweep did not reach (0 unless interrupted)."""
+        """Cells the sweep did not finish (0 unless interrupted)."""
         return self.total - self.executed - self.skipped
 
     def summary(self) -> str:
         """Stable one-line form (grep target of the CI resume smoke job)."""
         state = "interrupted" if self.interrupted else "complete"
-        return (
+        text = (
             f"sweep {state}: total={self.total} executed={self.executed} "
             f"skipped={self.skipped} remaining={self.remaining}"
         )
+        if self.partial:
+            text += f" partial={self.partial}"
+        return text
 
 
 class Campaign:
@@ -191,18 +197,42 @@ class Campaign:
         self,
         max_runs: Optional[int] = None,
         progress: Optional[Callable[[RunRequest, str], None]] = None,
+        checkpoint_every: int = 0,
+        max_steps: Optional[int] = None,
     ) -> CampaignReport:
         """Sweep the grid, executing only cells missing from the store.
 
+        A killed sweep resumes at two granularities: cells whose final
+        record reached the store are skipped outright, and — when
+        checkpointing is on — a cell killed *mid-run* resumes from its last
+        driver checkpoint instead of re-simulating from step zero.
+
         Args:
-            max_runs: Stop after this many *executions* (skips are free);
-                used to bound a session or to simulate an interruption.
+            max_runs: Stop after this many completed *executions* (skips are
+                free); used to bound a session or to simulate an interruption.
             progress: Optional ``callback(request, outcome)`` with outcome
-                ``"skipped"`` or ``"executed"``, called per visited cell.
+                ``"skipped"``, ``"executed"`` or ``"interrupted"``, called
+                per visited cell.
+            checkpoint_every: Forwarded to every run's driver — persist the
+                mid-run state every K ask/tell steps (0 disables).
+            max_steps: With ``max_runs``: after the allowed executions, run
+                the *next* pending cell for this many ask/tell steps and
+                pause it mid-run (checkpointed), simulating a kill inside a
+                method rather than between methods.  A single-ask method
+                (e.g. ``random``/``human``) can complete within those steps;
+                such a cell counts as executed — so with ``max_steps`` set,
+                ``executed`` may reach ``max_runs + 1`` and ``partial`` stay
+                0 — because a finished run cannot be un-executed.
         """
         # Lazy import: repro.experiments.runner imports repro.store.
         from repro.experiments.runner import run_method
 
+        if max_steps is not None and max_runs is None:
+            raise ValueError(
+                "max_steps only takes effect together with max_runs (it "
+                "bounds the partial run *after* the allowed executions); "
+                "pass max_runs or drop max_steps"
+            )
         requests = self.requests()
         report = CampaignReport(total=len(requests))
         for request in requests:
@@ -214,23 +244,33 @@ class Campaign:
                 if progress is not None:
                     progress(request, "skipped")
                 continue
-            if max_runs is not None and report.executed >= max_runs:
+            interrupting = max_runs is not None and report.executed >= max_runs
+            record = None
+            if not interrupting or max_steps:
+                record = run_method(
+                    request.method,
+                    request.circuit,
+                    technology=request.technology,
+                    steps=request.steps,
+                    seed=request.seed,
+                    settings=self.settings,
+                    weight_overrides=request.weight_overrides,
+                    apply_spec=request.apply_spec,
+                    evaluator_config=self.evaluator_config,
+                    store=self.store,
+                    checkpoint_every=checkpoint_every or (1 if interrupting else 0),
+                    max_steps=max_steps if interrupting else None,
+                )
+            if record is not None:
+                report.executed += 1
+                report.records.append(record)
+                if progress is not None:
+                    progress(request, "executed")
+            elif interrupting and max_steps:
+                report.partial += 1
+                if progress is not None:
+                    progress(request, "interrupted")
+            if interrupting:
                 report.interrupted = True
                 break
-            record = run_method(
-                request.method,
-                request.circuit,
-                technology=request.technology,
-                steps=request.steps,
-                seed=request.seed,
-                settings=self.settings,
-                weight_overrides=request.weight_overrides,
-                apply_spec=request.apply_spec,
-                evaluator_config=self.evaluator_config,
-                store=self.store,
-            )
-            report.executed += 1
-            report.records.append(record)
-            if progress is not None:
-                progress(request, "executed")
         return report

@@ -24,6 +24,9 @@ if TYPE_CHECKING:  # runtime import is lazy: the runner imports repro.store
 #: File name of the append-only log inside the store directory.
 LOG_NAME = "runs.jsonl"
 
+#: Subdirectory holding one mid-run checkpoint blob per in-flight run.
+CHECKPOINT_DIR = "checkpoints"
+
 
 class JsonlStore(RunStore):
     """Directory-backed append-only store."""
@@ -100,11 +103,48 @@ class JsonlStore(RunStore):
             self._log.close()
         self._log = open(self.path, "w", encoding="utf-8")
         self._closed = False
+        self.clear_checkpoints()
 
     def close(self) -> None:
         if not self._closed:
             self._log.close()
             self._closed = True
+
+    # --- mid-run checkpoints: one blob file per in-flight run -------------------
+    def _checkpoint_path(self, key: RunKey) -> str:
+        return os.path.join(self.directory, CHECKPOINT_DIR, key.key_id() + ".ckpt")
+
+    def put_checkpoint(self, key: RunKey, state: bytes) -> None:
+        """Atomically replace the checkpoint file (write-temp + rename)."""
+        path = self._checkpoint_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(bytes(state))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def get_checkpoint(self, key: RunKey) -> Optional[bytes]:
+        path = self._checkpoint_path(key)
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def delete_checkpoint(self, key: RunKey) -> None:
+        try:
+            os.remove(self._checkpoint_path(key))
+        except FileNotFoundError:
+            pass
+
+    def clear_checkpoints(self) -> None:
+        folder = os.path.join(self.directory, CHECKPOINT_DIR)
+        if not os.path.isdir(folder):
+            return
+        for name in os.listdir(folder):
+            if name.endswith(".ckpt") or name.endswith(".tmp"):
+                os.remove(os.path.join(folder, name))
 
     def describe(self) -> str:
         return f"JsonlStore({self.path}, {len(self)} runs)"

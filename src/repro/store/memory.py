@@ -37,3 +37,4 @@ class MemoryStore(RunStore):
 
     def clear(self) -> None:
         self._rows.clear()
+        self.clear_checkpoints()

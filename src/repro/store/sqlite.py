@@ -36,6 +36,10 @@ CREATE TABLE IF NOT EXISTS runs (
 );
 CREATE INDEX IF NOT EXISTS idx_runs_coords
     ON runs (method, circuit, technology, seed);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    key_id  TEXT PRIMARY KEY,
+    state   BLOB NOT NULL
+);
 """
 
 
@@ -121,6 +125,32 @@ class SqliteStore(RunStore):
 
     def clear(self) -> None:
         self._conn.execute("DELETE FROM runs")
+        self._conn.execute("DELETE FROM checkpoints")
+        self._conn.commit()
+
+    # --- mid-run checkpoints: a blob row per in-flight run ----------------------
+    def put_checkpoint(self, key: RunKey, state: bytes) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO checkpoints (key_id, state) VALUES (?, ?)",
+            (key.key_id(), sqlite3.Binary(bytes(state))),
+        )
+        self._conn.commit()
+
+    def get_checkpoint(self, key: RunKey) -> Optional[bytes]:
+        cursor = self._conn.execute(
+            "SELECT state FROM checkpoints WHERE key_id = ?", (key.key_id(),)
+        )
+        row = cursor.fetchone()
+        return bytes(row[0]) if row is not None else None
+
+    def delete_checkpoint(self, key: RunKey) -> None:
+        self._conn.execute(
+            "DELETE FROM checkpoints WHERE key_id = ?", (key.key_id(),)
+        )
+        self._conn.commit()
+
+    def clear_checkpoints(self) -> None:
+        self._conn.execute("DELETE FROM checkpoints")
         self._conn.commit()
 
     def close(self) -> None:

@@ -47,8 +47,18 @@ def quadratic_env():
 
 
 class TestRegistry:
-    def test_all_paper_baselines_registered(self):
-        assert set(list_optimizers()) == {"random", "es", "bo", "mace"}
+    def test_all_paper_methods_registered(self):
+        # One registry for every paper method: black-box baselines, the
+        # human expert and both RL flavours.
+        assert set(list_optimizers()) == {
+            "random",
+            "es",
+            "bo",
+            "mace",
+            "human",
+            "gcn_rl",
+            "ng_rl",
+        }
 
     def test_get_optimizer_unknown_raises(self, quadratic_env):
         with pytest.raises(KeyError):

@@ -203,6 +203,50 @@ class TestStoreConformance:
             assert "1" in st.describe()
 
 
+class TestCheckpointConformance:
+    """Every backend speaks the same mid-run checkpoint contract."""
+
+    def test_put_get_delete_round_trip(self, store):
+        key = sample_key()
+        assert store.get_checkpoint(key) is None
+        store.put_checkpoint(key, b"state-1")
+        assert store.get_checkpoint(key) == b"state-1"
+        # Latest wins on re-put.
+        store.put_checkpoint(key, b"state-2")
+        assert store.get_checkpoint(key) == b"state-2"
+        store.delete_checkpoint(key)
+        assert store.get_checkpoint(key) is None
+        # Deleting an absent checkpoint is a no-op.
+        store.delete_checkpoint(key)
+
+    def test_checkpoints_keyed_by_run_identity(self, store):
+        store.put_checkpoint(sample_key(seed=0), b"zero")
+        store.put_checkpoint(sample_key(seed=1), b"one")
+        assert store.get_checkpoint(sample_key(seed=0)) == b"zero"
+        assert store.get_checkpoint(sample_key(seed=1)) == b"one"
+
+    def test_checkpoint_independent_of_final_record(self, store):
+        key = sample_key()
+        store.put_checkpoint(key, b"mid-run")
+        store.put(key, sample_record())
+        # Records and checkpoints are separate channels under one key.
+        assert store.get(key) is not None
+        assert store.get_checkpoint(key) == b"mid-run"
+
+    def test_clear_drops_checkpoints(self, store):
+        store.put_checkpoint(sample_key(), b"blob")
+        store.clear()
+        assert store.get_checkpoint(sample_key()) is None
+
+    @pytest.mark.parametrize("backend", PERSISTENT_BACKENDS)
+    def test_checkpoints_survive_reopen(self, backend, tmp_path):
+        key = sample_key()
+        with open_run_store(backend, tmp_path / "store") as store:
+            store.put_checkpoint(key, b"durable")
+        with open_run_store(backend, tmp_path / "store") as store:
+            assert store.get_checkpoint(key) == b"durable"
+
+
 class TestPersistence:
     @pytest.mark.parametrize("backend", PERSISTENT_BACKENDS)
     def test_reopen_sees_data(self, backend, tmp_path):
@@ -329,11 +373,11 @@ class TestRunnerStoreIntegration:
             environment.evaluator.close = close
             return environment
 
-        def raising_optimizer(*args, **kwargs):
+        def raising_strategy(*args, **kwargs):
             raise RuntimeError("optimizer exploded")
 
         monkeypatch.setattr(runner_module, "build_environment", tracking_build)
-        monkeypatch.setattr(runner_module, "get_optimizer", raising_optimizer)
+        monkeypatch.setattr(runner_module, "build_strategy", raising_strategy)
         with pytest.raises(RuntimeError, match="optimizer exploded"):
             run_method("random", "two_tia", steps=2, seed=0, use_cache=False)
         assert closed == [True]
@@ -441,6 +485,54 @@ class TestCampaign:
             assert ours.best_reward == theirs.best_reward
             assert ours.rewards == theirs.rewards
             assert ours.method == theirs.method and ours.seed == theirs.seed
+
+    def test_mid_method_kill_resumes_bit_identical(self, tmp_path):
+        # Kill *inside* a method (not between methods): after max_runs
+        # completed cells the next cell runs max_steps ask/tell steps and
+        # pauses with a checkpoint; the next sweep resumes it mid-run.
+        spec = tiny_spec(methods=["human", "random", "es"], seeds=1, steps=20)
+
+        with open_run_store("jsonl", tmp_path / "ref") as ref_store:
+            reference = Campaign(spec, ref_store).run()
+
+        with open_run_store("jsonl", tmp_path / "resume") as store:
+            outcomes = []
+            partial = Campaign(spec, store).run(
+                max_runs=2,
+                max_steps=1,
+                checkpoint_every=1,
+                progress=lambda request, outcome: outcomes.append(
+                    (request.method, outcome)
+                ),
+            )
+            assert partial.interrupted and partial.partial == 1
+            assert partial.executed == 2
+            assert outcomes[-1] == ("es", "interrupted")
+            assert "partial=1" in partial.summary()
+            # The es cell has no final record yet, but a checkpoint exists.
+            es_key = spec.expand()[-1].key()
+            assert store.get(es_key) is None
+            assert store.get_checkpoint(es_key) is not None
+
+        with open_run_store("jsonl", tmp_path / "resume") as store:
+            resumed = Campaign(spec, store).run()
+            assert resumed.executed == 1 and resumed.skipped == 2
+            # The completed record superseded the mid-run checkpoint.
+            assert store.get_checkpoint(spec.expand()[-1].key()) is None
+
+        with open_run_store("jsonl", tmp_path / "resume") as store:
+            final = Campaign(spec, store).run()
+        assert final.executed == 0 and final.skipped == 3
+        for ours, theirs in zip(final.records, reference.records):
+            assert ours.method == theirs.method
+            assert ours.rewards == theirs.rewards
+            assert ours.best_reward == theirs.best_reward
+            assert ours.step_evaluations == theirs.step_evaluations
+
+    def test_max_steps_requires_max_runs(self, tmp_path):
+        with open_run_store("jsonl", tmp_path / "store") as store:
+            with pytest.raises(ValueError, match="max_runs"):
+                Campaign(tiny_spec(), store).run(max_steps=1)
 
     def test_fully_stored_transfer_skips_pretraining(self, tmp_path, monkeypatch):
         from repro.experiments import clear_transfer_cache, transfer
