@@ -95,5 +95,8 @@ def record_backend(
     )
     if rl_loop and rl_batched:
         report["rl_update_speedup_over_loop"] = round(rl_batched / rl_loop, 2)
+    coalescing = report["backends"].get("service", {}).get("coalescing_factor")
+    if coalescing:
+        report["service_coalescing_factor"] = round(float(coalescing), 2)
     path.write_text(json.dumps(report, indent=2) + "\n")
     return path

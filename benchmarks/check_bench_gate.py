@@ -8,7 +8,10 @@ fails (exit code 1) when any of:
   acceptance margin (``--min-speedup``, default 3x on the 32-design Two-TIA
   batch),
 * the batched RL critic update does not beat the per-sample update loop by
-  ``--min-rl-speedup`` (default 3x designs-trained/sec at batch size 48), or
+  ``--min-rl-speedup`` (default 3x designs-trained/sec at batch size 48),
+* the optimization service's cross-client batch coalescing averages fewer
+  than ``--min-coalescing`` designs per issued simulator batch (default 2x
+  under 8 concurrent clients), or
 * vectorized / batched-RL throughput regressed below
   ``--regression-factor`` times the committed baseline
   (``benchmarks/BENCH_evaluator.json``).  The factor is deliberately
@@ -43,6 +46,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--min-rl-speedup", type=float, default=3.0)
+    parser.add_argument("--min-coalescing", type=float, default=2.0)
     parser.add_argument("--regression-factor", type=float, default=0.5)
     args = parser.parse_args(argv)
 
@@ -94,6 +98,26 @@ def main(argv=None) -> int:
                 f"batched RL update speedup {rl_speedup:.2f}x is below the "
                 f"acceptance margin of {args.min_rl_speedup:.1f}x over the "
                 "per-sample loop"
+            )
+
+    service = backends.get("service", {})
+    coalescing = service.get("coalescing_factor")
+    if not coalescing:
+        failures.append(
+            "report is missing the service coalescing entry "
+            f"(backends present: {sorted(backends)})"
+        )
+    else:
+        print(
+            f"service coalescing={coalescing:.2f}x designs/batch over "
+            f"{service.get('clients', '?')} clients "
+            f"(required: {args.min_coalescing:.1f}x)"
+        )
+        if coalescing < args.min_coalescing:
+            failures.append(
+                f"service coalescing factor {coalescing:.2f}x is below the "
+                f"acceptance margin of {args.min_coalescing:.1f}x designs "
+                "per simulator batch"
             )
 
     for backend_name, measured in (

@@ -1,0 +1,96 @@
+"""Micro-benchmark: cross-client batch coalescing in the optimization service.
+
+Fans N concurrent clients out against an in-process :class:`ServerThread`
+and measures how many simulator batches their evaluate traffic collapses
+into.  The acceptance bar is a mean coalescing factor >= 2 designs per
+issued batch (strictly fewer batches than requests); the result is recorded
+as the ``service`` backend in ``BENCH_evaluator.json`` and the hard gate is
+enforced by ``check_bench_gate.py --min-coalescing`` in CI.
+
+Raise ``REPRO_BENCH_SERVICE_CLIENTS`` / ``REPRO_BENCH_SERVICE_DESIGNS`` to
+stress more concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.service import ServerThread, ServiceClient, ServiceConfig
+
+from bench_report import record_backend
+from conftest import _bench_int
+
+#: Timing-sensitive: runs in the dedicated CI throughput job (by filename),
+#: not in every tier-1 matrix cell, so a loaded runner cannot flake tier-1.
+pytestmark = pytest.mark.slow
+
+NUM_CLIENTS = _bench_int("REPRO_BENCH_SERVICE_CLIENTS", 8)
+DESIGNS_PER_CLIENT = _bench_int("REPRO_BENCH_SERVICE_DESIGNS", 4)
+#: In-test sanity bar (the CI gate enforces the real >= 2x acceptance margin).
+MIN_FACTOR_IN_TEST = 1.5
+
+
+def test_service_coalescing_factor(capsys):
+    circuit = get_circuit("two_tia")
+    rng = np.random.default_rng(17)
+    chunks = [
+        [circuit.random_sizing(rng) for _ in range(DESIGNS_PER_CLIENT)]
+        for _ in range(NUM_CLIENTS)
+    ]
+    total_designs = NUM_CLIENTS * DESIGNS_PER_CLIENT
+
+    # A generous linger window: the benchmark measures the funnel's best
+    # case (all clients arrive inside one window), which is also the regime
+    # a saturated server converges to.
+    with ServerThread(ServiceConfig(port=0, linger_ms=200.0)) as server:
+        barrier = threading.Barrier(NUM_CLIENTS)
+        errors = []
+
+        def worker(index: int):
+            try:
+                with ServiceClient(port=server.port) as client:
+                    barrier.wait(timeout=60)
+                    client.evaluate("two_tia", chunks[index])
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(NUM_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        elapsed = time.perf_counter() - start
+        assert not errors, errors
+
+        with ServiceClient(port=server.port) as client:
+            stats = client.stats()["coalescer"]
+
+    factor = stats["coalescing_factor"]
+    rate = total_designs / max(elapsed, 1e-9)
+    record_backend(
+        "service",
+        rate,
+        total_designs,
+        extra={
+            "coalescing_factor": factor,
+            "clients": NUM_CLIENTS,
+            "requests": stats["requests"],
+            "batches_issued": stats["batches_issued"],
+        },
+    )
+    with capsys.disabled():
+        print(
+            f"\n[service-coalescing] clients={NUM_CLIENTS} "
+            f"designs={total_designs} batches={stats['batches_issued']} "
+            f"factor={factor:.2f}x rate={rate:.1f}/s"
+        )
+    assert stats["batches_issued"] < stats["requests"]
+    assert factor > MIN_FACTOR_IN_TEST

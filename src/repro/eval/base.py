@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.base import CircuitDesign
 from repro.circuits.parameters import Sizing
@@ -108,6 +108,18 @@ class Evaluator(abc.ABC):
     def evaluate(self, sizing: Sizing) -> EvalResult:
         """Evaluate a single sizing (batch of one)."""
         return self.evaluate_batch([sizing])[0]
+
+    def peek(self, sizing: Sizing) -> Optional[Dict[str, float]]:
+        """Already-known metrics for ``sizing``, or ``None`` (never simulates).
+
+        The hook batch schedulers (the service's cross-client coalescer) use
+        to serve stored results without entering a simulator batch.  Plain
+        evaluators know nothing, so the default is ``None``;
+        :class:`~repro.eval.caching.CachingEvaluator` overrides it with a
+        non-mutating cache lookup keyed exactly like ``evaluate_batch``'s
+        dedup, so a peek hit can never diverge from a real evaluation.
+        """
+        return None
 
     def close(self) -> None:
         """Release any resources (worker pools); safe to call repeatedly."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.parameters import Sizing
 from repro.eval.base import EvalResult, Evaluator
@@ -67,6 +67,19 @@ class CachingEvaluator(Evaluator):
     def clear(self) -> None:
         """Drop every cached result (statistics are kept)."""
         self._cache.clear()
+
+    def peek(self, sizing: Sizing) -> Optional[Dict[str, float]]:
+        """Cached metrics for ``sizing`` without touching stats or LRU order.
+
+        Keys exactly like :meth:`evaluate_batch`, so a hit is guaranteed to
+        equal what a real evaluation would return; the returned dict is a
+        copy, so callers can never mutate the cache.  Wrapped evaluators are
+        consulted too (a deeper cache may know the design).
+        """
+        metrics = self._cache.get(sizing_cache_key(sizing, self.key_digits))
+        if metrics is not None:
+            return dict(metrics)
+        return self.inner.peek(sizing)
 
     def _store(self, key: CacheKey, metrics: Dict[str, float]) -> None:
         self._cache[key] = dict(metrics)

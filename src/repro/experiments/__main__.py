@@ -8,6 +8,9 @@ incremental across invocations and enables campaign-style workflows:
   skipping cells already in the store (kill-and-resume safe).
 * ``ls`` — list the runs currently in the store (with coordinate filters).
 * ``export`` — dump stored runs as JSON for downstream analysis.
+* ``serve`` — start the long-lived optimization service (cross-client batch
+  coalescing, supervised runs, lossless restart; see :mod:`repro.service`).
+* ``client`` — one-shot requests against a running server.
 
 Examples:
     python -m repro.experiments table1 --steps 100 --seeds 2
@@ -15,6 +18,9 @@ Examples:
     python -m repro.experiments sweep --store-dir runs --store-backend jsonl
     python -m repro.experiments ls --store-dir runs --method gcn_rl
     python -m repro.experiments export --store-dir runs --output runs.json
+    python -m repro.experiments serve --store-dir runs --port 8711
+    python -m repro.experiments client --request run --method es --circuit two_tia
+    python -m repro.experiments client --request evaluate --circuit two_tia --random 8
     python -m repro.experiments all
 """
 
@@ -43,6 +49,7 @@ from repro.store import Campaign, CampaignSpec, RunStore, STORE_BACKENDS
 
 TARGETS = ["table1", "table2", "table3", "table4", "table5", "figure5", "figure7", "figure8"]
 STORE_COMMANDS = ["sweep", "ls", "export"]
+SERVICE_COMMANDS = ["serve", "client"]
 
 
 def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
@@ -81,9 +88,11 @@ def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
         settings.store_backend = args.store_backend
     # A store directory (flag or REPRO_STORE_DIR) without an explicitly
     # chosen backend implies durable storage — a memory store would ignore
-    # the directory and silently discard every result on exit.
+    # the directory and silently discard every result on exit.  The server
+    # defaults to sqlite instead: its WAL mode lets run workers and external
+    # CLI readers share one store without "database is locked" errors.
     if settings.store_dir and not args.store_backend and settings.store_backend == "memory":
-        settings.store_backend = "jsonl"
+        settings.store_backend = "sqlite" if args.target == "serve" else "jsonl"
     # Fail fast on inconsistent combinations before any run starts.
     if args.max_steps is not None and args.max_runs is None:
         raise ValueError(
@@ -133,10 +142,134 @@ def _sweep(settings: ExperimentSettings, store: Optional[RunStore], args) -> Non
     report = campaign.run(
         max_runs=args.max_runs,
         progress=progress,
-        checkpoint_every=args.checkpoint_every,
+        checkpoint_every=10 if args.checkpoint_every is None else args.checkpoint_every,
         max_steps=args.max_steps,
     )
     print(report.summary())
+
+
+def _service_config(settings: ExperimentSettings, args):
+    """Build the server configuration from settings + serve flags."""
+    from repro.service import ServiceConfig
+    from repro.service.config import DEFAULT_CACHE_SIZE
+
+    kwargs = {}
+    if args.host:
+        kwargs["host"] = args.host
+    if args.port is not None:
+        kwargs["port"] = args.port
+    if args.checkpoint_every is not None:
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    if args.linger_ms is not None:
+        kwargs["linger_ms"] = args.linger_ms
+    # The coalescer's dedup substrate is the design cache, so serving with
+    # the batch default of 0 would silently disable stored-result dedup.
+    cache = settings.eval_cache_size or DEFAULT_CACHE_SIZE
+    return ServiceConfig(
+        store_backend=settings.store_backend,
+        store_dir=settings.store_dir,
+        eval_backend=settings.eval_backend,
+        eval_workers=settings.eval_workers,
+        cache_size=cache,
+        **kwargs,
+    )
+
+
+def _serve(settings: ExperimentSettings, args) -> None:
+    from repro.service import run_service
+
+    config = _service_config(settings, args)
+    if config.store_backend == "memory":
+        print(
+            "warning: serving from an in-memory store — run results and "
+            "restart recovery will not survive this process "
+            "(use --store-dir for lossless restart)"
+        )
+    run_service(config)
+
+
+def _load_client_sizings(args) -> list:
+    """Sizings for a one-shot evaluate: inline JSON, @file, or random."""
+    if args.sizings:
+        text = args.sizings
+        if text.startswith("@"):
+            with open(text[1:], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        sizings = json.loads(text)
+        if isinstance(sizings, dict):
+            sizings = [sizings]
+        return sizings
+    import numpy as np
+
+    from repro.circuits.library import get_circuit
+
+    circuit = get_circuit(args.circuit, args.technology or "180nm")
+    rng = np.random.default_rng(args.seed or 0)
+    return [circuit.random_sizing(rng) for _ in range(args.random)]
+
+
+def _client(settings: ExperimentSettings, args) -> None:
+    from repro.service import DEFAULT_PORT, ServiceClient
+
+    host = args.host or "127.0.0.1"
+    port = args.port if args.port is not None else DEFAULT_PORT
+    request = args.request
+    with ServiceClient(host=host, port=port) as client:
+        if request == "health":
+            payload = client.health()
+        elif request == "stats":
+            payload = client.stats()
+        elif request == "jobs":
+            payload = {"jobs": client.jobs()}
+        elif request == "result":
+            if not args.job_id:
+                raise SystemExit("--request result needs --job-id")
+            payload = client.result(args.job_id, wait=not args.no_wait)
+        elif request == "evaluate":
+            if not args.circuit and not args.sizings:
+                raise SystemExit(
+                    "--request evaluate needs --circuit (and --random N or --sizings)"
+                )
+            results = client.evaluate(
+                args.circuit,
+                _load_client_sizings(args),
+                technology=args.technology or "180nm",
+            )
+            payload = {"results": results}
+        else:  # run
+            if not args.method or not args.circuit:
+                raise SystemExit("--request run needs --method and --circuit")
+            known = set(list_optimizers())
+            if args.method not in known:
+                raise SystemExit(unknown_method_message(args.method))
+            if args.no_wait:
+                job_id = client.submit_run(
+                    args.method,
+                    args.circuit,
+                    technology=args.technology or "180nm",
+                    steps=args.steps or 80,
+                    seed=args.seed or 0,
+                    checkpoint_every=args.checkpoint_every,
+                )
+                payload = {"job_id": job_id}
+            else:
+                def progress(frame):
+                    print(
+                        f"  step {frame['step']:>4d}  "
+                        f"evaluated {frame['evaluated']}/{frame['budget']}  "
+                        f"best {frame['best_reward']:.4f}"
+                    )
+
+                payload = client.run(
+                    args.method,
+                    args.circuit,
+                    technology=args.technology or "180nm",
+                    steps=args.steps or 80,
+                    seed=args.seed or 0,
+                    checkpoint_every=args.checkpoint_every,
+                    on_progress=progress,
+                )
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _ls(store: Optional[RunStore], args) -> None:
@@ -181,8 +314,11 @@ def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "target",
-        choices=TARGETS + ["all"] + STORE_COMMANDS,
-        help="what to regenerate (or a store command: sweep / ls / export)",
+        choices=TARGETS + ["all"] + STORE_COMMANDS + SERVICE_COMMANDS,
+        help=(
+            "what to regenerate, a store command (sweep / ls / export), or a "
+            "service command (serve / client)"
+        ),
     )
     parser.add_argument("--steps", type=int, default=None, help="search budget per run")
     parser.add_argument("--seeds", type=int, default=None, help="runs per configuration")
@@ -239,10 +375,12 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--checkpoint-every",
         type=int,
-        default=10,
+        default=None,
         help=(
             "persist each run's mid-run driver state to the store every K "
-            "ask/tell steps, so a killed sweep resumes mid-method (0 disables)"
+            "ask/tell steps, so a killed sweep/server resumes mid-method "
+            "(0 disables; default: 10 for sweep, REPRO_SERVE_CHECKPOINT_EVERY "
+            "or 1 for serve)"
         ),
     )
     parser.add_argument(
@@ -269,11 +407,69 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--output", default=None, help="output file for export (default: stdout)"
     )
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="serve/client: server address (default: REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve/client: server port (default: REPRO_SERVE_PORT or 8711)",
+    )
+    parser.add_argument(
+        "--linger-ms",
+        type=float,
+        default=None,
+        help=(
+            "serve: coalescing window in ms — how long an evaluate request "
+            "waits for same-circuit company before a simulator batch is issued"
+        ),
+    )
+    parser.add_argument(
+        "--request",
+        choices=["health", "stats", "jobs", "evaluate", "run", "result"],
+        default="health",
+        help="client: which request to send",
+    )
+    parser.add_argument(
+        "--sizings",
+        default=None,
+        help=(
+            "client evaluate: sizings as inline JSON (a list of "
+            "component->parameter->value objects) or @file"
+        ),
+    )
+    parser.add_argument(
+        "--random",
+        type=int,
+        default=4,
+        help="client evaluate: generate this many random sizings (with --seed)",
+    )
+    parser.add_argument(
+        "--job-id", default=None, help="client result: the job to fetch"
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help=(
+            "client: don't block — submit runs fire-and-forget (returns the "
+            "job id) and fetch results without waiting"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         settings = _build_settings(args)
     except ValueError as error:
         parser.error(str(error))
+
+    if args.target in SERVICE_COMMANDS:
+        if args.target == "serve":
+            _serve(settings, args)
+        else:
+            _client(settings, args)
+        return 0
 
     store = _open_store(settings)
     try:

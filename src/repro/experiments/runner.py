@@ -21,14 +21,14 @@ resumes from its last checkpoint instead of restarting.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.circuits.library import get_circuit
 from repro.env.environment import SizingEnvironment
 from repro.env.fom import default_fom_config
 from repro.eval import EvaluatorConfig
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.driver import OptimizationDriver
+from repro.experiments.driver import OptimizationDriver, StepCallback
 from repro.experiments.records import RunRecord
 from repro.optim.registry import get_strategy, list_optimizers
 from repro.optim.strategy import Strategy
@@ -164,6 +164,7 @@ def run_method(
     store: Optional[RunStore] = None,
     checkpoint_every: int = 0,
     max_steps: Optional[int] = None,
+    callbacks: Sequence[StepCallback] = (),
 ) -> Optional[RunRecord]:
     """Run one sizing method and return its :class:`RunRecord`.
 
@@ -191,6 +192,11 @@ def run_method(
         max_steps: Pause the run after this many ask/tell steps, writing a
             final checkpoint, and return ``None`` (the record is incomplete).
             Re-running the same request later resumes from the checkpoint.
+        callbacks: Per-step driver callbacks (progress streaming, telemetry,
+            early stop); forwarded verbatim to the
+            :class:`~repro.experiments.driver.OptimizationDriver`.  Note a
+            run served straight from the store never steps, so callbacks
+            only fire on actual execution.
 
     Returns:
         The completed :class:`RunRecord`, or ``None`` when ``max_steps``
@@ -233,6 +239,7 @@ def run_method(
             store=target_store,
             run_key=key,
             checkpoint_every=checkpoint_every,
+            callbacks=callbacks,
             resume=use_cache,
         )
         result = driver.run(max_steps=max_steps)

@@ -1,0 +1,196 @@
+"""Synchronous client for the optimization service (stdlib sockets only).
+
+One :class:`ServiceClient` holds one NDJSON connection.  Calls are blocking
+and return plain Python data (metric dicts, run records), so driving a
+remote server feels like calling :func:`~repro.experiments.runner.run_method`
+in-process — which is exactly the point of optimization-as-a-service: N
+processes/machines share one simulator funnel, one design cache and one run
+store instead of each importing the library.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.circuits.parameters import Sizing
+from repro.service.config import DEFAULT_PORT
+from repro.service.protocol import (
+    decode_frame,
+    encode_frame,
+    evaluate_request,
+    run_request,
+)
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an ``error`` frame (or closed unexpectedly)."""
+
+
+class ServiceClient:
+    """Blocking NDJSON client for one :class:`~repro.service.OptimizationService`.
+
+    Args:
+        host: Server address.
+        port: Server port.
+        timeout: Per-response socket timeout in seconds (``None`` waits
+            forever — long optimization runs stream for minutes).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 300.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # --- plumbing -----------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        self._connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send(self, frame: Dict[str, Any]) -> None:
+        self._connect()
+        self._file.write(encode_frame(frame))
+        self._file.flush()
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            self.close()
+            raise ServiceError("server closed the connection")
+        frame = decode_frame(line)
+        if frame.get("type") == "error":
+            raise ServiceError(frame.get("error", "unknown server error"))
+        return frame
+
+    def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        self._next_id += 1
+        frame["id"] = self._next_id
+        self._send(frame)
+        return self._recv()
+
+    # --- evaluate -----------------------------------------------------------------
+    def evaluate(
+        self, circuit: str, sizings: List[Sizing], technology: str = "180nm"
+    ) -> List[Dict[str, Any]]:
+        """Evaluate a batch of physical sizings through the server's coalescer.
+
+        Returns one ``{"sizing", "metrics", "cached"}`` dict per input, in
+        input order — the metric values are exactly what a direct local
+        evaluation would produce (the wire codec round-trips floats).
+        """
+        response = self._request(evaluate_request(circuit, technology, sizings))
+        return response["results"]
+
+    # --- runs ---------------------------------------------------------------------
+    def run(
+        self,
+        method: str,
+        circuit: str,
+        technology: str = "180nm",
+        steps: int = 80,
+        seed: int = 0,
+        checkpoint_every: Optional[int] = None,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Run a full optimization, streaming progress, and return its record."""
+        self._next_id += 1
+        self._send(
+            run_request(
+                method,
+                circuit,
+                technology=technology,
+                steps=steps,
+                seed=seed,
+                checkpoint_every=checkpoint_every,
+                stream=True,
+                request_id=self._next_id,
+            )
+        )
+        accepted = self._recv()
+        if accepted.get("type") != "accepted":
+            raise ServiceError(f"expected an 'accepted' frame, got {accepted}")
+        while True:
+            frame = self._recv()
+            if frame["type"] == "progress":
+                if on_progress is not None:
+                    on_progress(frame)
+            elif frame["type"] == "result":
+                return frame["record"]
+            else:
+                raise ServiceError(f"unexpected frame {frame.get('type')!r}")
+
+    def submit_run(
+        self,
+        method: str,
+        circuit: str,
+        technology: str = "180nm",
+        steps: int = 80,
+        seed: int = 0,
+        checkpoint_every: Optional[int] = None,
+    ) -> str:
+        """Fire-and-forget run submission; returns the job id to poll later."""
+        response = self._request(
+            run_request(
+                method,
+                circuit,
+                technology=technology,
+                steps=steps,
+                seed=seed,
+                checkpoint_every=checkpoint_every,
+                stream=False,
+            )
+        )
+        if response.get("type") != "accepted":
+            raise ServiceError(f"expected an 'accepted' frame, got {response}")
+        return response["job_id"]
+
+    def result(self, job_id: str, wait: bool = True) -> Dict[str, Any]:
+        """A submitted job's terminal payload (``{"status", "record"/"error"}``)."""
+        return self._request({"type": "result", "job_id": job_id, "wait": wait})
+
+    # --- observability ------------------------------------------------------------
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Summary of every job the server knows about."""
+        return self._request({"type": "jobs"})["jobs"]
+
+    def health(self) -> Dict[str, Any]:
+        """The server's health snapshot (uptime, job counts)."""
+        return self._request({"type": "health"})
+
+    def stats(self) -> Dict[str, Any]:
+        """Coalescer/evaluator/job statistics (the coalescing factor lives here)."""
+        return self._request({"type": "stats"})

@@ -1,0 +1,257 @@
+"""Cross-client batch coalescing: many evaluate requests, few simulator calls.
+
+The server's evaluate path is a micro-batching funnel.  Submissions are
+bucketed by (circuit, technology) — the same keying a
+:class:`~repro.spice.batch.BatchTemplate` would use — and each bucket runs a
+tiny linger window: the first pending design arms a flush task that sleeps
+``linger_ms`` and then evaluates *everything* that queued up in the meantime
+as one :meth:`~repro.eval.Evaluator.evaluate_batch` call.  Concurrent
+clients therefore share simulator batches (amortizing the stacked-MNA
+speedup across connections), and while a batch is in flight the next one
+accumulates, so a busy server naturally converges to
+"one batch per simulator latency" regardless of client count.
+
+Two dedup layers guarantee no design is ever simulated twice:
+
+* **in-flight dedup** — submissions are keyed by the evaluator's own
+  :func:`~repro.eval.sizing_cache_key`; a design already queued or already
+  being simulated attaches to the existing future instead of re-entering
+  the batch (the coalescer-visible in-flight key hook).
+* **stored-result dedup** — each bucket's evaluator is wrapped in a
+  :class:`~repro.eval.CachingEvaluator`; :meth:`Evaluator.peek` serves
+  already-simulated designs immediately, without even waiting for the
+  linger window.
+
+All bookkeeping runs on the event loop (single-threaded); only
+``evaluate_batch`` itself is pushed to a worker thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.circuits.library import get_circuit
+from repro.circuits.parameters import Sizing
+from repro.eval import EvaluatorConfig, sizing_cache_key
+from repro.eval.base import Evaluator
+
+
+class EvaluationError(RuntimeError):
+    """A coalesced simulator batch failed; carried back to every waiter."""
+
+
+@dataclass
+class CoalescerStats:
+    """Counters describing how well cross-client batching is working.
+
+    Attributes:
+        requests: Evaluate requests served.
+        designs_submitted: Designs across all requests (incl. duplicates).
+        designs_flushed: Designs that entered a simulator batch (post-dedup).
+        batches_issued: ``evaluate_batch`` calls actually made.
+        inflight_hits: Designs that attached to an already-queued/running
+            future instead of re-entering a batch.
+        peek_hits: Designs served instantly from a bucket's result cache.
+    """
+
+    requests: int = 0
+    designs_submitted: int = 0
+    designs_flushed: int = 0
+    batches_issued: int = 0
+    inflight_hits: int = 0
+    peek_hits: int = 0
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Mean designs per simulator batch (1.0 = no coalescing benefit)."""
+        if self.batches_issued == 0:
+            return 0.0
+        return self.designs_flushed / self.batches_issued
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "designs_submitted": self.designs_submitted,
+            "designs_flushed": self.designs_flushed,
+            "batches_issued": self.batches_issued,
+            "inflight_hits": self.inflight_hits,
+            "peek_hits": self.peek_hits,
+            "coalescing_factor": round(self.coalescing_factor, 4),
+        }
+
+
+class _Bucket:
+    """Per-(circuit, technology) coalescing state."""
+
+    def __init__(self, evaluator: Evaluator):
+        self.evaluator = evaluator
+        #: Deduped designs awaiting the next batch: (key, sizing, future).
+        self.pending: List[Tuple[tuple, Sizing, asyncio.Future]] = []
+        #: Every queued-or-simulating design, keyed like the result cache.
+        self.inflight: Dict[tuple, asyncio.Future] = {}
+        self.flusher: Optional[asyncio.Task] = None
+
+
+class BatchCoalescer:
+    """Merges concurrent evaluate submissions into shared simulator batches.
+
+    Args:
+        evaluator_config: Stack each bucket's evaluator is built with; a
+            positive ``cache_size`` enables stored-result dedup.
+        linger_s: Seconds a freshly-armed flush waits for more submissions.
+        max_batch: Designs per issued evaluator batch (larger pending sets
+            drain over several back-to-back batches).
+    """
+
+    def __init__(
+        self,
+        evaluator_config: Optional[EvaluatorConfig] = None,
+        linger_s: float = 0.01,
+        max_batch: int = 64,
+    ):
+        self.evaluator_config = evaluator_config or EvaluatorConfig(cache_size=4096)
+        self.linger_s = float(linger_s)
+        self.max_batch = int(max_batch)
+        self.stats = CoalescerStats()
+        self._buckets: Dict[Tuple[str, str], _Bucket] = {}
+        self._closed = False
+
+    # --- bucket management --------------------------------------------------------
+    def _bucket_for(self, circuit_name: str, technology: str) -> _Bucket:
+        key = (circuit_name.lower(), technology)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            circuit = get_circuit(circuit_name, technology)
+            bucket = _Bucket(self.evaluator_config.build(circuit))
+            self._buckets[key] = bucket
+        return bucket
+
+    def evaluator_stats(self) -> Dict[str, float]:
+        """Merged counters of every bucket's evaluator stack."""
+        totals: Dict[str, float] = {}
+        for bucket in self._buckets.values():
+            for name, value in bucket.evaluator.stats.to_dict().items():
+                if name == "hit_rate":
+                    continue
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    # --- submission ---------------------------------------------------------------
+    async def submit(
+        self, circuit_name: str, technology: str, sizings: List[Sizing]
+    ) -> List[Dict[str, Any]]:
+        """Evaluate ``sizings`` through the coalescing funnel.
+
+        Returns one ``{"sizing", "metrics", "cached"}`` dict per input, in
+        input order.  ``cached`` is true when the design was served without
+        a fresh simulation (result cache, or shared with another waiter).
+        """
+        if self._closed:
+            raise EvaluationError("coalescer is closed")
+        loop = asyncio.get_running_loop()
+        bucket = self._bucket_for(circuit_name, technology)
+        self.stats.requests += 1
+        self.stats.designs_submitted += len(sizings)
+
+        waiters: List[Tuple[Sizing, asyncio.Future, bool]] = []
+        for sizing in sizings:
+            key = sizing_cache_key(sizing)
+            future = bucket.inflight.get(key)
+            if future is not None:
+                self.stats.inflight_hits += 1
+                waiters.append((sizing, future, True))
+                continue
+            cached_metrics = bucket.evaluator.peek(sizing)
+            if cached_metrics is not None:
+                self.stats.peek_hits += 1
+                future = loop.create_future()
+                future.set_result({"metrics": cached_metrics, "cached": True})
+                waiters.append((sizing, future, True))
+                continue
+            future = loop.create_future()
+            bucket.inflight[key] = future
+            bucket.pending.append((key, sizing, future))
+            waiters.append((sizing, future, False))
+
+        if bucket.pending and bucket.flusher is None:
+            bucket.flusher = asyncio.create_task(self._flush_loop(bucket))
+
+        results = []
+        for sizing, future, shared in waiters:
+            payload = await future
+            results.append(
+                {
+                    "sizing": sizing,
+                    "metrics": dict(payload["metrics"]),
+                    "cached": bool(payload["cached"]) or shared,
+                }
+            )
+        return results
+
+    # --- flushing -----------------------------------------------------------------
+    async def _flush_loop(self, bucket: _Bucket) -> None:
+        """Drain a bucket: linger, then evaluate everything that queued up.
+
+        Runs until the bucket is empty, then disarms.  Submissions arriving
+        while a batch is simulating land in ``pending`` and form the next
+        batch — the loop body is the only place futures are resolved, and
+        it never awaits between draining ``pending`` and resolving them.
+        """
+        try:
+            while bucket.pending:
+                if self.linger_s > 0:
+                    await asyncio.sleep(self.linger_s)
+                batch = bucket.pending[: self.max_batch]
+                del bucket.pending[: self.max_batch]
+                sizings = [sizing for _, sizing, _ in batch]
+                try:
+                    eval_results = await asyncio.to_thread(
+                        bucket.evaluator.evaluate_batch, sizings
+                    )
+                except Exception as error:  # simulator failure: fail the batch
+                    for key, _, future in batch:
+                        bucket.inflight.pop(key, None)
+                        if not future.done():
+                            future.set_exception(
+                                EvaluationError(f"evaluation failed: {error}")
+                            )
+                    continue
+                self.stats.batches_issued += 1
+                self.stats.designs_flushed += len(batch)
+                for (key, _, future), result in zip(batch, eval_results):
+                    bucket.inflight.pop(key, None)
+                    if not future.done():
+                        future.set_result(
+                            {
+                                "metrics": dict(result.metrics),
+                                "cached": bool(result.cached),
+                            }
+                        )
+        finally:
+            bucket.flusher = None
+
+    # --- lifecycle ----------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Stats payload for the ``stats`` endpoint."""
+        return {
+            "coalescer": self.stats.to_dict(),
+            "evaluator": self.evaluator_stats(),
+            "buckets": sorted(
+                f"{circuit}/{technology}" for circuit, technology in self._buckets
+            ),
+        }
+
+    def close(self) -> None:
+        """Cancel pending work and release every bucket's evaluator."""
+        self._closed = True
+        for bucket in self._buckets.values():
+            if bucket.flusher is not None:
+                bucket.flusher.cancel()
+            for key, _, future in bucket.pending:
+                bucket.inflight.pop(key, None)
+                if not future.done():
+                    future.set_exception(EvaluationError("server shutting down"))
+            bucket.pending.clear()
+            bucket.evaluator.close()

@@ -1,0 +1,148 @@
+"""Declarative service configuration with ``REPRO_SERVE_*`` env overrides.
+
+Mirrors the :class:`~repro.eval.EvaluatorConfig` idiom: a frozen-ish
+dataclass that describes the server without holding any resources, so the
+CLI, tests and the demo can all construct servers the same validated way.
+
+Environment overrides (each beaten by the matching CLI flag):
+
+* ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT`` — bind address.
+* ``REPRO_SERVE_LINGER_MS`` — coalescing window: how long an evaluate
+  submission waits for same-bucket company before a batch is issued.
+* ``REPRO_SERVE_MAX_BATCH`` — designs per coalesced simulator batch.
+* ``REPRO_SERVE_CHECKPOINT_EVERY`` — driver steps between run checkpoints.
+* ``REPRO_SERVE_CACHE`` — per-bucket LRU design-cache capacity.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.eval import BACKENDS, EvaluatorConfig
+from repro.store import STORE_BACKENDS
+
+#: Default TCP port of the optimization service.
+DEFAULT_PORT = 8711
+
+#: Default coalescing window in milliseconds.
+DEFAULT_LINGER_MS = 10.0
+
+#: Default per-bucket design-cache capacity (dedup across clients needs it).
+DEFAULT_CACHE_SIZE = 4096
+
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return max(int(value), minimum)
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        return default
+
+
+@dataclass
+class ServiceConfig:
+    """Everything needed to start one :class:`~repro.service.OptimizationService`.
+
+    Attributes:
+        host: Bind address.
+        port: Bind port (0 asks the OS for an ephemeral port — tests).
+        store_backend: Run-store backend runs/checkpoints persist to
+            (``sqlite`` recommended: WAL mode shares the store with external
+            readers).  ``memory`` serves fine but restarts are not lossless.
+        store_dir: Store directory (required by the persistent backends).
+        eval_backend: Evaluator backend coalesced batches go through
+            (``local`` is bit-identical to direct evaluation; ``vectorized``
+            trades ~1e-12 FoM parity for the stacked-MNA speedup).
+        eval_workers: Worker-pool size for the pool backends (0 = CPU count).
+        cache_size: Per-bucket LRU design cache; also the cross-client dedup
+            substrate, so 0 disables stored-result dedup.
+        checkpoint_every: Driver steps between run checkpoints (0 disables —
+            restarts then replay runs from scratch).
+        linger_ms: Coalescing window in milliseconds.
+        max_batch: Designs per coalesced evaluator batch.
+    """
+
+    host: str = field(
+        default_factory=lambda: os.environ.get("REPRO_SERVE_HOST", "127.0.0.1")
+    )
+    port: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_PORT", DEFAULT_PORT)
+    )
+    store_backend: str = "memory"
+    store_dir: str = ""
+    eval_backend: str = "local"
+    eval_workers: int = 0
+    cache_size: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_CACHE", DEFAULT_CACHE_SIZE)
+    )
+    checkpoint_every: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_CHECKPOINT_EVERY", 1)
+    )
+    linger_ms: float = field(
+        default_factory=lambda: _env_float("REPRO_SERVE_LINGER_MS", DEFAULT_LINGER_MS)
+    )
+    max_batch: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_MAX_BATCH", 64, minimum=1)
+    )
+
+    def __post_init__(self):
+        if not (0 <= int(self.port) <= 65535):
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.store_backend not in STORE_BACKENDS:
+            raise ValueError(
+                f"unknown store backend {self.store_backend!r}; "
+                f"expected one of {STORE_BACKENDS}"
+            )
+        if self.store_backend != "memory" and not self.store_dir:
+            raise ValueError(
+                f"store backend {self.store_backend!r} requires store_dir"
+            )
+        if self.eval_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown eval backend {self.eval_backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        if self.linger_ms < 0:
+            raise ValueError(f"linger_ms must be >= 0, got {self.linger_ms}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+
+    def evaluator_config(self) -> EvaluatorConfig:
+        """The evaluator stack each coalescer bucket is built with."""
+        return EvaluatorConfig(
+            backend=self.eval_backend,
+            max_workers=self.eval_workers or None,
+            cache_size=self.cache_size,
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by the startup banner and logs."""
+        store = (
+            f"{self.store_backend}:{self.store_dir}"
+            if self.store_dir
+            else self.store_backend
+        )
+        return (
+            f"ServiceConfig({self.host}:{self.port}, store={store}, "
+            f"eval={self.eval_backend}, linger={self.linger_ms}ms, "
+            f"checkpoint_every={self.checkpoint_every})"
+        )

@@ -1,0 +1,212 @@
+"""Wire protocol of the optimization service: newline-delimited JSON frames.
+
+One frame is one JSON object on one line, UTF-8 encoded and terminated by
+``\\n`` — trivially streamable over an :mod:`asyncio` connection, greppable
+in captures, and language-agnostic.  Every frame carries a ``type`` field;
+requests may carry a client-chosen ``id`` that the matching response echoes,
+so one connection can interleave requests.
+
+Request types (client -> server):
+
+* ``evaluate`` — a batch of physical sizings for one circuit×technology;
+  the server coalesces concurrent evaluate traffic into shared simulator
+  batches and replies with one ``result`` frame.
+* ``run`` — a full optimization (method/circuit/technology/steps/seed)
+  executed as a supervised job; with ``stream`` set the server pushes
+  ``progress`` frames per driver step before the final ``result``.
+* ``result`` — fetch (optionally wait for) a submitted job's final record.
+* ``jobs`` / ``health`` / ``stats`` — observability endpoints.
+
+Response types (server -> client): ``accepted``, ``progress``, ``result``,
+``jobs``, ``health``, ``stats`` and ``error``.  The codec is intentionally
+symmetric — :func:`encode_frame` / :func:`decode_frame` round-trip any frame
+bit-identically (floats serialize via ``repr``-shortest JSON, so metric
+values survive the wire exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Hard cap on one encoded frame (defense against runaway/garbage input).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Frame types a client may send.
+REQUEST_TYPES = ("evaluate", "run", "result", "jobs", "health", "stats")
+
+#: Frame types a server may send.
+RESPONSE_TYPES = ("accepted", "progress", "result", "jobs", "health", "stats", "error")
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire protocol (malformed, oversized, unknown)."""
+
+
+def encode_frame(frame: Mapping[str, Any]) -> bytes:
+    """Serialize one frame to its newline-terminated wire form."""
+    if "type" not in frame:
+        raise ProtocolError("frame is missing the required 'type' field")
+    data = json.dumps(dict(frame), sort_keys=True, separators=(",", ":"))
+    encoded = data.encode("utf-8") + b"\n"
+    if len(encoded) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(encoded)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return encoded
+
+
+def decode_frame(line) -> Dict[str, Any]:
+    """Parse one wire line back into a frame dict (inverse of encode)."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"frame is not valid UTF-8: {error}") from error
+    text = line.strip()
+    if not text:
+        raise ProtocolError("frame is empty")
+    try:
+        frame = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(frame).__name__}")
+    if "type" not in frame:
+        raise ProtocolError("frame is missing the required 'type' field")
+    return frame
+
+
+def _require_str(frame: Mapping, field: str) -> str:
+    value = frame.get(field)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"{frame['type']!r} frame needs a non-empty string {field!r}")
+    return value
+
+
+def _optional_int(frame: Mapping, field: str, default: int, minimum: int = 0) -> int:
+    value = frame.get(field, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ProtocolError(f"{field!r} must be an integer >= {minimum}, got {value!r}")
+    return value
+
+
+def validate_request(frame: Mapping[str, Any]) -> Dict[str, Any]:
+    """Check a decoded client frame and return its normalized form.
+
+    Validation stays structural (types, required fields, value ranges) —
+    semantic checks (does the circuit exist, is the method registered) live
+    server-side where the registries are, so the codec has no heavy imports.
+    """
+    kind = frame.get("type")
+    if kind not in REQUEST_TYPES:
+        raise ProtocolError(
+            f"unknown request type {kind!r}; expected one of {REQUEST_TYPES}"
+        )
+    normalized: Dict[str, Any] = {"type": kind}
+    if "id" in frame:
+        normalized["id"] = frame["id"]
+
+    if kind == "evaluate":
+        normalized["circuit"] = _require_str(frame, "circuit")
+        normalized["technology"] = frame.get("technology", "180nm")
+        if not isinstance(normalized["technology"], str):
+            raise ProtocolError("'technology' must be a string")
+        sizings = frame.get("sizings")
+        if not isinstance(sizings, list) or not sizings:
+            raise ProtocolError("'evaluate' frame needs a non-empty 'sizings' list")
+        for sizing in sizings:
+            if not isinstance(sizing, dict):
+                raise ProtocolError("each sizing must be a component->params object")
+            for component, params in sizing.items():
+                if not isinstance(params, dict):
+                    raise ProtocolError(
+                        f"sizing entry {component!r} must map parameter -> value"
+                    )
+        normalized["sizings"] = sizings
+    elif kind == "run":
+        normalized["method"] = _require_str(frame, "method")
+        normalized["circuit"] = _require_str(frame, "circuit")
+        normalized["technology"] = frame.get("technology", "180nm")
+        if not isinstance(normalized["technology"], str):
+            raise ProtocolError("'technology' must be a string")
+        normalized["steps"] = _optional_int(frame, "steps", 80, minimum=1)
+        normalized["seed"] = _optional_int(frame, "seed", 0)
+        checkpoint = frame.get("checkpoint_every")
+        if checkpoint is not None:
+            normalized["checkpoint_every"] = _optional_int(
+                frame, "checkpoint_every", 0
+            )
+        normalized["stream"] = bool(frame.get("stream", True))
+    elif kind == "result":
+        normalized["job_id"] = _require_str(frame, "job_id")
+        normalized["wait"] = bool(frame.get("wait", True))
+    # jobs / health / stats carry no operands.
+    return normalized
+
+
+# --- response frame builders ----------------------------------------------------
+def error_frame(message: str, request_id=None) -> Dict[str, Any]:
+    """An ``error`` response carrying a human-readable message."""
+    frame: Dict[str, Any] = {"type": "error", "error": str(message)}
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame
+
+
+def result_frame(payload: Mapping[str, Any], request_id=None) -> Dict[str, Any]:
+    """A ``result`` response wrapping an arbitrary payload mapping."""
+    frame: Dict[str, Any] = {"type": "result"}
+    frame.update(payload)
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame
+
+
+def evaluate_request(
+    circuit: str,
+    technology: str,
+    sizings: List[Mapping[str, Mapping[str, float]]],
+    request_id=None,
+) -> Dict[str, Any]:
+    """Build an ``evaluate`` request frame."""
+    frame: Dict[str, Any] = {
+        "type": "evaluate",
+        "circuit": circuit,
+        "technology": technology,
+        "sizings": [dict(s) for s in sizings],
+    }
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame
+
+
+def run_request(
+    method: str,
+    circuit: str,
+    technology: str = "180nm",
+    steps: int = 80,
+    seed: int = 0,
+    checkpoint_every: Optional[int] = None,
+    stream: bool = True,
+    request_id=None,
+) -> Dict[str, Any]:
+    """Build a ``run`` request frame."""
+    frame: Dict[str, Any] = {
+        "type": "run",
+        "method": method,
+        "circuit": circuit,
+        "technology": technology,
+        "steps": int(steps),
+        "seed": int(seed),
+        "stream": bool(stream),
+    }
+    if checkpoint_every is not None:
+        frame["checkpoint_every"] = int(checkpoint_every)
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame

@@ -6,6 +6,13 @@ keeps one ``runs.sqlite`` database per store directory with a composite
 index over (method, circuit, technology, seed), so membership tests and
 filtered queries stay O(log n) regardless of campaign size.  Writes are
 committed per ``put`` — a killed process loses at most the run in flight.
+
+The store is built for *concurrent* access: the optimization service's run
+workers, the CLI's ``ls``/``export`` and external readers may all hold
+handles on one database.  Every connection therefore enables WAL journal
+mode (readers never block the writer and vice versa) and a generous
+``busy_timeout``, so simultaneous commits queue instead of failing with
+``database is locked``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ if TYPE_CHECKING:  # runtime import is lazy: the runner imports repro.store
 
 #: File name of the database inside the store directory.
 DB_NAME = "runs.sqlite"
+
+#: Milliseconds a connection waits on a locked database before erroring.
+BUSY_TIMEOUT_MS = 10_000
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -50,7 +60,16 @@ class SqliteStore(RunStore):
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.path = os.path.join(self.directory, DB_NAME)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(self.path, timeout=BUSY_TIMEOUT_MS / 1000.0)
+        # WAL survives in the database file once set, but PRAGMAs are cheap
+        # and re-asserting them makes every handle safe regardless of which
+        # process created the file.  synchronous=NORMAL is the recommended
+        # WAL pairing: commits lose power-failure durability of the last
+        # transactions but never corrupt the database — the same "lose at
+        # most the run in flight" contract documented above.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
         self._closed = False
