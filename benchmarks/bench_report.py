@@ -98,5 +98,15 @@ def record_backend(
     coalescing = report["backends"].get("service", {}).get("coalescing_factor")
     if coalescing:
         report["service_coalescing_factor"] = round(float(coalescing), 2)
+    campaign_serial = report["backends"].get("campaign_serial", {}).get(
+        "designs_per_sec"
+    )
+    campaign_workers = report["backends"].get("campaign_workers", {}).get(
+        "designs_per_sec"
+    )
+    if campaign_serial and campaign_workers:
+        report["campaign_parallel_speedup"] = round(
+            campaign_workers / campaign_serial, 2
+        )
     path.write_text(json.dumps(report, indent=2) + "\n")
     return path

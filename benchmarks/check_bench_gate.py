@@ -11,7 +11,14 @@ fails (exit code 1) when any of:
   ``--min-rl-speedup`` (default 3x designs-trained/sec at batch size 48),
 * the optimization service's cross-client batch coalescing averages fewer
   than ``--min-coalescing`` designs per issued simulator batch (default 2x
-  under 8 concurrent clients), or
+  under 8 concurrent clients),
+* the distributed campaign sweep duplicated any simulator evaluation
+  (``campaign_workers.duplicated_simulations`` must be 0 — gated
+  unconditionally), or its parallel speedup over the serial sweep fell
+  below ``--min-campaign-speedup`` (default 1.5x; only enforced when the
+  report's machine has more than one CPU core — two workers time-slicing
+  a single core cannot beat serial, so the number is recorded there,
+  not gated), or
 * vectorized / batched-RL throughput regressed below
   ``--regression-factor`` times the committed baseline
   (``benchmarks/BENCH_evaluator.json``).  The factor is deliberately
@@ -20,7 +27,8 @@ fails (exit code 1) when any of:
 
 Usage:
     python benchmarks/check_bench_gate.py REPORT [--baseline BASELINE]
-        [--min-speedup 3.0] [--min-rl-speedup 3.0] [--regression-factor 0.5]
+        [--min-speedup 3.0] [--min-rl-speedup 3.0] [--min-coalescing 2.0]
+        [--min-campaign-speedup 1.5] [--regression-factor 0.5]
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--min-rl-speedup", type=float, default=3.0)
     parser.add_argument("--min-coalescing", type=float, default=2.0)
+    parser.add_argument("--min-campaign-speedup", type=float, default=1.5)
     parser.add_argument("--regression-factor", type=float, default=0.5)
     args = parser.parse_args(argv)
 
@@ -118,6 +127,49 @@ def main(argv=None) -> int:
                 f"service coalescing factor {coalescing:.2f}x is below the "
                 f"acceptance margin of {args.min_coalescing:.1f}x designs "
                 "per simulator batch"
+            )
+
+    campaign_serial = backends.get("campaign_serial", {}).get("designs_per_sec")
+    campaign_workers = backends.get("campaign_workers", {})
+    campaign_rate = campaign_workers.get("designs_per_sec")
+    if not campaign_serial or not campaign_rate:
+        failures.append(
+            "report is missing campaign_serial and/or campaign_workers "
+            f"throughput (backends present: {sorted(backends)})"
+        )
+    else:
+        duplicated = campaign_workers.get("duplicated_simulations")
+        if duplicated is None:
+            failures.append(
+                "campaign_workers entry has no duplicated_simulations count"
+            )
+        elif duplicated != 0:
+            # Unconditional: a duplicated simulation means the lease
+            # protocol double-executed a cell — wrong on any hardware.
+            failures.append(
+                f"distributed sweep duplicated {duplicated} simulator "
+                "evaluation(s); the lease protocol must guarantee zero"
+            )
+        campaign_speedup = campaign_rate / campaign_serial
+        cpu_count = report.get("machine", {}).get("cpu_count") or 1
+        print(
+            f"campaign serial={campaign_serial:.1f}/s "
+            f"workers={campaign_rate:.1f}/s "
+            f"speedup={campaign_speedup:.2f}x duplicated="
+            f"{campaign_workers.get('duplicated_simulations', '?')} "
+            f"cpu_count={cpu_count}"
+        )
+        if cpu_count > 1:
+            if campaign_speedup < args.min_campaign_speedup:
+                failures.append(
+                    f"campaign parallel speedup {campaign_speedup:.2f}x is "
+                    "below the acceptance margin of "
+                    f"{args.min_campaign_speedup:.1f}x over the serial sweep"
+                )
+        else:
+            print(
+                f"campaign speedup {campaign_speedup:.2f}x recorded, "
+                "not gated (single core)"
             )
 
     for backend_name, measured in (

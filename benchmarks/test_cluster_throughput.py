@@ -1,0 +1,145 @@
+"""Throughput benchmark: serial campaign sweep vs a 2-worker cluster sweep.
+
+Runs the same small method grid twice against fresh jsonl stores — once
+with the in-process serial ``Campaign.run()`` loop and once through
+``Campaign.run(workers=2)`` (two ``repro.experiments worker`` subprocesses
+coordinating over leases) — and records both rates as the
+``campaign_serial`` / ``campaign_workers`` backends in
+``BENCH_evaluator.json``.  ``bench_report.py`` derives
+``campaign_parallel_speedup`` from the pair.
+
+The correctness bar is unconditional: the cluster sweep must record
+**zero duplicated simulations** (every cell stored exactly once, total
+recorded evaluations exactly the grid budget) and this is asserted here
+*and* gated in CI by ``check_bench_gate.py``.  The >= 1.5x parallel
+speedup is only gated when the machine reports more than one CPU core —
+on a single-core box the two workers time-slice one core and the number
+is recorded for the trajectory, not enforced.
+
+Raise ``REPRO_BENCH_CLUSTER_STEPS`` / ``REPRO_BENCH_CLUSTER_SEEDS`` to
+stress larger grids.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.store import open_run_store
+from repro.store.campaign import Campaign, CampaignSpec
+from repro.store.jsonl import LOG_NAME
+
+from bench_report import record_backend
+from conftest import _bench_int
+
+#: Timing-sensitive: runs in the dedicated CI throughput job (by filename),
+#: not in every tier-1 matrix cell, so a loaded runner cannot flake tier-1.
+pytestmark = pytest.mark.slow
+
+CLUSTER_STEPS = _bench_int("REPRO_BENCH_CLUSTER_STEPS", 40)
+CLUSTER_SEEDS = _bench_int("REPRO_BENCH_CLUSTER_SEEDS", 2)
+WORKERS = 2
+
+
+def _settings() -> ExperimentSettings:
+    settings = ExperimentSettings()
+    settings.circuits = ["two_tia"]
+    settings.methods = ["es", "random", "human"]
+    settings.steps = CLUSTER_STEPS
+    settings.seeds = CLUSTER_SEEDS
+    return settings
+
+
+def _grid_budget(campaign: Campaign) -> int:
+    """Exact number of simulator evaluations the grid costs to fill."""
+    return sum(
+        1 if request.method == "human" else request.steps
+        for request in campaign.requests()
+    )
+
+
+def _recorded_evaluations(campaign: Campaign) -> int:
+    campaign.store.refresh()
+    total = 0
+    for request in campaign.requests():
+        record = campaign.store.get(campaign.key_for(request))
+        assert record is not None, f"missing cell {request}"
+        total += sum(record.step_evaluations)
+    return total
+
+
+def test_campaign_cluster_throughput(tmp_path, capsys):
+    settings = _settings()
+    spec = CampaignSpec.from_settings(settings)
+
+    # Serial reference sweep.
+    serial_dir = tmp_path / "serial-store"
+    with open_run_store("jsonl", serial_dir) as store:
+        campaign = Campaign(spec, store, settings=settings)
+        budget = _grid_budget(campaign)
+        cells = len(campaign.requests())
+        start = time.perf_counter()
+        report = campaign.run()
+        serial_elapsed = time.perf_counter() - start
+        assert report.executed == cells
+        assert _recorded_evaluations(campaign) == budget
+    serial_rate = budget / max(serial_elapsed, 1e-9)
+
+    # Distributed sweep: two worker subprocesses over a shared store.
+    cluster_dir = tmp_path / "cluster-store"
+    with open_run_store("jsonl", cluster_dir) as store:
+        campaign = Campaign(spec, store, settings=settings)
+        start = time.perf_counter()
+        report = campaign.run(workers=WORKERS, checkpoint_every=1)
+        cluster_elapsed = time.perf_counter() - start
+        assert not report.interrupted
+        assert report.executed + report.skipped == cells
+
+        # Zero-duplication audit: each cell appended exactly once to the
+        # log, and the recorded evaluations sum to the grid budget exactly
+        # (a resumed cell's record carries its full history, so any re-run
+        # simulation would show up as an excess here).
+        log_lines = [
+            line
+            for line in (cluster_dir / LOG_NAME).read_text().splitlines()
+            if line.strip()
+        ]
+        duplicated_rows = len(log_lines) - cells
+        duplicated_evals = _recorded_evaluations(campaign) - budget
+        duplicated = duplicated_rows + duplicated_evals
+    cluster_rate = budget / max(cluster_elapsed, 1e-9)
+
+    record_backend(
+        "campaign_serial",
+        serial_rate,
+        batch_size=1,
+        extra={"cells": cells, "evaluations": budget},
+    )
+    path = record_backend(
+        "campaign_workers",
+        cluster_rate,
+        batch_size=1,
+        extra={
+            "workers": WORKERS,
+            "cells": cells,
+            "evaluations": budget,
+            "duplicated_simulations": duplicated,
+        },
+    )
+    speedup = cluster_rate / serial_rate
+    with capsys.disabled():
+        print(
+            f"\n[campaign-cluster] cells={cells} evaluations={budget} "
+            f"serial={serial_rate:.1f}/s workers{WORKERS}={cluster_rate:.1f}/s "
+            f"speedup={speedup:.2f}x duplicated={duplicated}"
+        )
+        print(json.dumps(json.loads(path.read_text()).get("backends", {}).get(
+            "campaign_workers", {}
+        )))
+
+    # The correctness bar is unconditional; the speedup bar lives in
+    # check_bench_gate.py and only fires on multi-core machines.
+    assert duplicated == 0

@@ -1,0 +1,127 @@
+"""Distributed-sweep demo: kill a worker mid-method and watch the steal.
+
+Builds a small campaign grid over a shared jsonl store, launches one
+worker subprocess (exactly what ``python -m repro.experiments worker``
+runs), and SIGKILLs it the moment its first mid-method driver checkpoint
+lands — no graceful shutdown of any kind.  A second, in-process worker
+then joins the same store: it claims the untouched cells, waits out the
+dead worker's lease, **steals** the orphaned cell, and resumes it from
+the checkpoint mid-method.
+
+The punchline is printed at the end: every cell is stored exactly once,
+the total recorded evaluations equal the grid's budget exactly (the
+steal re-paid nothing), and the sweep's records are bit-identical to an
+uninterrupted serial run — the same invariants the ``cluster-smoke`` CI
+job enforces.
+
+Run with:
+    PYTHONPATH=src python examples/cluster_demo.py [--steps 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+
+from repro.cluster import CampaignWorker, ClusterLauncher, cell_states, lease_store_for
+from repro.experiments import ExperimentSettings
+from repro.store import open_run_store
+from repro.store.campaign import Campaign, CampaignSpec
+
+
+def _settings(steps: int) -> ExperimentSettings:
+    settings = ExperimentSettings()
+    settings.circuits = ["two_tia"]
+    settings.methods = ["es", "human", "random"]
+    settings.steps = steps
+    settings.seeds = 1
+    return settings
+
+
+def _print_states(campaign: Campaign) -> None:
+    lease_store = lease_store_for(campaign.store)
+    now = lease_store.now()
+    for state in cell_states(campaign, lease_store):
+        print(f"  {state.describe(now)}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--steps", type=int, default=200,
+        help="budget per cell (bigger = wider mid-method kill window)",
+    )
+    args = parser.parse_args()
+
+    settings = _settings(args.steps)
+    spec = CampaignSpec.from_settings(settings)
+    budget = args.steps + 1 + args.steps  # es + human (1 eval) + random
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = os.path.join(tmp, "store")
+
+        # --- 1. a worker subprocess starts the sweep ------------------------
+        launcher = ClusterLauncher(
+            spec, store_dir, workers=1, settings=settings,
+            ttl=1.0, checkpoint_every=1, poll_interval=0.05,
+            worker_prefix="victim",
+        )
+        victim = launcher.spawn()[0]
+        print(f"victim worker started (pid {victim.pid})")
+
+        # --- 2. kill -9 at the first mid-method checkpoint ------------------
+        checkpoint_dir = os.path.join(store_dir, "checkpoints")
+        deadline = time.time() + 120.0
+        while time.time() < deadline:
+            if victim.poll() is not None:
+                raise SystemExit("victim finished before the kill; lower --steps?")
+            if os.path.isdir(checkpoint_dir) and any(
+                name.endswith(".ckpt") for name in os.listdir(checkpoint_dir)
+            ):
+                break
+            time.sleep(0.005)
+        victim.kill()
+        victim.wait()
+        print("victim SIGKILLed mid-method; its lease and checkpoint remain:")
+
+        with open_run_store("jsonl", store_dir) as store:
+            campaign = Campaign(spec, store, settings=settings)
+            _print_states(campaign)
+
+            # --- 3. a second worker joins, steals, and finishes -------------
+            survivor = CampaignWorker(
+                campaign, worker_id="survivor", ttl=1.0,
+                checkpoint_every=1, poll_interval=0.05,
+                progress=lambda assignment, outcome: print(
+                    f"  survivor: {outcome} {assignment.request.method}"
+                    + (" (stolen)" if assignment.stolen else "")
+                    + (" (resumed mid-method)" if assignment.resumed else "")
+                ),
+            )
+            print("survivor worker joining the sweep...")
+            report = survivor.run()
+            print(report.summary())
+            _print_states(campaign)
+
+            # --- 4. the zero-duplication audit ------------------------------
+            store.refresh()
+            rows = sum(
+                1 for line in open(os.path.join(store_dir, "runs.jsonl"))
+                if line.strip()
+            )
+            recorded = sum(
+                sum(store.get(campaign.key_for(request)).step_evaluations)
+                for request in campaign.requests()
+            )
+            print(
+                f"store rows={rows} (cells={len(campaign.requests())}), "
+                f"recorded evaluations={recorded} (budget={budget})"
+            )
+            assert rows == len(campaign.requests()) and recorded == budget
+            print("zero duplicated simulations — the steal re-paid nothing")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,8 +5,14 @@ or ``REPRO_STORE_DIR``/``REPRO_STORE_BACKEND``), which makes every target
 incremental across invocations and enables campaign-style workflows:
 
 * ``sweep`` — run the methods × circuits × technologies × seeds grid,
-  skipping cells already in the store (kill-and-resume safe).
-* ``ls`` — list the runs currently in the store (with coordinate filters).
+  skipping cells already in the store (kill-and-resume safe).  With
+  ``--workers N`` the grid is executed by N local worker processes over the
+  shared store directory (leases + work-stealing; see :mod:`repro.cluster`).
+* ``worker`` — join an in-progress distributed sweep from this machine:
+  claim, execute and steal cells until the grid drains (SIGTERM
+  checkpoints mid-method and releases cleanly).
+* ``ls`` — list the runs currently in the store (with coordinate filters);
+  ``--status`` shows per-cell sweep state (pending / leased / done) instead.
 * ``export`` — dump stored runs as JSON for downstream analysis.
 * ``serve`` — start the long-lived optimization service (cross-client batch
   coalescing, supervised runs, lossless restart; see :mod:`repro.service`).
@@ -16,7 +22,10 @@ Examples:
     python -m repro.experiments table1 --steps 100 --seeds 2
     python -m repro.experiments table1 --eval-backend vectorized
     python -m repro.experiments sweep --store-dir runs --store-backend jsonl
+    python -m repro.experiments sweep --store-dir runs --workers 4
+    python -m repro.experiments worker --store-dir runs --worker-id lab-box-1
     python -m repro.experiments ls --store-dir runs --method gcn_rl
+    python -m repro.experiments ls --store-dir runs --status
     python -m repro.experiments export --store-dir runs --output runs.json
     python -m repro.experiments serve --store-dir runs --port 8711
     python -m repro.experiments client --request run --method es --circuit two_tia
@@ -48,7 +57,7 @@ from repro.experiments.tables import (
 from repro.store import Campaign, CampaignSpec, RunStore, STORE_BACKENDS
 
 TARGETS = ["table1", "table2", "table3", "table4", "table5", "figure5", "figure7", "figure8"]
-STORE_COMMANDS = ["sweep", "ls", "export"]
+STORE_COMMANDS = ["sweep", "worker", "ls", "export"]
 SERVICE_COMMANDS = ["serve", "client"]
 
 
@@ -75,7 +84,10 @@ def _build_settings(args: argparse.Namespace) -> ExperimentSettings:
     # (--workers 0 = CPU count, --cache-size 0 = caching off).
     if args.eval_backend:
         settings.eval_backend = args.eval_backend
-    if args.workers is not None:
+    # For the sweep target --workers means *campaign worker processes*
+    # (distributed execution over the shared store), not the evaluator
+    # pool; everywhere else it keeps its evaluator-pool meaning.
+    if args.workers is not None and args.target != "sweep":
         settings.eval_workers = args.workers
         # --workers without an explicit backend implies real parallelism.
         if not args.eval_backend and settings.eval_backend == "local":
@@ -121,17 +133,40 @@ def _emit_figures(figures) -> None:
         print()
 
 
+def _campaign_spec(settings: ExperimentSettings, args) -> CampaignSpec:
+    """The sweep grid: an explicit ``--spec`` JSON (or @file), else settings."""
+    spec_text = getattr(args, "spec", None)
+    if spec_text:
+        if spec_text.startswith("@"):
+            with open(spec_text[1:], "r", encoding="utf-8") as handle:
+                spec_text = handle.read()
+        return CampaignSpec.from_dict(json.loads(spec_text))
+    technologies = None
+    if args.technologies:
+        technologies = [t.strip() for t in args.technologies.split(",") if t.strip()]
+    return CampaignSpec.from_settings(settings, technologies=technologies)
+
+
 def _sweep(settings: ExperimentSettings, store: Optional[RunStore], args) -> None:
     if store is None:
         # A sweep's entire point is persistence; silently executing into a
         # throwaway in-memory store would discard every result on exit.
         print("no store configured (use --store-dir / --store-backend)")
         return
-    technologies = None
-    if args.technologies:
-        technologies = [t.strip() for t in args.technologies.split(",") if t.strip()]
-    spec = CampaignSpec.from_settings(settings, technologies=technologies)
+    spec = _campaign_spec(settings, args)
     campaign = Campaign(spec, store, settings=settings)
+
+    if args.workers is not None and args.workers > 1:
+        # Distributed sweep: N worker processes over the shared store
+        # directory; per-cell progress prints on each worker's stdout.
+        report = campaign.run(
+            workers=args.workers,
+            checkpoint_every=1
+            if args.checkpoint_every is None
+            else args.checkpoint_every,
+        )
+        print(report.summary())
+        return
 
     def progress(request, outcome):
         print(
@@ -146,6 +181,46 @@ def _sweep(settings: ExperimentSettings, store: Optional[RunStore], args) -> Non
         max_steps=args.max_steps,
     )
     print(report.summary())
+
+
+def _worker(settings: ExperimentSettings, store: Optional[RunStore], args) -> None:
+    import signal
+
+    from repro.cluster import CampaignWorker, make_owner_id
+
+    if store is None:
+        print("no store configured (use --store-dir / --store-backend)")
+        return
+    spec = _campaign_spec(settings, args)
+    campaign = Campaign(spec, store, settings=settings)
+    worker = CampaignWorker(
+        campaign,
+        worker_id=make_owner_id(args.worker_id) if args.worker_id else None,
+        ttl=args.ttl,
+        checkpoint_every=1 if args.checkpoint_every is None else args.checkpoint_every,
+        poll_interval=args.poll,
+        progress=lambda assignment, outcome: print(
+            f"  [{outcome:>8s}] {assignment.request.method} "
+            f"{assignment.request.circuit} {assignment.request.technology} "
+            f"seed={assignment.request.seed} steps={assignment.request.steps}"
+            + (" (stolen)" if assignment.stolen else "")
+            + (" (resumed)" if assignment.resumed else ""),
+            flush=True,
+        ),
+    )
+    # SIGTERM/SIGINT → checkpoint mid-method at the next ask/tell boundary,
+    # release the lease, and exit cleanly; another worker resumes the cell.
+    previous = {
+        signum: signal.signal(signum, lambda *_: worker.request_stop())
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    print(f"worker {worker.worker_id} joining sweep on {store.describe()}", flush=True)
+    try:
+        report = worker.run(max_cells=args.max_cells)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print(report.summary(), flush=True)
 
 
 def _service_config(settings: ExperimentSettings, args):
@@ -272,9 +347,12 @@ def _client(settings: ExperimentSettings, args) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
-def _ls(store: Optional[RunStore], args) -> None:
+def _ls(settings: ExperimentSettings, store: Optional[RunStore], args) -> None:
     if store is None:
         print("no store configured (use --store-dir / --store-backend)")
+        return
+    if args.status:
+        _ls_status(settings, store, args)
         return
     records = store.query(
         method=args.method or None,
@@ -292,6 +370,28 @@ def _ls(store: Optional[RunStore], args) -> None:
             f"seed={record.seed} steps={record.steps} "
             f"best_reward={record.best_reward:.4f}"
         )
+
+
+def _ls_status(settings: ExperimentSettings, store: RunStore, args) -> None:
+    """Per-cell sweep state (pending / leased-by-whom / done) with counts."""
+    from repro.cluster import CELL_STATES, cell_states, lease_store_for
+
+    spec = _campaign_spec(settings, args)
+    campaign = Campaign(spec, store, settings=settings)
+    lease_store = lease_store_for(store)
+    states = cell_states(campaign, lease_store)
+    now = lease_store.now()
+    print(f"sweep status on {store.describe()}")
+    for cell in states:
+        print(f"  {cell.describe(now)}")
+    counts = {state: 0 for state in CELL_STATES}
+    for cell in states:
+        counts[cell.state] += 1
+    print(
+        f"cells: total={len(states)} done={counts['done']} "
+        f"leased={counts['leased']} expired={counts['expired']} "
+        f"pending={counts['pending']}"
+    )
 
 
 def _export(store: Optional[RunStore], args) -> None:
@@ -328,7 +428,11 @@ def main(argv: List[str] = None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="evaluator worker-pool size (implies --eval-backend process)",
+        help=(
+            "sweep: number of campaign worker processes over the shared "
+            "store (distributed execution); elsewhere: evaluator "
+            "worker-pool size (implies --eval-backend process)"
+        ),
     )
     parser.add_argument(
         "--cache-size",
@@ -391,6 +495,46 @@ def main(argv: List[str] = None) -> int:
             "with --max-runs: pause the next pending run after this many "
             "ask/tell steps (checkpointed mid-method kill, for testing resume)"
         ),
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help=(
+            "worker/sweep: campaign grid as inline JSON or @file (the "
+            "launcher passes this to workers so every process executes the "
+            "identical grid); default: the grid implied by settings"
+        ),
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="worker: stable worker name (owner id becomes host:pid:name)",
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=30.0,
+        help=(
+            "worker: lease time-to-live in seconds — a worker silent this "
+            "long is presumed dead and its cell becomes stealable"
+        ),
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="worker: seconds between scans when all remaining cells are leased",
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="worker: exit after visiting this many cells (default: run to drain)",
+    )
+    parser.add_argument(
+        "--status",
+        action="store_true",
+        help="ls: show per-cell sweep state (pending/leased/done) instead of runs",
     )
     parser.add_argument(
         "--method", default=None, help="filter for ls/export: method name"
@@ -476,8 +620,10 @@ def main(argv: List[str] = None) -> int:
         if args.target in STORE_COMMANDS:
             if args.target == "sweep":
                 _sweep(settings, store, args)
+            elif args.target == "worker":
+                _worker(settings, store, args)
             elif args.target == "ls":
-                _ls(store, args)
+                _ls(settings, store, args)
             elif args.target == "export":
                 _export(store, args)
             return 0

@@ -77,6 +77,15 @@ class OptimizationDriver:
         callbacks: Per-step :data:`StepCallback` hooks; any truthy return
             value stops the run early (the run still counts as finished).
         resume: Load the stored checkpoint (if any) before the first step.
+        pause_check: Optional zero-argument hook polled before every
+            ask/tell cycle.  A truthy return *pauses* the run exactly like
+            ``max_steps`` — checkpoint written, :attr:`finished` left False,
+            partial result returned — letting an external supervisor (a
+            cluster worker's SIGTERM handler) stop mid-run resumably.  An
+            exception raised by the hook propagates *without* writing a
+            checkpoint: that path signals the run no longer belongs to this
+            process (see ``repro.cluster.LeaseLostError``) and its state on
+            the store must not be touched.
     """
 
     def __init__(
@@ -89,6 +98,7 @@ class OptimizationDriver:
         checkpoint_every: int = 0,
         callbacks: Sequence[StepCallback] = (),
         resume: bool = True,
+        pause_check: Optional[Callable[[], bool]] = None,
     ):
         if environment is None:
             environment = strategy.environment
@@ -105,6 +115,7 @@ class OptimizationDriver:
         self.checkpoint_every = int(checkpoint_every)
         self.callbacks: List[StepCallback] = list(callbacks)
         self.resume = resume
+        self.pause_check = pause_check
 
         self.evaluated = 0
         self.step = 0
@@ -216,7 +227,9 @@ class OptimizationDriver:
             self.wall_time_s = wall_base + (time.perf_counter() - start_time)
 
         while self.evaluated < self.budget and not self.strategy.done():
-            if max_steps is not None and steps_this_call >= max_steps:
+            if (max_steps is not None and steps_this_call >= max_steps) or (
+                self.pause_check is not None and self.pause_check()
+            ):
                 sync_wall_time()
                 if self.store is not None and self.run_key is not None:
                     self.save_checkpoint()

@@ -21,7 +21,7 @@ resumes from its last checkpoint instead of restarting.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence
 
 from repro.circuits.library import get_circuit
 from repro.env.environment import SizingEnvironment
@@ -165,6 +165,7 @@ def run_method(
     checkpoint_every: int = 0,
     max_steps: Optional[int] = None,
     callbacks: Sequence[StepCallback] = (),
+    pause_check: Optional[Callable[[], bool]] = None,
 ) -> Optional[RunRecord]:
     """Run one sizing method and return its :class:`RunRecord`.
 
@@ -197,6 +198,10 @@ def run_method(
             :class:`~repro.experiments.driver.OptimizationDriver`.  Note a
             run served straight from the store never steps, so callbacks
             only fire on actual execution.
+        pause_check: Forwarded to the driver — polled before each ask/tell
+            cycle; truthy pauses the run like ``max_steps`` (checkpoint
+            written, ``None`` returned), an exception aborts it without
+            touching the store (cluster lease-loss path).
 
     Returns:
         The completed :class:`RunRecord`, or ``None`` when ``max_steps``
@@ -241,6 +246,7 @@ def run_method(
             checkpoint_every=checkpoint_every,
             callbacks=callbacks,
             resume=use_cache,
+            pause_check=pause_check,
         )
         result = driver.run(max_steps=max_steps)
     finally:

@@ -281,6 +281,15 @@ class RunStore(abc.ABC):
         """Drop every stored checkpoint."""
         self._checkpoint_rows().clear()
 
+    def refresh(self) -> None:
+        """Make other handles' writes visible to this one.
+
+        Backends that answer queries from a database (sqlite) or a shared
+        dict (memory) are always current and keep this a no-op; backends
+        with an in-memory index over a shared file (jsonl) re-read it.
+        Cluster workers call this before every scheduling scan.
+        """
+
     def close(self) -> None:
         """Release any resources (file handles, connections); idempotent."""
 

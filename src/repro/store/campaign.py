@@ -121,6 +121,37 @@ class CampaignSpec:
             steps=settings.steps,
         )
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (the cluster launcher ships specs to
+        worker processes as one ``--spec`` argument)."""
+        return {
+            "methods": list(self.methods),
+            "circuits": list(self.circuits),
+            "technologies": list(self.technologies),
+            "seeds": int(self.seeds),
+            "steps": int(self.steps),
+            "weight_overrides": [
+                dict(overrides) if overrides is not None else None
+                for overrides in self.weight_overrides
+            ],
+            "apply_spec": bool(self.apply_spec),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        return cls(
+            methods=list(data["methods"]),
+            circuits=list(data["circuits"]),
+            technologies=list(data.get("technologies", ("180nm",))),
+            seeds=int(data.get("seeds", 1)),
+            steps=int(data.get("steps", 80)),
+            weight_overrides=[
+                dict(overrides) if overrides is not None else None
+                for overrides in data.get("weight_overrides", (None,))
+            ],
+            apply_spec=bool(data.get("apply_spec", True)),
+        )
+
 
 @dataclass
 class CampaignReport:
@@ -174,6 +205,30 @@ class Campaign:
         self.store = store
         self.settings = settings
         self.evaluator_config = evaluator_config
+        # key_for memo: computing a RunKey reconstructs ExperimentSettings
+        # (and, for RL methods, the warm-up schedule) per call — harmless
+        # once, hot when cluster workers poll pending()/status() between
+        # cells.  Keys are pure functions of the request + the bound
+        # settings/evaluator_config, so the cache never invalidates.
+        self._key_cache: Dict[tuple, RunKey] = {}
+
+    def key_for(self, request: RunRequest) -> RunKey:
+        """The (memoized) canonical store key of one grid cell."""
+        overrides = request.weight_overrides
+        cache_key = (
+            request.method,
+            request.circuit,
+            request.technology,
+            request.steps,
+            request.seed,
+            tuple(sorted(overrides.items())) if overrides is not None else None,
+            request.apply_spec,
+        )
+        key = self._key_cache.get(cache_key)
+        if key is None:
+            key = request.key(self.settings, self.evaluator_config)
+            self._key_cache[cache_key] = key
+        return key
 
     def requests(self) -> List[RunRequest]:
         """Every cell of the grid, in sweep order."""
@@ -184,7 +239,7 @@ class Campaign:
         return [
             request
             for request in self.requests()
-            if request.key(self.settings, self.evaluator_config) not in self.store
+            if self.key_for(request) not in self.store
         ]
 
     def status(self) -> Dict[str, int]:
@@ -199,6 +254,7 @@ class Campaign:
         progress: Optional[Callable[[RunRequest, str], None]] = None,
         checkpoint_every: int = 0,
         max_steps: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> CampaignReport:
         """Sweep the grid, executing only cells missing from the store.
 
@@ -223,10 +279,24 @@ class Campaign:
                 such a cell counts as executed — so with ``max_steps`` set,
                 ``executed`` may reach ``max_runs + 1`` and ``partial`` stay
                 0 — because a finished run cannot be un-executed.
+            workers: Run the sweep distributed: spawn this many local worker
+                processes over the campaign's (directory-backed) store via
+                :class:`repro.cluster.ClusterLauncher` and build the report
+                from the store afterwards.  Requires a jsonl or sqlite
+                store; incompatible with ``max_runs``/``max_steps``/
+                ``progress`` (per-cell progress prints on each worker's
+                stdout instead).
         """
         # Lazy import: repro.experiments.runner imports repro.store.
         from repro.experiments.runner import run_method
 
+        if workers is not None and workers > 1:
+            if max_runs is not None or max_steps is not None:
+                raise ValueError(
+                    "workers is incompatible with max_runs/max_steps (those "
+                    "simulate interruptions of the serial sweep)"
+                )
+            return self._run_cluster(workers, checkpoint_every or 1)
         if max_steps is not None and max_runs is None:
             raise ValueError(
                 "max_steps only takes effect together with max_runs (it "
@@ -236,7 +306,7 @@ class Campaign:
         requests = self.requests()
         report = CampaignReport(total=len(requests))
         for request in requests:
-            key = request.key(self.settings, self.evaluator_config)
+            key = self.key_for(request)
             cached = self.store.get(key)
             if cached is not None:
                 report.skipped += 1
@@ -273,4 +343,58 @@ class Campaign:
             if interrupting:
                 report.interrupted = True
                 break
+        return report
+
+    def _store_location(self) -> tuple:
+        """``(backend, directory)`` of the bound store, for worker spawns."""
+        # Lazy imports keep repro.store.campaign free of backend modules.
+        from repro.store.jsonl import JsonlStore
+        from repro.store.sqlite import SqliteStore
+
+        if isinstance(self.store, JsonlStore):
+            return "jsonl", self.store.directory
+        if isinstance(self.store, SqliteStore):
+            return "sqlite", self.store.directory
+        raise ValueError(
+            "a distributed sweep needs a directory-backed store (jsonl or "
+            f"sqlite) shared between workers; got {type(self.store).__name__}"
+        )
+
+    def _run_cluster(self, workers: int, checkpoint_every: int) -> CampaignReport:
+        """Execute the sweep with N worker processes over the shared store."""
+        from repro.cluster import ClusterLauncher
+        from repro.store import open_run_store
+
+        backend, directory = self._store_location()
+        skipped_before = len(self.requests()) - len(self.pending())
+        launcher = ClusterLauncher(
+            self.spec,
+            store_dir=directory,
+            store_backend=backend,
+            workers=workers,
+            settings=self.settings,
+            evaluator_config=self.evaluator_config,
+            checkpoint_every=checkpoint_every,
+        )
+        cluster = launcher.run()
+        # The workers wrote through their own store handles; re-read the
+        # directory through a fresh handle and refresh ours so this
+        # process's view includes everything the cluster produced.
+        self.store.refresh()
+        report = CampaignReport(total=len(self.requests()))
+        with open_run_store(backend, directory) as verify:
+            for request in self.requests():
+                record = verify.get(self.key_for(request))
+                if record is not None:
+                    report.records.append(record)
+        done = len(report.records)
+        report.skipped = min(skipped_before, done)
+        report.executed = done - report.skipped
+        if report.remaining > 0:
+            report.interrupted = True
+            if not cluster.ok():
+                raise RuntimeError(
+                    f"distributed sweep incomplete: {report.summary()}; "
+                    f"worker exit codes {cluster.exit_codes}"
+                )
         return report

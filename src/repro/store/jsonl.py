@@ -40,7 +40,7 @@ class JsonlStore(RunStore):
         self._log = open(self.path, "a", encoding="utf-8")
         self._closed = False
 
-    def _replay(self) -> None:
+    def _replay(self, repair: bool = True) -> None:
         if not os.path.exists(self.path):
             return
         with open(self.path, "rb") as handle:
@@ -69,8 +69,14 @@ class JsonlStore(RunStore):
                     and not data.endswith(b"\n")
                 )
                 if truncated_tail:
-                    with open(self.path, "r+b") as handle:
-                        handle.truncate(start)
+                    # On a live cluster the "torn tail" may simply be
+                    # another worker's append in flight; truncating would
+                    # destroy *their* record.  Repair only when we opened
+                    # the log (single-writer recovery); a mid-sweep
+                    # ``refresh`` just skips the incomplete line.
+                    if repair:
+                        with open(self.path, "r+b") as handle:
+                            handle.truncate(start)
                     return
                 raise ValueError(
                     f"corrupt run-store log {self.path} at line {number}: {error}"
@@ -110,7 +116,17 @@ class JsonlStore(RunStore):
             self._log.close()
             self._closed = True
 
-    # --- mid-run checkpoints: one blob file per in-flight run -------------------
+    def refresh(self) -> None:
+        """Re-read the log so other processes' appends become visible.
+
+        The in-memory index is built once at open; on a shared sweep
+        directory, records written by sibling workers after that are
+        invisible to this handle until it refreshes.  Replays without the
+        torn-tail repair: an unparseable final line here is most likely a
+        *concurrent* append mid-write, not a crash artifact.
+        """
+        self._rows.clear()
+        self._replay(repair=False)
     def _checkpoint_path(self, key: RunKey) -> str:
         return os.path.join(self.directory, CHECKPOINT_DIR, key.key_id() + ".ckpt")
 

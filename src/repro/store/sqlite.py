@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import sqlite3
 from typing import TYPE_CHECKING, Iterator, List, Optional
 
@@ -52,6 +53,36 @@ CREATE TABLE IF NOT EXISTS checkpoints (
 );
 """
 
+#: Lease table used by ``repro.cluster`` to coordinate distributed sweeps
+#: over one database.  Kept as its own script so the lease store (which
+#: opens an independent connection) can assert it without the runs schema.
+LEASE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS leases (
+    key_id      TEXT PRIMARY KEY,
+    owner       TEXT NOT NULL,
+    acquired_at REAL NOT NULL,
+    expires_at  REAL NOT NULL,
+    pid         INTEGER NOT NULL,
+    host        TEXT NOT NULL
+);
+"""
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process on *this* host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The process exists but belongs to another user.
+        return True
+    except OSError:
+        return False
+    return True
+
 
 class SqliteStore(RunStore):
     """Directory-backed SQLite store (indexed, latest-wins upserts)."""
@@ -71,8 +102,13 @@ class SqliteStore(RunStore):
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         self._conn.executescript(_SCHEMA)
+        self._conn.executescript(LEASE_SCHEMA)
         self._conn.commit()
         self._closed = False
+        # A launcher crash (kill -9) leaves its workers' leases on file;
+        # expiry would eventually free them, but a fresh local process can
+        # prove the owners dead right now and unblock those cells early.
+        self.vacuum_leases()
 
     def put(self, key: RunKey, record: RunRecord) -> None:
         self._conn.execute(
@@ -171,6 +207,25 @@ class SqliteStore(RunStore):
     def clear_checkpoints(self) -> None:
         self._conn.execute("DELETE FROM checkpoints")
         self._conn.commit()
+
+    def vacuum_leases(self) -> int:
+        """Drop leases whose owning pid is provably dead on this host.
+
+        Pids only identify processes on the machine that spawned them, so
+        the sweep is restricted to leases stamped with our own hostname;
+        remote workers are left to wall-clock expiry.  Returns the number
+        of leases cleared.
+        """
+        host = socket.gethostname()
+        rows = self._conn.execute(
+            "SELECT key_id, pid FROM leases WHERE host = ?", (host,)
+        ).fetchall()
+        dead = [key_id for key_id, pid in rows if not pid_alive(int(pid))]
+        for key_id in dead:
+            self._conn.execute("DELETE FROM leases WHERE key_id = ?", (key_id,))
+        if dead:
+            self._conn.commit()
+        return len(dead)
 
     def close(self) -> None:
         if not self._closed:

@@ -202,6 +202,50 @@ class TestStoreConformance:
             st.put(sample_key(), sample_record())
             assert "1" in st.describe()
 
+    def test_refresh_is_safe_on_every_backend(self, store):
+        store.put(sample_key(), sample_record())
+        store.refresh()
+        assert len(store) == 1
+
+
+class TestJsonlRefresh:
+    """refresh() makes other handles' appends visible (cluster workers)."""
+
+    def test_refresh_sees_sibling_appends(self, tmp_path):
+        first = JsonlStore(tmp_path)
+        second = JsonlStore(tmp_path)
+        second.put(sample_key(seed=1), sample_record(seed=1))
+        # The sibling's append is invisible until the stale handle refreshes.
+        assert first.get(sample_key(seed=1)) is None
+        first.refresh()
+        assert first.get(sample_key(seed=1)) is not None
+        first.close(), second.close()
+
+    def test_refresh_skips_torn_tail_without_truncating(self, tmp_path):
+        store = JsonlStore(tmp_path)
+        store.put(sample_key(seed=1), sample_record(seed=1))
+        # Simulate another worker's append caught mid-write.
+        with open(store.path, "a", encoding="utf-8") as log:
+            log.write('{"key": {"meth')
+        size_before = len(open(store.path).read())
+        store.refresh()
+        # The complete rows replay; the in-flight line is neither indexed
+        # nor destroyed (a concurrent writer may still be finishing it).
+        assert len(store) == 1
+        assert len(open(store.path).read()) == size_before
+        store.close()
+
+    def test_refresh_still_raises_on_mid_log_corruption(self, tmp_path):
+        store = JsonlStore(tmp_path)
+        store.put(sample_key(seed=1), sample_record(seed=1))
+        store.put(sample_key(seed=2), sample_record(seed=2))
+        data = open(store.path).readlines()
+        data[0] = data[0][:20] + "\n"  # damage a *middle* line
+        open(store.path, "w").writelines(data)
+        with pytest.raises(ValueError, match="corrupt"):
+            store.refresh()
+        store.close()
+
 
 class TestCheckpointConformance:
     """Every backend speaks the same mid-run checkpoint contract."""
