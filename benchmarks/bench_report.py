@@ -89,6 +89,12 @@ def record_backend(
     vectorized = report["backends"].get("vectorized", {}).get("designs_per_sec")
     if serial and vectorized:
         report["vectorized_speedup_over_serial"] = round(vectorized / serial, 2)
+    mixed_serial = report["backends"].get("mixed_serial", {}).get("designs_per_sec")
+    mixed = report["backends"].get("mixed_workload", {}).get("designs_per_sec")
+    if mixed_serial and mixed:
+        report["mixed_workload_speedup_over_serial"] = round(
+            mixed / mixed_serial, 2
+        )
     rl_loop = report["backends"].get("rl_update_loop", {}).get("designs_per_sec")
     rl_batched = report["backends"].get("rl_update_batched", {}).get(
         "designs_per_sec"

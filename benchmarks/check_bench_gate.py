@@ -7,6 +7,11 @@ fails (exit code 1) when any of:
 * the vectorized SPICE backend does not beat serial evaluation by the
   acceptance margin (``--min-speedup``, default 3x on the 32-design Two-TIA
   batch),
+* the cross-topology mixed workload (a uniform two_tia/three_tia/two_volt
+  request mix through one unbound evaluator) does not beat its serial
+  reference by ``--min-mixed-speedup`` (default 3x), or any design of the
+  mix left the vectorized fast path (``scalar_fallback_designs`` must be 0
+  — the batched homotopy retires the per-design scalar bail-out),
 * the batched RL critic update does not beat the per-sample update loop by
   ``--min-rl-speedup`` (default 3x designs-trained/sec at batch size 48),
 * the optimization service's cross-client batch coalescing averages fewer
@@ -27,8 +32,9 @@ fails (exit code 1) when any of:
 
 Usage:
     python benchmarks/check_bench_gate.py REPORT [--baseline BASELINE]
-        [--min-speedup 3.0] [--min-rl-speedup 3.0] [--min-coalescing 2.0]
-        [--min-campaign-speedup 1.5] [--regression-factor 0.5]
+        [--min-speedup 3.0] [--min-mixed-speedup 3.0] [--min-rl-speedup 3.0]
+        [--min-coalescing 2.0] [--min-campaign-speedup 1.5]
+        [--regression-factor 0.5]
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ def main(argv=None) -> int:
         help="committed baseline report (default: benchmarks/BENCH_evaluator.json)",
     )
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--min-mixed-speedup", type=float, default=3.0)
     parser.add_argument("--min-rl-speedup", type=float, default=3.0)
     parser.add_argument("--min-coalescing", type=float, default=2.0)
     parser.add_argument("--min-campaign-speedup", type=float, default=1.5)
@@ -87,6 +94,41 @@ def main(argv=None) -> int:
             failures.append(
                 f"vectorized speedup {speedup:.2f}x is below the acceptance "
                 f"margin of {args.min_speedup:.1f}x over serial"
+            )
+
+    mixed_serial = backends.get("mixed_serial", {}).get("designs_per_sec")
+    mixed_entry = backends.get("mixed_workload", {})
+    mixed = mixed_entry.get("designs_per_sec")
+    if not mixed_serial or not mixed:
+        failures.append(
+            "report is missing mixed_serial and/or mixed_workload throughput "
+            f"(backends present: {sorted(backends)})"
+        )
+    else:
+        fallbacks = mixed_entry.get("scalar_fallback_designs")
+        if fallbacks is None:
+            failures.append(
+                "mixed_workload entry has no scalar_fallback_designs count"
+            )
+        elif fallbacks != 0:
+            # Unconditional: a fallback means a design left the vectorized
+            # fast path — the batched homotopy must cover the whole mix.
+            failures.append(
+                f"mixed workload pushed {fallbacks} design(s) onto the "
+                "scalar fallback path; the batched homotopy must cover all"
+            )
+        mixed_speedup = mixed / mixed_serial
+        print(
+            f"mixed serial={mixed_serial:.1f}/s vectorized={mixed:.1f}/s "
+            f"speedup={mixed_speedup:.2f}x fallbacks="
+            f"{mixed_entry.get('scalar_fallback_designs', '?')} "
+            f"(required: {args.min_mixed_speedup:.1f}x)"
+        )
+        if mixed_speedup < args.min_mixed_speedup:
+            failures.append(
+                f"mixed-workload speedup {mixed_speedup:.2f}x is below the "
+                f"acceptance margin of {args.min_mixed_speedup:.1f}x over "
+                "serial"
             )
 
     rl_loop = backends.get("rl_update_loop", {}).get("designs_per_sec")

@@ -75,6 +75,70 @@ def test_vectorized_vs_serial_throughput(circuit, batch, capsys):
     assert speedup > MIN_SPEEDUP_IN_TEST
 
 
+def test_mixed_workload_throughput(capsys):
+    """Cross-topology batching: one mixed evaluate_requests vs serial.
+
+    A uniform two_tia/three_tia/two_volt mix, interleaved, through one
+    unbound evaluator — the traffic shape the service coalescer and the
+    campaign's shared evaluator produce.  The vectorized backend must bucket
+    the mix into three stacked solves and beat the serial reference >= 3x
+    (CI gate), with zero designs leaving the vectorized fast path.
+    """
+    from repro.eval import EvalRequest
+
+    circuits = ["two_tia", "three_tia", "two_volt"]
+    per_circuit = max(NUM_DESIGNS // len(circuits), 4)
+    rng = np.random.default_rng(13)
+    requests = []
+    for name in circuits:
+        design = get_circuit(name)
+        requests.extend(
+            EvalRequest(name, "180nm", design.random_sizing(rng))
+            for _ in range(per_circuit)
+        )
+    order = rng.permutation(len(requests))
+    requests = [requests[i] for i in order]
+    warmup = [requests[i] for i in range(0, len(requests), per_circuit)]
+
+    def rate(evaluator):
+        evaluator.evaluate_requests(warmup)
+        start = time.perf_counter()
+        results = evaluator.evaluate_requests(requests)
+        return len(requests) / max(time.perf_counter() - start, 1e-9), results
+
+    serial_rate, serial_results = rate(LocalEvaluator())
+    vectorized = VectorizedEvaluator()
+    vectorized_rate, vectorized_results = rate(vectorized)
+    speedup = vectorized_rate / serial_rate
+
+    for request, reference, result in zip(requests, serial_results, vectorized_results):
+        fom = default_fom_config(get_circuit(request.circuit, request.technology))
+        assert fom.compute(result.metrics) == pytest.approx(
+            fom.compute(reference.metrics), rel=1e-9, abs=1e-9
+        )
+
+    record_backend("mixed_serial", serial_rate, len(requests), circuit="mixed")
+    record_backend(
+        "mixed_workload",
+        vectorized_rate,
+        len(requests),
+        circuit="mixed",
+        extra={
+            "circuits": circuits,
+            "scalar_fallback_designs": vectorized.stats.scalar_fallbacks,
+        },
+    )
+    with capsys.disabled():
+        print(
+            f"\n[mixed-workload] designs={len(requests)} "
+            f"serial={serial_rate:.1f}/s vectorized={vectorized_rate:.1f}/s "
+            f"speedup={speedup:.2f}x "
+            f"fallbacks={vectorized.stats.scalar_fallbacks}"
+        )
+    assert vectorized.stats.scalar_fallbacks == 0
+    assert speedup > MIN_SPEEDUP_IN_TEST
+
+
 def test_vectorized_scales_with_batch_size(circuit, batch):
     """Stacked solves amortise: bigger batches must not get slower per design."""
     sizes = [size for size in (8, NUM_DESIGNS) if size <= len(batch)]

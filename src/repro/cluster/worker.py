@@ -183,6 +183,20 @@ class CampaignWorker:
             campaign, self.lease_store, owner=self.worker_id, ttl=self.ttl
         )
         self._stop = threading.Event()
+        self._evaluator = None
+
+    def _shared_evaluator(self):
+        """One evaluator for every cell this worker executes (lazy).
+
+        Each run binds a per-circuit view of it, so caches, pools and
+        (vectorized) request batches persist across the worker's cells.
+        """
+        if self._evaluator is None:
+            from repro.eval import EvaluatorConfig
+
+            config = self.campaign.evaluator_config or EvaluatorConfig()
+            self._evaluator = config.build()
+        return self._evaluator
 
     def request_stop(self) -> None:
         """Ask the worker to checkpoint, release, and exit (signal-safe)."""
@@ -210,6 +224,9 @@ class CampaignWorker:
                 continue
             visited += 1
             self._execute(assignment, report)
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
         report.wall_time_s = time.perf_counter() - started
         return report
 
@@ -257,6 +274,7 @@ class CampaignWorker:
                 weight_overrides=request.weight_overrides,
                 apply_spec=request.apply_spec,
                 evaluator_config=self.campaign.evaluator_config,
+                evaluator=self._shared_evaluator(),
                 store=self.campaign.store,
                 checkpoint_every=self.checkpoint_every,
                 callbacks=self.step_callbacks,

@@ -1,6 +1,7 @@
 """Sizing environment: Figure-of-Merit (reward) and state/action handling."""
 
 from repro.env.environment import HistoryEntry, SizingEnvironment, StepResult
+from repro.env.normalized import NormalizedEnv
 from repro.env.fom import (
     FoMConfig,
     MetricNormalization,
@@ -11,6 +12,7 @@ from repro.env.fom import (
 
 __all__ = [
     "SizingEnvironment",
+    "NormalizedEnv",
     "StepResult",
     "HistoryEntry",
     "FoMConfig",

@@ -25,7 +25,7 @@ calls would; the scalar methods are thin batch-of-one wrappers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from repro.circuits.parameters import Sizing
 from repro.env.fom import FoMConfig, default_fom_config
 from repro.eval.base import Evaluator
 from repro.eval.local import LocalEvaluator
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard (typing only)
+    from repro.env.normalized import NormalizedEnv
 
 
 @dataclass
@@ -89,8 +92,11 @@ class SizingEnvironment:
             apply_spec: Enforce the circuit's hard spec limits in the FoM.
             evaluator: Evaluation backend every simulator call goes through;
                 defaults to a serial in-process :class:`LocalEvaluator`.  The
-                evaluator must simulate the same circuit it is paired with.
+                evaluator must simulate the same circuit it is paired with;
+                an unbound (shared) evaluator is bound to the circuit here.
         """
+        if evaluator is not None and not evaluator.bound:
+            evaluator = evaluator.bind(circuit)
         if evaluator is not None and (
             evaluator.circuit.name != circuit.name
             or evaluator.circuit.technology.name != circuit.technology.name
@@ -112,6 +118,22 @@ class SizingEnvironment:
         self.best_reward: float = -np.inf
         self.best_sizing: Optional[Sizing] = None
         self.best_metrics: Optional[Dict[str, float]] = None
+        self._normalized: Optional["NormalizedEnv"] = None
+
+    @property
+    def normalized(self) -> "NormalizedEnv":
+        """The :class:`~repro.env.normalized.NormalizedEnv` view of this env.
+
+        The wrapper owns the clip-and-denormalize mapping from normalized
+        agent actions (flat ``[-1, 1]^d`` vectors or per-component action
+        matrices) to physical sizings; the environment's own conversion
+        hooks delegate to it, so there is exactly one scaling code path.
+        """
+        if self._normalized is None:
+            from repro.env.normalized import NormalizedEnv
+
+            self._normalized = NormalizedEnv(self)
+        return self._normalized
 
     # --- basic properties -----------------------------------------------------------
     @property
@@ -215,17 +237,8 @@ class SizingEnvironment:
         return self.evaluate_sizings([sizing])[0]
 
     def _actions_to_sizing(self, actions: np.ndarray) -> Sizing:
-        """Validate one action matrix and denormalise it into a sizing."""
-        actions = np.asarray(actions, dtype=float)
-        if actions.shape[0] != self.num_components:
-            raise ValueError(
-                f"expected {self.num_components} action rows, got {actions.shape[0]}"
-            )
-        action_map = {
-            comp.name: actions[i, : comp.action_dim].tolist()
-            for i, comp in enumerate(self.circuit.components)
-        }
-        return self.circuit.parameter_space.actions_to_sizing(action_map)
+        """Denormalise one action matrix via the :attr:`normalized` wrapper."""
+        return self.normalized.actions_to_sizing(actions)
 
     def step_batch(self, actions_batch: Sequence[np.ndarray]) -> List[StepResult]:
         """Evaluate several per-component action matrices in one batch.
@@ -249,15 +262,8 @@ class SizingEnvironment:
         return self.step_batch([actions])[0]
 
     def _vector_to_sizing(self, vector: Sequence[float]) -> Sizing:
-        """Validate one flat normalised vector and denormalise it."""
-        vector = np.asarray(vector, dtype=float)
-        defs = self.circuit.parameter_space.definitions
-        if len(vector) != len(defs):
-            raise ValueError(
-                f"expected vector of length {len(defs)}, got {len(vector)}"
-            )
-        physical = [d.denormalize(v) for d, v in zip(defs, vector)]
-        return self.circuit.parameter_space.vector_to_sizing(physical)
+        """Denormalise one flat vector via the :attr:`normalized` wrapper."""
+        return self.normalized.vector_to_sizing(vector)
 
     def evaluate_normalized_batch(
         self, vectors: Sequence[Sequence[float]]

@@ -1,0 +1,86 @@
+"""Normalized action-space view of a :class:`SizingEnvironment`.
+
+Every optimization method proposes designs in a normalized space — flat
+vectors in ``[-1, 1]^d`` (random search, ES, BO, MACE) or per-component
+action matrices (the RL agents) — while the simulator wants refined physical
+sizings.  This wrapper is the *single* place that mapping lives: it clips to
+the design cube and denormalizes through the circuit's parameter space, so
+no agent, strategy or driver carries its own scaling code (the
+NormalizedEnv/NormalizedActions wrapper idiom of the RL literature).
+
+:class:`SizingEnvironment` exposes it as ``environment.normalized`` and
+routes its own ``evaluate_normalized_batch`` / ``step_batch`` conversions
+through it, so the wrapper and the environment can never disagree about the
+action mapping.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+from repro.circuits.parameters import Sizing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.env.environment import SizingEnvironment, StepResult
+
+
+class NormalizedEnv:
+    """Maps normalized agent actions onto the wrapped environment's sizings.
+
+    Args:
+        env: The environment whose circuit defines the parameter space.
+    """
+
+    def __init__(self, env: "SizingEnvironment"):
+        self.env = env
+
+    # --- flat [-1, 1]^d vectors (black-box methods) -------------------------------
+    def vector_to_sizing(self, vector: Sequence[float]) -> Sizing:
+        """Clip one flat normalized vector to the cube and denormalize it."""
+        vector = np.clip(np.asarray(vector, dtype=float), -1.0, 1.0)
+        defs = self.env.circuit.parameter_space.definitions
+        if len(vector) != len(defs):
+            raise ValueError(
+                f"expected vector of length {len(defs)}, got {len(vector)}"
+            )
+        physical = [d.denormalize(v) for d, v in zip(defs, vector)]
+        return self.env.circuit.parameter_space.vector_to_sizing(physical)
+
+    def sizing_to_vector(self, sizing: Sizing) -> np.ndarray:
+        """Inverse mapping: physical sizing to a flat normalized vector."""
+        space = self.env.circuit.parameter_space
+        return np.asarray(space.sizing_to_vector(sizing), dtype=float)
+
+    # --- per-component action matrices (the RL agents) ----------------------------
+    def actions_to_sizing(self, actions: np.ndarray) -> Sizing:
+        """Clip one per-component action matrix and denormalize it."""
+        actions = np.clip(np.asarray(actions, dtype=float), -1.0, 1.0)
+        if actions.shape[0] != self.env.num_components:
+            raise ValueError(
+                f"expected {self.env.num_components} action rows, "
+                f"got {actions.shape[0]}"
+            )
+        action_map = {
+            comp.name: actions[i, : comp.action_dim].tolist()
+            for i, comp in enumerate(self.env.circuit.components)
+        }
+        return self.env.circuit.parameter_space.actions_to_sizing(action_map)
+
+    def sizing_to_actions(self, sizing: Sizing) -> np.ndarray:
+        """Inverse mapping: physical sizing to a padded action matrix."""
+        return self.env.actions_for_sizing(sizing)
+
+    # --- evaluation conveniences --------------------------------------------------
+    def evaluate_vectors(
+        self, vectors: Sequence[Sequence[float]]
+    ) -> List["StepResult"]:
+        """Evaluate a batch of flat normalized vectors through the env."""
+        return self.env.evaluate_normalized_batch(vectors)
+
+    def evaluate_actions(
+        self, actions_batch: Sequence[np.ndarray]
+    ) -> List["StepResult"]:
+        """Evaluate a batch of per-component action matrices through the env."""
+        return self.env.step_batch(actions_batch)

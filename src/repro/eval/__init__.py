@@ -1,20 +1,35 @@
 """Unified design-evaluation subsystem (the single entry to the simulator).
 
-Every optimizer reaches the SPICE engine through an :class:`Evaluator`:
+Every optimizer reaches the SPICE engine through an :class:`Evaluator`.  The
+unit of work is the :class:`EvalRequest` — (circuit, technology, sizing) —
+and the canonical entry point is ``evaluate_requests``, which accepts an
+arbitrarily mixed batch and returns results in request order; the
+per-circuit ``evaluate_batch`` is a thin adapter over it.
 
 * :class:`LocalEvaluator` — serial in-process reference implementation.
 * :class:`ParallelEvaluator` — process/thread pool fan-out with
   deterministic result ordering.
-* :class:`CachingEvaluator` — LRU cache keyed on the quantized refined
-  sizing, wrapping any other evaluator.
+* :class:`CachingEvaluator` — LRU cache keyed on
+  :func:`request_cache_key` (circuit, technology, quantized sizing),
+  wrapping any other evaluator.
 * :class:`VectorizedEvaluator` — stacked batched MNA solves
-  (:mod:`repro.spice.batch`): the whole batch shares single LAPACK calls.
+  (:mod:`repro.spice.batch`): mixed batches are bucketed by topology and
+  each bucket shares single LAPACK calls.
+* :class:`BoundEvaluator` — per-circuit view of a shared evaluator
+  (``Evaluator.bind``), so campaigns and services can funnel many runs
+  through one evaluator.
 * :class:`EvaluatorConfig` / :func:`build_evaluator` — declarative
   construction of the stack, shared by the CLI and the experiment runner.
 """
 
-from repro.eval.base import EvalResult, Evaluator, EvaluatorStats
-from repro.eval.caching import CachingEvaluator, sizing_cache_key
+from repro.eval.base import (
+    BoundEvaluator,
+    EvalRequest,
+    EvalResult,
+    Evaluator,
+    EvaluatorStats,
+)
+from repro.eval.caching import CachingEvaluator, request_cache_key, sizing_cache_key
 from repro.eval.config import BACKENDS, EvaluatorConfig, build_evaluator
 from repro.eval.local import LocalEvaluator
 from repro.eval.parallel import ParallelEvaluator
@@ -22,14 +37,17 @@ from repro.eval.vectorized import VectorizedEvaluator
 
 __all__ = [
     "Evaluator",
+    "EvalRequest",
     "EvalResult",
     "EvaluatorStats",
+    "BoundEvaluator",
     "LocalEvaluator",
     "ParallelEvaluator",
     "CachingEvaluator",
     "VectorizedEvaluator",
     "EvaluatorConfig",
     "build_evaluator",
+    "request_cache_key",
     "sizing_cache_key",
     "BACKENDS",
 ]

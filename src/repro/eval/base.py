@@ -3,28 +3,63 @@
 Every optimization method in the reproduction (GCN-RL, NG-RL, random search,
 ES, BO, MACE) is simulation-in-the-loop: the dominant cost of a run is the
 sequence of circuit evaluations it requests.  This module defines the batched
-evaluation contract that decouples *what* is evaluated (a list of physical
-sizings) from *how* it is evaluated (serially, in a worker pool, through a
-cache, or — in later revisions — on a remote simulation service):
+evaluation contract that decouples *what* is evaluated from *how*:
 
-* :class:`EvalResult` — one sizing's measured metrics.
+* :class:`EvalRequest` — one (circuit, technology, sizing) evaluation unit;
+  the currency of the whole evaluation stack.
+* :class:`EvalResult` — one request's measured metrics.
 * :class:`EvaluatorStats` — running counters every evaluator maintains.
-* :class:`Evaluator` — the abstract batched interface; ``evaluate_batch`` is
-  the one required method and the scalar ``evaluate`` is a thin wrapper.
+* :class:`Evaluator` — the abstract batched interface.  The canonical entry
+  point is :meth:`Evaluator.evaluate_requests`, which accepts an arbitrarily
+  *mixed* batch (any circuits, any technologies, interleaved) and returns
+  results in request order; backends implement the per-circuit hook
+  :meth:`Evaluator._evaluate_bucket` and inherit the bucketing/scatter
+  machinery.  The per-circuit :meth:`Evaluator.evaluate_batch` is a thin
+  adapter that wraps sizings as requests for the bound circuit, so all
+  pre-``EvalRequest`` call sites keep working unchanged.
+* :class:`BoundEvaluator` — a per-circuit view of a shared evaluator, so
+  many environments (campaign cells, service buckets) can funnel traffic
+  into one evaluator whose lifetime outlives each of them.
 
-Implementations must be *deterministic in order*: ``evaluate_batch(s)[i]``
-always corresponds to ``s[i]``, whatever parallelism or caching happens
-underneath, so optimization histories are reproducible bit-for-bit.
+Implementations must be *deterministic in order*: ``evaluate_requests(r)[i]``
+always corresponds to ``r[i]``, whatever bucketing, parallelism or caching
+happens underneath, so optimization histories are reproducible bit-for-bit.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.base import CircuitDesign
 from repro.circuits.parameters import Sizing
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One design evaluation: which circuit, which node, which sizing.
+
+    Attributes:
+        circuit: Circuit registry name (case-insensitive).
+        technology: Technology node name (e.g. ``"180nm"``).
+        sizing: The refined physical sizing to simulate.
+    """
+
+    circuit: str
+    technology: str
+    sizing: Sizing
+
+    @property
+    def bucket(self) -> Tuple[str, str]:
+        """Topology-compatibility key requests are batched under.
+
+        Two requests may share a stacked solve only when both the topology
+        *and* the model cards match, so the key is (circuit, technology) —
+        exactly how the service coalescer already bucketed submissions.
+        """
+        return (self.circuit.lower(), self.technology)
 
 
 @dataclass
@@ -48,12 +83,15 @@ class EvaluatorStats:
     """Running counters of an evaluator's activity.
 
     Attributes:
-        num_batches: Number of ``evaluate_batch`` calls served.
+        num_batches: Number of batch calls served (``evaluate_requests`` or
+            ``evaluate_batch`` — the adapter counts once).
         num_designs: Total designs evaluated (including cache hits).
         num_simulations: Designs that actually reached the simulator.
         cache_hits: Designs served from a cache.
         cache_evictions: Cache entries dropped due to capacity.
-        total_time: Wall-clock seconds spent inside ``evaluate_batch``.
+        scalar_fallbacks: Designs that left the vectorized fast path and were
+            simulated serially (no analysis plan / incompatible topology).
+        total_time: Wall-clock seconds spent inside batch evaluation.
     """
 
     num_batches: int = 0
@@ -61,6 +99,7 @@ class EvaluatorStats:
     num_simulations: int = 0
     cache_hits: int = 0
     cache_evictions: int = 0
+    scalar_fallbacks: int = 0
     total_time: float = 0.0
 
     @property
@@ -78,46 +117,167 @@ class EvaluatorStats:
             "num_simulations": self.num_simulations,
             "cache_hits": self.cache_hits,
             "cache_evictions": self.cache_evictions,
+            "scalar_fallbacks": self.scalar_fallbacks,
             "total_time": self.total_time,
             "hit_rate": self.hit_rate,
         }
 
 
 class Evaluator(abc.ABC):
-    """Batched design-evaluation service: sizings in, metrics out.
+    """Batched design-evaluation service: requests in, metrics out.
 
     The evaluator owns *no* optimization state — it is a pure mapping from
     refined physical sizings to metric dictionaries.  Reward (FoM) compution
     stays in the environment, so the same evaluator (and its cache) can be
     shared by runs with different FoM weightings.
+
+    An evaluator may be *bound* to one circuit (the classic per-environment
+    use; ``evaluate_batch`` needs it) or *unbound* (``circuit=None``), in
+    which case it serves arbitrarily mixed :class:`EvalRequest` batches and
+    resolves circuits lazily from the registry.
     """
 
-    def __init__(self, circuit: CircuitDesign):
+    def __init__(self, circuit: Optional[CircuitDesign] = None):
         self._circuit = circuit
+        self._circuits: Dict[Tuple[str, str], CircuitDesign] = {}
+        if circuit is not None:
+            key = (circuit.name.lower(), circuit.technology.name)
+            self._circuits[key] = circuit
         self.stats = EvaluatorStats()
 
     @property
     def circuit(self) -> CircuitDesign:
-        """The circuit design this evaluator simulates."""
+        """The bound circuit design; raises when the evaluator is unbound."""
+        if self._circuit is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not bound to a circuit; use "
+                "evaluate_requests() with explicit EvalRequests, or bind() "
+                "a per-circuit view"
+            )
         return self._circuit
 
-    @abc.abstractmethod
+    @property
+    def bound(self) -> bool:
+        """Whether this evaluator is pinned to a single circuit."""
+        return self._circuit is not None
+
+    def bind(self, circuit: CircuitDesign) -> "Evaluator":
+        """A per-circuit view of this evaluator whose ``close()`` is a no-op.
+
+        Environments built around the view funnel all their traffic (and
+        stats, and cache state) into this shared evaluator; closing the view
+        — as ``run_method`` does after every run — leaves the shared
+        evaluator alive for the next cell.
+        """
+        return BoundEvaluator(self, circuit)
+
+    def _resolve_circuit(self, name: str, technology: str) -> CircuitDesign:
+        """Circuit design for a request bucket, resolved once and cached."""
+        key = (name.lower(), technology)
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            # Lazy import: the circuit registry must stay importable without
+            # pulling the evaluation stack in, and vice versa.
+            from repro.circuits.library import get_circuit
+
+            circuit = get_circuit(name, technology)
+            self._circuits[key] = circuit
+        return circuit
+
+    def _legacy_batch_only(self) -> bool:
+        """Whether a subclass predates ``EvalRequest`` (batch override only).
+
+        Subclasses written against the per-circuit API override
+        ``evaluate_batch`` and nothing else; ``evaluate_requests`` then
+        routes bound-circuit batches through their override instead of the
+        bucket hook (same idiom as ``SizingEnvironment._scalar_override``).
+        """
+        cls = type(self)
+        return (
+            cls.evaluate_batch is not Evaluator.evaluate_batch
+            and cls._evaluate_bucket is Evaluator._evaluate_bucket
+        )
+
+    def _evaluate_bucket(
+        self, circuit: CircuitDesign, sizings: Sequence[Sizing]
+    ) -> List[EvalResult]:
+        """Evaluate one topology-compatible group; backends implement this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither _evaluate_bucket() "
+            "nor evaluate_batch()"
+        )
+
+    def evaluate_requests(
+        self, requests: Sequence[EvalRequest]
+    ) -> List[EvalResult]:
+        """Evaluate a mixed batch; result ``i`` always matches request ``i``.
+
+        Requests are grouped by :attr:`EvalRequest.bucket` (first-seen
+        order, preserving each bucket's internal order), every group runs
+        through :meth:`_evaluate_bucket`, and results scatter back to
+        request positions.
+        """
+        requests = list(requests)
+        start = time.perf_counter()
+        if self._legacy_batch_only():
+            circuit = self.circuit
+            home = (circuit.name.lower(), circuit.technology.name)
+            foreign = sorted(
+                {
+                    f"{r.circuit}/{r.technology}"
+                    for r in requests
+                    if r.bucket != home
+                }
+            )
+            if foreign:
+                raise ValueError(
+                    f"{type(self).__name__} overrides evaluate_batch() only "
+                    f"and is bound to {circuit.name!r}/"
+                    f"{circuit.technology.name}; cannot serve requests for "
+                    f"{', '.join(foreign)}"
+                )
+            return self.evaluate_batch([r.sizing for r in requests])
+
+        buckets: Dict[Tuple[str, str], List[int]] = {}
+        for index, request in enumerate(requests):
+            buckets.setdefault(request.bucket, []).append(index)
+        results: List[Optional[EvalResult]] = [None] * len(requests)
+        for indices in buckets.values():
+            first = requests[indices[0]]
+            circuit = self._resolve_circuit(first.circuit, first.technology)
+            bucket_results = self._evaluate_bucket(
+                circuit, [requests[i].sizing for i in indices]
+            )
+            for index, result in zip(indices, bucket_results):
+                results[index] = result
+        self.stats.num_batches += 1
+        self.stats.num_designs += len(requests)
+        self.stats.num_simulations += len(requests)
+        self.stats.total_time += time.perf_counter() - start
+        return results
+
     def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:
-        """Evaluate many sizings; result ``i`` always matches input ``i``."""
+        """Per-circuit adapter: evaluate sizings against the bound circuit."""
+        circuit = self.circuit
+        name, technology = circuit.name, circuit.technology.name
+        return self.evaluate_requests(
+            [EvalRequest(name, technology, sizing) for sizing in sizings]
+        )
 
     def evaluate(self, sizing: Sizing) -> EvalResult:
-        """Evaluate a single sizing (batch of one)."""
+        """Evaluate a single sizing against the bound circuit (batch of one)."""
         return self.evaluate_batch([sizing])[0]
 
-    def peek(self, sizing: Sizing) -> Optional[Dict[str, float]]:
-        """Already-known metrics for ``sizing``, or ``None`` (never simulates).
+    def peek(self, request: EvalRequest) -> Optional[Dict[str, float]]:
+        """Already-known metrics for ``request``, or ``None`` (never simulates).
 
         The hook batch schedulers (the service's cross-client coalescer) use
         to serve stored results without entering a simulator batch.  Plain
         evaluators know nothing, so the default is ``None``;
         :class:`~repro.eval.caching.CachingEvaluator` overrides it with a
-        non-mutating cache lookup keyed exactly like ``evaluate_batch``'s
-        dedup, so a peek hit can never diverge from a real evaluation.
+        non-mutating cache lookup keyed exactly like its evaluation dedup
+        (:func:`~repro.eval.caching.request_cache_key`), so a peek hit can
+        never diverge from a real evaluation.
         """
         return None
 
@@ -132,4 +292,43 @@ class Evaluator(abc.ABC):
 
     def describe(self) -> str:
         """One-line summary used by logs and reports."""
-        return f"{type(self).__name__}({self._circuit.name})"
+        target = self._circuit.name if self._circuit is not None else "mixed"
+        return f"{type(self).__name__}({target})"
+
+
+class BoundEvaluator(Evaluator):
+    """Per-circuit view of a shared evaluator.
+
+    Traffic, stats and cache state all belong to the shared evaluator; the
+    view only pins the circuit (so environments can pair with it) and makes
+    :meth:`close` a no-op (the shared evaluator's owner closes it).
+    """
+
+    def __init__(self, shared: Evaluator, circuit: CircuitDesign):
+        self.shared = shared
+        self._circuit = circuit
+        # Seed the shared resolution cache so its bucketing reuses this very
+        # circuit object instead of re-building one from the registry.
+        key = (circuit.name.lower(), circuit.technology.name)
+        shared._circuits.setdefault(key, circuit)
+        self._circuits = shared._circuits
+
+    @property
+    def stats(self) -> EvaluatorStats:
+        return self.shared.stats
+
+    def evaluate_requests(
+        self, requests: Sequence[EvalRequest]
+    ) -> List[EvalResult]:
+        return self.shared.evaluate_requests(requests)
+
+    def peek(self, request: EvalRequest) -> Optional[Dict[str, float]]:
+        return self.shared.peek(request)
+
+    def close(self) -> None:
+        """No-op: the shared evaluator outlives its per-circuit views."""
+
+    def describe(self) -> str:
+        return (
+            f"BoundEvaluator({self._circuit.name} -> {self.shared.describe()})"
+        )

@@ -51,8 +51,14 @@ class EvaluatorConfig:
         if self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
 
-    def build(self, circuit: CircuitDesign) -> Evaluator:
-        """Construct the configured evaluator stack for a circuit."""
+    def build(self, circuit: Optional[CircuitDesign] = None) -> Evaluator:
+        """Construct the configured evaluator stack.
+
+        With ``circuit`` the stack is bound to it (the classic per-run use);
+        without, the stack is unbound and serves arbitrarily mixed
+        :class:`~repro.eval.base.EvalRequest` batches — one shared evaluator
+        for a whole campaign or service.
+        """
         if self.backend == "local":
             evaluator: Evaluator = LocalEvaluator(circuit)
         elif self.backend == "vectorized":

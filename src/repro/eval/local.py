@@ -2,30 +2,30 @@
 
 from __future__ import annotations
 
-import time
 from typing import List, Sequence
 
+from repro.circuits.base import CircuitDesign
 from repro.circuits.parameters import Sizing
 from repro.eval.base import EvalResult, Evaluator
 
 
 class LocalEvaluator(Evaluator):
-    """Evaluates each sizing serially through ``circuit.evaluate``.
+    """Evaluates each design serially through ``circuit.evaluate``.
 
     This is the behaviour every optimizer had before the batched API existed;
-    :class:`~repro.eval.parallel.ParallelEvaluator` and
-    :class:`~repro.eval.caching.CachingEvaluator` are verified against it.
+    :class:`~repro.eval.parallel.ParallelEvaluator`,
+    :class:`~repro.eval.caching.CachingEvaluator` and
+    :class:`~repro.eval.vectorized.VectorizedEvaluator` are verified against
+    it.  Unbound (``LocalEvaluator()``), it serves arbitrarily mixed
+    :class:`~repro.eval.base.EvalRequest` batches, resolving circuits from
+    the registry.
     """
 
-    def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:
+    def _evaluate_bucket(
+        self, circuit: CircuitDesign, sizings: Sequence[Sizing]
+    ) -> List[EvalResult]:
         """Simulate every sizing in order on the calling thread."""
-        start = time.perf_counter()
-        results = [
-            EvalResult(sizing=sizing, metrics=self._circuit.evaluate(sizing))
+        return [
+            EvalResult(sizing=sizing, metrics=circuit.evaluate(sizing))
             for sizing in sizings
         ]
-        self.stats.num_batches += 1
-        self.stats.num_designs += len(results)
-        self.stats.num_simulations += len(results)
-        self.stats.total_time += time.perf_counter() - start
-        return results

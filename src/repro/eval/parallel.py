@@ -5,15 +5,15 @@ GIL serialises thread workers); the thread backend is still useful as a
 low-overhead smoke test of the fan-out path and for future simulator
 backends that release the GIL.
 
-Determinism: a batch is split into contiguous chunks, one per worker, and the
-results are stitched back together in submission order — ``results[i]``
-always corresponds to ``sizings[i]`` regardless of worker scheduling.
+Determinism: each topology bucket of a batch is split into contiguous
+chunks, one per worker, and the results are stitched back together in
+submission order — ``results[i]`` always corresponds to input ``i``
+regardless of worker scheduling.
 """
 
 from __future__ import annotations
 
 import os
-import time
 import warnings
 from concurrent.futures import (
     BrokenExecutor,
@@ -21,34 +21,51 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.base import CircuitDesign
 from repro.circuits.parameters import Sizing
 from repro.eval.base import EvalResult, Evaluator
 
-#: Per-process circuit instance, installed once by the pool initializer so the
-#: (pickled) circuit crosses the process boundary once per worker, not once
-#: per task.
-_WORKER_CIRCUIT: Optional[CircuitDesign] = None
+#: Per-process circuit cache, seeded by the pool initializer so the (pickled)
+#: bound circuit crosses the process boundary once per worker, not once per
+#: task; circuits of other requests are resolved from the registry on first
+#: use inside each worker.
+_WORKER_CIRCUITS: Dict[Tuple[str, str], CircuitDesign] = {}
 
 
-def _init_worker(circuit: CircuitDesign) -> None:
-    global _WORKER_CIRCUIT
-    _WORKER_CIRCUIT = circuit
+def _init_worker(circuit: Optional[CircuitDesign]) -> None:
+    if circuit is not None:
+        key = (circuit.name.lower(), circuit.technology.name)
+        _WORKER_CIRCUITS[key] = circuit
 
 
-def _evaluate_chunk_in_worker(sizings: List[Sizing]) -> List[Dict[str, float]]:
-    """Process-pool task: evaluate one contiguous chunk of the batch."""
-    assert _WORKER_CIRCUIT is not None, "worker pool initializer did not run"
-    return [_WORKER_CIRCUIT.evaluate(sizing) for sizing in sizings]
+def _worker_circuit(name: str, technology: str) -> CircuitDesign:
+    key = (name.lower(), technology)
+    circuit = _WORKER_CIRCUITS.get(key)
+    if circuit is None:
+        from repro.circuits.library import get_circuit
+
+        circuit = get_circuit(name, technology)
+        _WORKER_CIRCUITS[key] = circuit
+    return circuit
+
+
+def _evaluate_chunk_in_worker(
+    circuit_name: str, technology: str, sizings: List[Sizing]
+) -> List[Dict[str, float]]:
+    """Process-pool task: evaluate one contiguous chunk of a bucket."""
+    circuit = _worker_circuit(circuit_name, technology)
+    return [circuit.evaluate(sizing) for sizing in sizings]
 
 
 class ParallelEvaluator(Evaluator):
     """Evaluates batches through a process or thread pool.
 
     Args:
-        circuit: The circuit design to simulate.
+        circuit: The circuit design to simulate, or ``None`` for an unbound
+            evaluator serving mixed :class:`~repro.eval.base.EvalRequest`
+            batches (workers resolve circuits from the registry).
         max_workers: Pool size; defaults to the machine's CPU count.
         backend: ``"process"`` (default, true parallelism) or ``"thread"``.
 
@@ -60,7 +77,7 @@ class ParallelEvaluator(Evaluator):
 
     def __init__(
         self,
-        circuit: CircuitDesign,
+        circuit: Optional[CircuitDesign] = None,
         max_workers: Optional[int] = None,
         backend: str = "process",
     ):
@@ -134,32 +151,40 @@ class ParallelEvaluator(Evaluator):
             start += size
         return slices
 
-    def _evaluate_serial(self, sizings: Sequence[Sizing]) -> List[List[Dict[str, float]]]:
-        return [[self._circuit.evaluate(sizing) for sizing in sizings]]
+    def _evaluate_serial(
+        self, circuit: CircuitDesign, sizings: Sequence[Sizing]
+    ) -> List[List[Dict[str, float]]]:
+        return [[circuit.evaluate(sizing) for sizing in sizings]]
 
-    def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:
-        """Fan the batch out over the pool; results keep input order."""
+    def _evaluate_bucket(
+        self, circuit: CircuitDesign, sizings: Sequence[Sizing]
+    ) -> List[EvalResult]:
+        """Fan one bucket out over the pool; results keep input order."""
         sizings = list(sizings)
-        start = time.perf_counter()
         if len(sizings) < 2 or self.max_workers == 1:
-            metric_chunks = self._evaluate_serial(sizings)
+            metric_chunks = self._evaluate_serial(circuit, sizings)
         else:
             executor = self._get_executor()
             if executor is None:
-                metric_chunks = self._evaluate_serial(sizings)
+                metric_chunks = self._evaluate_serial(circuit, sizings)
             else:
                 chunks = [sizings[s] for s in self._chunks(len(sizings))]
                 if self.backend == "thread":
                     futures = [
                         executor.submit(
-                            lambda items: [self._circuit.evaluate(x) for x in items],
+                            lambda items: [circuit.evaluate(x) for x in items],
                             chunk,
                         )
                         for chunk in chunks
                     ]
                 else:
                     futures = [
-                        executor.submit(_evaluate_chunk_in_worker, chunk)
+                        executor.submit(
+                            _evaluate_chunk_in_worker,
+                            circuit.name,
+                            circuit.technology.name,
+                            chunk,
+                        )
                         for chunk in chunks
                     ]
                 try:
@@ -173,21 +198,18 @@ class ParallelEvaluator(Evaluator):
                         "falling back to serial evaluation"
                     )
                     self._degrade()
-                    metric_chunks = self._evaluate_serial(sizings)
+                    metric_chunks = self._evaluate_serial(circuit, sizings)
 
-        results = []
         flat = [metrics for chunk in metric_chunks for metrics in chunk]
-        for sizing, metrics in zip(sizings, flat):
-            results.append(EvalResult(sizing=sizing, metrics=metrics))
-        self.stats.num_batches += 1
-        self.stats.num_designs += len(results)
-        self.stats.num_simulations += len(results)
-        self.stats.total_time += time.perf_counter() - start
-        return results
+        return [
+            EvalResult(sizing=sizing, metrics=metrics)
+            for sizing, metrics in zip(sizings, flat)
+        ]
 
     def describe(self) -> str:
         """One-line summary used by logs and reports."""
+        target = self._circuit.name if self._circuit is not None else "mixed"
         return (
-            f"ParallelEvaluator({self._circuit.name}, backend={self.backend}, "
+            f"ParallelEvaluator({target}, backend={self.backend}, "
             f"max_workers={self.max_workers})"
         )

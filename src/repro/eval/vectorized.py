@@ -4,23 +4,29 @@ Where :class:`~repro.eval.local.LocalEvaluator` walks the scalar path once
 per design, this backend stamps every design of a batch into stacked MNA
 systems and solves them with single batched LAPACK calls
 (:mod:`repro.spice.batch`): batched-Newton DC with per-design convergence
-masks, one ``(B, F, n, n)`` AC solve and batched adjoint noise.  Measurement
-code is shared with the serial path through the circuit's
+masks and a masked gmin/source-stepping homotopy for the hard designs, one
+``(B, F, n, n)`` AC solve and batched adjoint noise.  Measurement code is
+shared with the serial path through the circuit's
 :meth:`~repro.circuits.base.CircuitDesign.analysis_plan` /
 :meth:`~repro.circuits.base.CircuitDesign.metrics_from_solutions` split, so
 results match the serial backend to solver precision.
 
+Mixed :class:`~repro.eval.base.EvalRequest` batches are bucketed by
+(circuit, technology) — the :class:`~repro.spice.batch.BatchTemplate`
+compatibility key — so a heterogeneous request stream becomes a few dense
+stacked solves instead of many sparse ones; results scatter back in request
+order.
+
 Circuits that publish no analysis plan (the LDO's transient-heavy
-evaluation) and batches whose topology unexpectedly diverges fall back to
-the serial path per design — the backend is always *correct*, just not
-always faster.
+evaluation) and buckets whose topology unexpectedly diverges fall back to
+the serial path per design (counted in ``stats.scalar_fallbacks``) — the
+backend is always *correct*, just not always faster.
 """
 
 from __future__ import annotations
 
 import logging
-import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.circuits.base import AnalysisPlan, CircuitDesign
 from repro.circuits.parameters import Sizing
@@ -44,45 +50,54 @@ class VectorizedEvaluator(Evaluator):
     """Evaluates batches through the stacked (vectorized) MNA engine.
 
     Args:
-        circuit: The circuit design to simulate.
-        max_batch_size: Designs per stacked solve; larger batches are split
+        circuit: The circuit design to simulate, or ``None`` for an unbound
+            evaluator serving mixed request batches.
+        max_batch_size: Designs per stacked solve; larger buckets are split
             into chunks of this size to bound the AC tensor's memory.
     """
 
-    def __init__(self, circuit: CircuitDesign, max_batch_size: int = DEFAULT_MAX_BATCH):
+    def __init__(
+        self,
+        circuit: Optional[CircuitDesign] = None,
+        max_batch_size: int = DEFAULT_MAX_BATCH,
+    ):
         super().__init__(circuit)
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         self.max_batch_size = max_batch_size
-        self._warned_serial = False
+        self._warned_serial: Set[Tuple[str, str]] = set()
 
     # --- fallbacks ---------------------------------------------------------------
-    def _serial_fallback(self, sizings: Sequence[Sizing], reason: str) -> List[EvalResult]:
-        if not self._warned_serial:
+    def _serial_fallback(
+        self, circuit: CircuitDesign, sizings: Sequence[Sizing], reason: str
+    ) -> List[EvalResult]:
+        key = (circuit.name.lower(), circuit.technology.name)
+        if key not in self._warned_serial:
             logger.info(
                 "vectorized evaluator for %r runs serially: %s",
-                self._circuit.name,
+                circuit.name,
                 reason,
             )
-            self._warned_serial = True
+            self._warned_serial.add(key)
+        self.stats.scalar_fallbacks += len(sizings)
         return [
-            EvalResult(sizing=sizing, metrics=self._circuit.evaluate(sizing))
+            EvalResult(sizing=sizing, metrics=circuit.evaluate(sizing))
             for sizing in sizings
         ]
 
     # --- batched path ------------------------------------------------------------
     def _evaluate_chunk(
-        self, sizings: List[Sizing], plan: AnalysisPlan
+        self, circuit: CircuitDesign, sizings: List[Sizing], plan: AnalysisPlan
     ) -> List[EvalResult]:
-        circuits = [self._circuit.build_circuit(sizing) for sizing in sizings]
+        circuits = [circuit.build_circuit(sizing) for sizing in sizings]
         try:
             template = BatchTemplate(circuits)
         except BatchIncompatibleError as error:
-            return self._serial_fallback(sizings, str(error))
+            return self._serial_fallback(circuit, sizings, str(error))
 
         ops = batch_dc_operating_point(circuits, template=template)
         converged = [i for i, op in enumerate(ops) if op.converged]
-        metrics = [self._circuit.failure_metrics() for _ in sizings]
+        metrics = [circuit.failure_metrics() for _ in sizings]
 
         if converged:
             sub_circuits = [circuits[i] for i in converged]
@@ -104,7 +119,7 @@ class VectorizedEvaluator(Evaluator):
                     template=sub_template,
                 )
             for position, index in enumerate(converged):
-                metrics[index] = self._circuit.metrics_from_solutions(
+                metrics[index] = circuit.metrics_from_solutions(
                     sizings[index], ops[index], acs[position], noises[position]
                 )
 
@@ -113,29 +128,26 @@ class VectorizedEvaluator(Evaluator):
             for sizing, metric in zip(sizings, metrics)
         ]
 
-    def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:
-        """Evaluate the batch through stacked solves (chunked, input order)."""
+    def _evaluate_bucket(
+        self, circuit: CircuitDesign, sizings: Sequence[Sizing]
+    ) -> List[EvalResult]:
+        """Evaluate one topology bucket through stacked solves (chunked)."""
         sizings = list(sizings)
-        start = time.perf_counter()
-        plan = self._circuit.analysis_plan()
+        plan = circuit.analysis_plan()
         if plan is None:
-            results = self._serial_fallback(
-                sizings, "circuit publishes no analysis plan"
+            return self._serial_fallback(
+                circuit, sizings, "circuit publishes no analysis plan"
             )
-        else:
-            results = []
-            for offset in range(0, len(sizings), self.max_batch_size):
-                chunk = sizings[offset : offset + self.max_batch_size]
-                results.extend(self._evaluate_chunk(chunk, plan))
-        self.stats.num_batches += 1
-        self.stats.num_designs += len(results)
-        self.stats.num_simulations += len(results)
-        self.stats.total_time += time.perf_counter() - start
+        results: List[EvalResult] = []
+        for offset in range(0, len(sizings), self.max_batch_size):
+            chunk = sizings[offset : offset + self.max_batch_size]
+            results.extend(self._evaluate_chunk(circuit, chunk, plan))
         return results
 
     def describe(self) -> str:
         """One-line summary used by logs and reports."""
+        target = self._circuit.name if self._circuit is not None else "mixed"
         return (
-            f"VectorizedEvaluator({self._circuit.name}, "
+            f"VectorizedEvaluator({target}, "
             f"max_batch_size={self.max_batch_size})"
         )

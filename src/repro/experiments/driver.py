@@ -179,8 +179,9 @@ class OptimizationDriver:
 
         Consecutive proposals of the same kind form one environment batch
         (and therefore one evaluator batch), preserving submission order.
-        Vector proposals are clipped to the design cube exactly as the old
-        ``BlackBoxOptimizer._evaluate_batch`` did.
+        Clipping to the design cube is owned by the environment's
+        :class:`~repro.env.normalized.NormalizedEnv` wrapper — the driver
+        forwards proposals untouched.
         """
         results: List[StepResult] = []
         start = 0
@@ -191,9 +192,7 @@ class OptimizationDriver:
                 stop += 1
             chunk = proposals[start:stop]
             if kind == "vector":
-                points = np.clip(
-                    np.asarray([p.vector for p in chunk], dtype=float), -1.0, 1.0
-                )
+                points = np.asarray([p.vector for p in chunk], dtype=float)
                 results.extend(self.environment.evaluate_normalized_batch(points))
             elif kind == "actions":
                 results.extend(

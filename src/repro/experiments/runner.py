@@ -26,7 +26,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence
 from repro.circuits.library import get_circuit
 from repro.env.environment import SizingEnvironment
 from repro.env.fom import default_fom_config
-from repro.eval import EvaluatorConfig
+from repro.eval import Evaluator, EvaluatorConfig
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.driver import OptimizationDriver, StepCallback
 from repro.experiments.records import RunRecord
@@ -62,10 +62,22 @@ def build_environment(
     apply_spec: bool = True,
     transferable_state: bool = False,
     evaluator_config: Optional[EvaluatorConfig] = None,
+    evaluator: Optional[Evaluator] = None,
 ) -> SizingEnvironment:
-    """Construct the standard experiment environment for a circuit."""
+    """Construct the standard experiment environment for a circuit.
+
+    With ``evaluator`` given (a shared, typically unbound evaluator), the
+    environment gets a per-circuit bound view of it instead of a private
+    stack — campaigns and cluster workers use this to funnel every cell's
+    traffic through one evaluator, whose caches and batches then span
+    circuits; the view's ``close()`` is a no-op, so the shared evaluator
+    survives the runner's per-run cleanup.
+    """
     circuit = get_circuit(circuit_name, technology)
-    evaluator = (evaluator_config or EvaluatorConfig()).build(circuit)
+    if evaluator is not None:
+        evaluator = evaluator.bind(circuit)
+    else:
+        evaluator = (evaluator_config or EvaluatorConfig()).build(circuit)
     fom = default_fom_config(
         circuit,
         weight_overrides=weight_overrides,
@@ -161,6 +173,7 @@ def run_method(
     apply_spec: bool = True,
     use_cache: bool = True,
     evaluator_config: Optional[EvaluatorConfig] = None,
+    evaluator: Optional[Evaluator] = None,
     store: Optional[RunStore] = None,
     checkpoint_every: int = 0,
     max_steps: Optional[int] = None,
@@ -183,7 +196,12 @@ def run_method(
         use_cache: Reuse a previous identical run — or resume its mid-run
             checkpoint — from the store if present.
         evaluator_config: Evaluator stack override; defaults to the one in
-            ``settings``.
+            ``settings``.  Still determines the run-cache key when a shared
+            ``evaluator`` is passed, so pass the config the shared evaluator
+            was built from.
+        evaluator: Shared evaluator to bind this run's environment to
+            (see :func:`build_environment`); the per-run ``close()`` then
+            leaves it alive for the caller's next run.
         store: Run store to read/write.  Defaults to the process-wide
             in-memory store; pass a persistent backend to make runs durable.
             An explicitly given store is always written to (even with
@@ -232,6 +250,7 @@ def run_method(
         weight_overrides,
         apply_spec,
         evaluator_config=evaluator_config,
+        evaluator=evaluator,
     )
 
     try:
@@ -250,7 +269,9 @@ def run_method(
         )
         result = driver.run(max_steps=max_steps)
     finally:
-        # Release worker pools even when the strategy/driver raises.
+        # Release worker pools even when the strategy/driver raises.  A
+        # shared evaluator's bound view makes this a no-op, so campaign-wide
+        # evaluators survive their cells.
         environment.evaluator.close()
 
     if not driver.finished:

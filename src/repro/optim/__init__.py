@@ -13,9 +13,7 @@ from repro.optim.human import HumanExpert
 from repro.optim.mace import MACE, pareto_front_indices
 from repro.optim.random_search import RandomSearch
 from repro.optim.registry import (
-    OPTIMIZER_CLASSES,
     STRATEGY_CLASSES,
-    get_optimizer,
     get_strategy,
     list_optimizers,
     register_strategy,
@@ -23,14 +21,27 @@ from repro.optim.registry import (
 )
 from repro.optim.strategy import Proposal, Strategy
 
-#: Deprecated alias: the pre-ask/tell base class name.  Methods no longer
-#: implement a monolithic ``run`` loop; subclass :class:`Strategy` instead.
-BlackBoxOptimizer = Strategy
+#: Pre-ask/tell names that no longer exist, mapped to their replacements.
+_REMOVED_ALIASES = {
+    "OPTIMIZER_CLASSES": "STRATEGY_CLASSES",
+    "get_optimizer": "get_strategy",
+    "BlackBoxOptimizer": "Strategy",
+}
+
+
+def __getattr__(name: str):
+    """Turn lookups of the removed pre-ask/tell aliases into clear errors."""
+    if name in _REMOVED_ALIASES:
+        raise AttributeError(
+            f"repro.optim.{name} was removed; "
+            f"use {_REMOVED_ALIASES[name]} instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Strategy",
     "Proposal",
-    "BlackBoxOptimizer",
     "OptimizationResult",
     "RandomSearch",
     "EvolutionStrategy",
@@ -43,10 +54,8 @@ __all__ = [
     "upper_confidence_bound",
     "pareto_front_indices",
     "STRATEGY_CLASSES",
-    "OPTIMIZER_CLASSES",
     "register_strategy",
     "get_strategy",
-    "get_optimizer",
     "list_optimizers",
     "strategy_config_fields",
 ]

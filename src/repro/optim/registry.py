@@ -25,8 +25,21 @@ from repro.optim.strategy import Strategy
 #: All registered strategy classes, keyed by their paper method name.
 STRATEGY_CLASSES: Dict[str, Type[Strategy]] = {}
 
-#: Deprecated alias of :data:`STRATEGY_CLASSES` (pre-ask/tell name).
-OPTIMIZER_CLASSES = STRATEGY_CLASSES
+#: Pre-ask/tell names that no longer exist, mapped to their replacements.
+_REMOVED_ALIASES = {
+    "OPTIMIZER_CLASSES": "STRATEGY_CLASSES",
+    "get_optimizer": "get_strategy",
+}
+
+
+def __getattr__(name: str):
+    """Turn lookups of the removed pre-ask/tell aliases into clear errors."""
+    if name in _REMOVED_ALIASES:
+        raise AttributeError(
+            f"repro.optim.registry.{name} was removed; "
+            f"use {_REMOVED_ALIASES[name]} instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Modules whose import registers the paper's methods (imported lazily).
 _STRATEGY_MODULES = (
@@ -112,7 +125,3 @@ def get_strategy(
             f"{', '.join(repr(k) for k in unknown)}; accepted: {accepted_text}"
         )
     return cls(environment, seed=seed, **kwargs)
-
-
-#: Deprecated alias of :func:`get_strategy` (pre-ask/tell name).
-get_optimizer = get_strategy

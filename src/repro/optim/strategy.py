@@ -78,9 +78,9 @@ class Strategy(abc.ABC):
 
     Subclasses implement :meth:`ask` and :meth:`tell` (and extend
     :meth:`state_dict`/:meth:`load_state_dict` with whatever state their
-    update rule carries).  The legacy ``run(budget)`` entry point is kept as
-    a thin deprecated shim that drives the strategy through an
-    :class:`~repro.experiments.driver.OptimizationDriver`.
+    update rule carries).  Strategies do not run their own loop: construct
+    an :class:`~repro.experiments.driver.OptimizationDriver` around one to
+    execute it (the pre-ask/tell ``run(budget)`` entry point is gone).
     """
 
     #: Registry name, overridden by subclasses.
@@ -134,18 +134,20 @@ class Strategy(abc.ABC):
         """Restore state saved by :meth:`state_dict`."""
         self.rng.bit_generator.state = state["rng"]
 
-    # --- legacy shim --------------------------------------------------------------
+    # --- removed legacy entry point -------------------------------------------------
     def run(self, budget: int) -> OptimizationResult:
-        """Deprecated: run the full loop in one call.
+        """Removed: strategies no longer run their own loop.
 
-        Kept for backwards compatibility with the pre-ask/tell API.  New
-        code should construct an
-        :class:`~repro.experiments.driver.OptimizationDriver` directly,
-        which adds checkpointing, callbacks and store persistence.
+        The pre-ask/tell ``run(budget)`` shim has been retired; the single
+        execution path is the driver, which adds budget accounting,
+        checkpointing, callbacks and store persistence on top of the same
+        ask/tell cycle.
         """
-        from repro.experiments.driver import OptimizationDriver
-
-        return OptimizationDriver(self, budget=budget).run()
+        raise RuntimeError(
+            f"{type(self).__name__}.run() was removed — drive the strategy "
+            "with repro.experiments.driver.OptimizationDriver instead: "
+            "OptimizationDriver(strategy, budget=...).run()"
+        )
 
     # --- helpers ------------------------------------------------------------------
     @staticmethod

@@ -1,41 +1,42 @@
 """Cross-client batch coalescing: many evaluate requests, few simulator calls.
 
-The server's evaluate path is a micro-batching funnel.  Submissions are
-bucketed by (circuit, technology) — the same keying a
-:class:`~repro.spice.batch.BatchTemplate` would use — and each bucket runs a
-tiny linger window: the first pending design arms a flush task that sleeps
-``linger_ms`` and then evaluates *everything* that queued up in the meantime
-as one :meth:`~repro.eval.Evaluator.evaluate_batch` call.  Concurrent
-clients therefore share simulator batches (amortizing the stacked-MNA
-speedup across connections), and while a batch is in flight the next one
-accumulates, so a busy server naturally converges to
+The server's evaluate path is a micro-batching funnel.  Submissions from all
+clients — whatever circuit or technology they target — join *one* pending
+queue of :class:`~repro.eval.base.EvalRequest` units and share a tiny linger
+window: the first pending design arms a flush task that sleeps ``linger_ms``
+and then evaluates *everything* that queued up in the meantime as one
+:meth:`~repro.eval.Evaluator.evaluate_requests` call.  The evaluator itself
+buckets the mixed batch by (circuit, technology) — the
+:class:`~repro.spice.batch.BatchTemplate` compatibility key — so with the
+vectorized backend, cross-client *and* cross-circuit traffic co-batches
+into a few dense stacked solves, and a busy server naturally converges to
 "one batch per simulator latency" regardless of client count.
 
 Two dedup layers guarantee no design is ever simulated twice:
 
-* **in-flight dedup** — submissions are keyed by the evaluator's own
-  :func:`~repro.eval.sizing_cache_key`; a design already queued or already
+* **in-flight dedup** — submissions are keyed by the canonical
+  :func:`~repro.eval.request_cache_key`; a design already queued or already
   being simulated attaches to the existing future instead of re-entering
-  the batch (the coalescer-visible in-flight key hook).
-* **stored-result dedup** — each bucket's evaluator is wrapped in a
-  :class:`~repro.eval.CachingEvaluator`; :meth:`Evaluator.peek` serves
-  already-simulated designs immediately, without even waiting for the
-  linger window.
+  the batch.
+* **stored-result dedup** — the shared evaluator is wrapped in a
+  :class:`~repro.eval.CachingEvaluator` keyed by the *same* function;
+  :meth:`Evaluator.peek` serves already-simulated designs immediately,
+  without even waiting for the linger window.
 
 All bookkeeping runs on the event loop (single-threaded); only
-``evaluate_batch`` itself is pushed to a worker thread.
+``evaluate_requests`` itself is pushed to a worker thread.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.circuits.library import get_circuit
 from repro.circuits.parameters import Sizing
-from repro.eval import EvaluatorConfig, sizing_cache_key
-from repro.eval.base import Evaluator
+from repro.eval import EvaluatorConfig, request_cache_key
+from repro.eval.base import EvalRequest, Evaluator
 
 
 class EvaluationError(RuntimeError):
@@ -50,10 +51,10 @@ class CoalescerStats:
         requests: Evaluate requests served.
         designs_submitted: Designs across all requests (incl. duplicates).
         designs_flushed: Designs that entered a simulator batch (post-dedup).
-        batches_issued: ``evaluate_batch`` calls actually made.
+        batches_issued: ``evaluate_requests`` calls actually made.
         inflight_hits: Designs that attached to an already-queued/running
             future instead of re-entering a batch.
-        peek_hits: Designs served instantly from a bucket's result cache.
+        peek_hits: Designs served instantly from the shared result cache.
     """
 
     requests: int = 0
@@ -82,23 +83,16 @@ class CoalescerStats:
         }
 
 
-class _Bucket:
-    """Per-(circuit, technology) coalescing state."""
-
-    def __init__(self, evaluator: Evaluator):
-        self.evaluator = evaluator
-        #: Deduped designs awaiting the next batch: (key, sizing, future).
-        self.pending: List[Tuple[tuple, Sizing, asyncio.Future]] = []
-        #: Every queued-or-simulating design, keyed like the result cache.
-        self.inflight: Dict[tuple, asyncio.Future] = {}
-        self.flusher: Optional[asyncio.Task] = None
-
-
 class BatchCoalescer:
     """Merges concurrent evaluate submissions into shared simulator batches.
 
+    One shared (unbound) evaluator serves every circuit and technology the
+    clients ask for; mixed batches are bucketed inside the evaluator, so the
+    coalescer itself only keeps a single pending queue and a single flush
+    loop.
+
     Args:
-        evaluator_config: Stack each bucket's evaluator is built with; a
+        evaluator_config: Stack the shared evaluator is built with; a
             positive ``cache_size`` enables stored-result dedup.
         linger_s: Seconds a freshly-armed flush waits for more submissions.
         max_batch: Designs per issued evaluator batch (larger pending sets
@@ -115,28 +109,22 @@ class BatchCoalescer:
         self.linger_s = float(linger_s)
         self.max_batch = int(max_batch)
         self.stats = CoalescerStats()
-        self._buckets: Dict[Tuple[str, str], _Bucket] = {}
+        self.evaluator: Evaluator = self.evaluator_config.build()
+        #: Deduped designs awaiting the next batch: (key, request, future).
+        self._pending: List[Tuple[tuple, EvalRequest, asyncio.Future]] = []
+        #: Every queued-or-simulating design, keyed like the result cache.
+        self._inflight: Dict[tuple, asyncio.Future] = {}
+        self._flusher: Optional[asyncio.Task] = None
+        #: (circuit, technology) pairs seen so far — eager validation plus
+        #: the ``stats`` endpoint's bucket listing.
+        self._seen: Set[Tuple[str, str]] = set()
         self._closed = False
 
-    # --- bucket management --------------------------------------------------------
-    def _bucket_for(self, circuit_name: str, technology: str) -> _Bucket:
-        key = (circuit_name.lower(), technology)
-        bucket = self._buckets.get(key)
-        if bucket is None:
-            circuit = get_circuit(circuit_name, technology)
-            bucket = _Bucket(self.evaluator_config.build(circuit))
-            self._buckets[key] = bucket
-        return bucket
-
     def evaluator_stats(self) -> Dict[str, float]:
-        """Merged counters of every bucket's evaluator stack."""
-        totals: Dict[str, float] = {}
-        for bucket in self._buckets.values():
-            for name, value in bucket.evaluator.stats.to_dict().items():
-                if name == "hit_rate":
-                    continue
-                totals[name] = totals.get(name, 0) + value
-        return totals
+        """Counters of the shared evaluator stack."""
+        stats = self.evaluator.stats.to_dict()
+        stats.pop("hit_rate", None)
+        return stats
 
     # --- submission ---------------------------------------------------------------
     async def submit(
@@ -151,19 +139,24 @@ class BatchCoalescer:
         if self._closed:
             raise EvaluationError("coalescer is closed")
         loop = asyncio.get_running_loop()
-        bucket = self._bucket_for(circuit_name, technology)
+        bucket = (circuit_name.lower(), technology)
+        if bucket not in self._seen:
+            # Fail unknown circuit/technology pairs fast, before they queue.
+            get_circuit(circuit_name, technology)
+            self._seen.add(bucket)
         self.stats.requests += 1
         self.stats.designs_submitted += len(sizings)
 
         waiters: List[Tuple[Sizing, asyncio.Future, bool]] = []
         for sizing in sizings:
-            key = sizing_cache_key(sizing)
-            future = bucket.inflight.get(key)
+            request = EvalRequest(circuit_name, technology, sizing)
+            key = request_cache_key(request)
+            future = self._inflight.get(key)
             if future is not None:
                 self.stats.inflight_hits += 1
                 waiters.append((sizing, future, True))
                 continue
-            cached_metrics = bucket.evaluator.peek(sizing)
+            cached_metrics = self.evaluator.peek(request)
             if cached_metrics is not None:
                 self.stats.peek_hits += 1
                 future = loop.create_future()
@@ -171,12 +164,12 @@ class BatchCoalescer:
                 waiters.append((sizing, future, True))
                 continue
             future = loop.create_future()
-            bucket.inflight[key] = future
-            bucket.pending.append((key, sizing, future))
+            self._inflight[key] = future
+            self._pending.append((key, request, future))
             waiters.append((sizing, future, False))
 
-        if bucket.pending and bucket.flusher is None:
-            bucket.flusher = asyncio.create_task(self._flush_loop(bucket))
+        if self._pending and self._flusher is None:
+            self._flusher = asyncio.create_task(self._flush_loop())
 
         results = []
         for sizing, future, shared in waiters:
@@ -191,28 +184,28 @@ class BatchCoalescer:
         return results
 
     # --- flushing -----------------------------------------------------------------
-    async def _flush_loop(self, bucket: _Bucket) -> None:
-        """Drain a bucket: linger, then evaluate everything that queued up.
+    async def _flush_loop(self) -> None:
+        """Drain the queue: linger, then evaluate everything that queued up.
 
-        Runs until the bucket is empty, then disarms.  Submissions arriving
-        while a batch is simulating land in ``pending`` and form the next
+        Runs until the queue is empty, then disarms.  Submissions arriving
+        while a batch is simulating land in ``_pending`` and form the next
         batch — the loop body is the only place futures are resolved, and
-        it never awaits between draining ``pending`` and resolving them.
+        it never awaits between draining ``_pending`` and resolving them.
         """
         try:
-            while bucket.pending:
+            while self._pending:
                 if self.linger_s > 0:
                     await asyncio.sleep(self.linger_s)
-                batch = bucket.pending[: self.max_batch]
-                del bucket.pending[: self.max_batch]
-                sizings = [sizing for _, sizing, _ in batch]
+                batch = self._pending[: self.max_batch]
+                del self._pending[: self.max_batch]
+                requests = [request for _, request, _ in batch]
                 try:
                     eval_results = await asyncio.to_thread(
-                        bucket.evaluator.evaluate_batch, sizings
+                        self.evaluator.evaluate_requests, requests
                     )
                 except Exception as error:  # simulator failure: fail the batch
                     for key, _, future in batch:
-                        bucket.inflight.pop(key, None)
+                        self._inflight.pop(key, None)
                         if not future.done():
                             future.set_exception(
                                 EvaluationError(f"evaluation failed: {error}")
@@ -221,7 +214,7 @@ class BatchCoalescer:
                 self.stats.batches_issued += 1
                 self.stats.designs_flushed += len(batch)
                 for (key, _, future), result in zip(batch, eval_results):
-                    bucket.inflight.pop(key, None)
+                    self._inflight.pop(key, None)
                     if not future.done():
                         future.set_result(
                             {
@@ -230,7 +223,7 @@ class BatchCoalescer:
                             }
                         )
         finally:
-            bucket.flusher = None
+            self._flusher = None
 
     # --- lifecycle ----------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -239,19 +232,18 @@ class BatchCoalescer:
             "coalescer": self.stats.to_dict(),
             "evaluator": self.evaluator_stats(),
             "buckets": sorted(
-                f"{circuit}/{technology}" for circuit, technology in self._buckets
+                f"{circuit}/{technology}" for circuit, technology in self._seen
             ),
         }
 
     def close(self) -> None:
-        """Cancel pending work and release every bucket's evaluator."""
+        """Cancel pending work and release the shared evaluator."""
         self._closed = True
-        for bucket in self._buckets.values():
-            if bucket.flusher is not None:
-                bucket.flusher.cancel()
-            for key, _, future in bucket.pending:
-                bucket.inflight.pop(key, None)
-                if not future.done():
-                    future.set_exception(EvaluationError("server shutting down"))
-            bucket.pending.clear()
-            bucket.evaluator.close()
+        if self._flusher is not None:
+            self._flusher.cancel()
+        for key, _, future in self._pending:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(EvaluationError("server shutting down"))
+        self._pending.clear()
+        self.evaluator.close()

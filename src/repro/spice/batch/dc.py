@@ -4,10 +4,13 @@ Stage 1 runs plain Newton (small gmin) for the whole batch in lockstep:
 stacked Jacobians, one batched ``np.linalg.solve`` per iteration, per-design
 voltage-step damping, and a convergence mask so designs that converged stop
 updating while the rest keep iterating — one hard design cannot stall or
-perturb the others.  Designs the batched stage cannot converge fall back to
-the scalar homotopy solver (:func:`repro.spice.dc.dc_operating_point`, gmin
-and source stepping included), one by one, so every design ends up with
-exactly the answer the serial path would have produced for the hard cases.
+perturb the others.  Designs the batched stage cannot converge stay in the
+batch: a *masked* homotopy re-solves just the hard subset through the exact
+gmin ladder and source-stepping ramp of the scalar solver
+(:func:`repro.spice.dc.dc_operating_point`), rung by rung, as stacked
+batched solves over shrinking subset templates — no design ever leaves the
+vectorized path, and every design ends up at the same operating point the
+serial homotopy would have found.
 
 Assembly exploits the linear/nonlinear split: everything except the MOSFETs
 is bias-independent, so the static Jacobian (including the gmin diagonal)
@@ -26,14 +29,16 @@ import numpy as np
 from repro.spice.batch.model import batch_small_signal_params
 from repro.spice.batch.template import CAP_DC_LEAK, BatchTemplate
 from repro.spice.circuit import Circuit
-from repro.spice.dc import DCSolution, dc_operating_point
+from repro.spice.dc import DCSolution
 
 
-#: Straggler bail-out: once at least this many lockstep iterations ran and
-#: only a small fraction of the batch is still active, the remaining designs
-#: are handed to the scalar fallback instead of iterating near-empty batches.
-STRAGGLER_MIN_ITERATIONS = 40
-STRAGGLER_ACTIVE_DIVISOR = 16
+#: Homotopy schedules, identical to the scalar solver's: the gmin ladder
+#: restarts from the initial guess and anneals the shunt conductance away;
+#: the source ramp restarts from an all-zero iterate and walks the supplies
+#: up.  A design must converge on *every* rung to count (matching the
+#: scalar solver's break-on-first-failure semantics).
+GMIN_LADDER = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12)
+SOURCE_RAMP = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
 
 class _CardGroup:
@@ -235,11 +240,6 @@ def batch_newton(
     design is the one from *its* convergence iteration — exactly what the
     scalar solver would have produced had it run that design alone.
 
-    When only a straggler or two of a large batch remain active long after
-    the rest converged, the loop stops early and reports them unconverged:
-    the caller's scalar fallback re-runs the *complete* scalar pipeline for
-    them (plain Newton included), so bailing out changes cost, never results.
-
     Returns:
         ``(x, converged, iterations)`` — iterates ``(B, n)``, convergence
         mask ``(B,)`` and per-design iteration counts ``(B,)``.
@@ -250,17 +250,10 @@ def batch_newton(
     iterations = np.zeros(batch, dtype=int)
     num_nodes = template.num_nodes
     assembler = _DCAssembler(template, gmin, source_scale)
-    straggler_limit = max(1, batch // STRAGGLER_ACTIVE_DIVISOR)
 
-    for iteration in range(max_iterations):
+    for _ in range(max_iterations):
         active = np.flatnonzero(~converged)
         if active.size == 0:
-            break
-        if (
-            iteration >= STRAGGLER_MIN_ITERATIONS
-            and active.size <= straggler_limit
-            and active.size < batch
-        ):
             break
         jacobian, residual = assembler.assemble(x[active], active)
         step = _solve_newton_step(jacobian, residual)
@@ -281,6 +274,63 @@ def batch_newton(
     return x, converged, iterations
 
 
+def _masked_homotopy(
+    template: BatchTemplate,
+    indices: np.ndarray,
+    x_start: np.ndarray,
+    schedule: Sequence[Tuple[float, float]],
+    max_iterations: int,
+    abstol: float,
+    vtol: float,
+    max_step: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run a homotopy ``schedule`` over the batch subset ``indices``.
+
+    Each ``(gmin, source_scale)`` rung is one :func:`batch_newton` call over
+    a subset template of the still-active designs; a design failing a rung
+    drops out immediately (its remaining rungs are skipped, matching the
+    scalar solver's break-on-failure), while the survivors carry their
+    iterate to the next rung.
+
+    Args:
+        template: Template of the *full* batch; subset templates are
+            re-extracted per rung.
+        indices: Indices (into the full batch) of the designs to re-solve.
+        x_start: Initial iterates of those designs, shape ``(K, n)``.
+        schedule: ``(gmin, source_scale)`` rungs, in order.
+
+    Returns:
+        ``(x, ok, iterations)`` over the subset — final iterates ``(K, n)``
+        (only meaningful where ``ok``), the mask of designs that converged
+        on every rung, and the homotopy iterations consumed per design.
+    """
+    count = len(indices)
+    x = np.asarray(x_start, dtype=float).copy()
+    ok = np.ones(count, dtype=bool)
+    iterations = np.zeros(count, dtype=int)
+    active = np.arange(count)
+
+    for gmin, source_scale in schedule:
+        if active.size == 0:
+            break
+        sub_template = template.subset([int(i) for i in indices[active]])
+        x_new, conv, iters = batch_newton(
+            sub_template,
+            x[active],
+            gmin,
+            source_scale,
+            max_iterations,
+            abstol,
+            vtol,
+            max_step,
+        )
+        iterations[active] += iters
+        x[active] = x_new
+        ok[active[~conv]] = False
+        active = active[conv]
+    return x, ok, iterations
+
+
 def batch_dc_operating_point(
     circuits: Sequence[Circuit],
     template: Optional[BatchTemplate] = None,
@@ -291,13 +341,16 @@ def batch_dc_operating_point(
 ) -> List[DCSolution]:
     """Find DC operating points for a whole batch of same-topology circuits.
 
-    Stage 1 is the batched plain-Newton solver; designs it cannot converge
-    are re-solved by the scalar homotopy path (gmin stepping, then source
-    stepping) so batch evaluation never *loses* designs relative to serial
-    evaluation.  Per-design :class:`DCSolution` objects are returned, with
-    ``device_ops`` evaluated through the scalar model at the converged
-    iterate — downstream AC/noise stamping sees exactly the same operating
-    point the serial path would.
+    Stage 1 is the batched plain-Newton solver.  Designs it cannot converge
+    stay in the batch: a masked gmin ladder (restarting from the mid-rail
+    guess) and then a masked source-stepping ramp (restarting from zero)
+    re-solve just the hard subset as stacked batched solves — the same
+    schedules, starts and break-on-failure semantics as the scalar
+    :func:`repro.spice.dc.dc_operating_point`, so batch evaluation never
+    *loses* designs relative to serial evaluation.  Per-design
+    :class:`DCSolution` objects are returned, with ``device_ops`` evaluated
+    through the scalar model at the converged iterate — downstream AC/noise
+    stamping sees exactly the same operating point the serial path would.
     """
     circuits = list(circuits)
     if template is None:
@@ -306,30 +359,57 @@ def batch_dc_operating_point(
     x0 = np.zeros((template.batch_size, n))
     x0[:, : template.num_nodes] = 0.5 * template.max_supply()[:, None]
 
+    # Strategy 1: plain Newton with a small gmin, whole batch in lockstep.
     x, converged, iterations = batch_newton(
         template, x0, 1e-12, 1.0, max_iterations, abstol, vtol, max_step
     )
 
+    # Strategy 2: masked gmin stepping for the designs plain Newton lost,
+    # restarting from the mid-rail guess like the scalar solver.
+    hard = np.flatnonzero(~converged)
+    if hard.size:
+        x_h, ok_h, iters_h = _masked_homotopy(
+            template,
+            hard,
+            x0[hard],
+            [(gmin, 1.0) for gmin in GMIN_LADDER],
+            max_iterations,
+            abstol,
+            vtol,
+            max_step,
+        )
+        iterations[hard] += iters_h
+        recovered = hard[ok_h]
+        x[recovered] = x_h[ok_h]
+        converged[recovered] = True
+
+    # Strategy 3: masked source stepping from an all-zero start.
+    hard = np.flatnonzero(~converged)
+    if hard.size:
+        x_s, ok_s, iters_s = _masked_homotopy(
+            template,
+            hard,
+            np.zeros((hard.size, n)),
+            [(1e-12, scale) for scale in SOURCE_RAMP],
+            max_iterations,
+            abstol,
+            vtol,
+            max_step,
+        )
+        iterations[hard] += iters_s
+        recovered = hard[ok_s]
+        x[recovered] = x_s[ok_s]
+        converged[recovered] = True
+
     solutions: List[DCSolution] = []
     for index, circuit in enumerate(circuits):
-        if converged[index]:
-            solution = DCSolution(
-                circuit=circuit,
-                x=x[index].copy(),
-                converged=True,
-                iterations=int(iterations[index]),
-            )
-            for mosfet in circuit.mosfets():
-                solution.device_ops[mosfet.name] = mosfet.operating_point(solution.x)
-        else:
-            # Hard design: hand it to the scalar solver's full homotopy
-            # (plain Newton, gmin stepping, source stepping).
-            solution = dc_operating_point(
-                circuit,
-                max_iterations=max_iterations,
-                abstol=abstol,
-                vtol=vtol,
-                max_step=max_step,
-            )
+        solution = DCSolution(
+            circuit=circuit,
+            x=x[index].copy(),
+            converged=bool(converged[index]),
+            iterations=int(iterations[index]),
+        )
+        for mosfet in circuit.mosfets():
+            solution.device_ops[mosfet.name] = mosfet.operating_point(solution.x)
         solutions.append(solution)
     return solutions

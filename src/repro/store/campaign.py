@@ -303,46 +303,58 @@ class Campaign:
                 "bounds the partial run *after* the allowed executions); "
                 "pass max_runs or drop max_steps"
             )
+        from repro.eval import EvaluatorConfig
+
         requests = self.requests()
         report = CampaignReport(total=len(requests))
-        for request in requests:
-            key = self.key_for(request)
-            cached = self.store.get(key)
-            if cached is not None:
-                report.skipped += 1
-                report.records.append(cached)
-                if progress is not None:
-                    progress(request, "skipped")
-                continue
-            interrupting = max_runs is not None and report.executed >= max_runs
-            record = None
-            if not interrupting or max_steps:
-                record = run_method(
-                    request.method,
-                    request.circuit,
-                    technology=request.technology,
-                    steps=request.steps,
-                    seed=request.seed,
-                    settings=self.settings,
-                    weight_overrides=request.weight_overrides,
-                    apply_spec=request.apply_spec,
-                    evaluator_config=self.evaluator_config,
-                    store=self.store,
-                    checkpoint_every=checkpoint_every or (1 if interrupting else 0),
-                    max_steps=max_steps if interrupting else None,
-                )
-            if record is not None:
-                report.executed += 1
-                report.records.append(record)
-                if progress is not None:
-                    progress(request, "executed")
-            elif interrupting and max_steps:
-                report.partial += 1
-                if progress is not None:
-                    progress(request, "interrupted")
-            if interrupting:
-                report.interrupted = True
-                break
+        # One shared evaluator for the whole sweep: every cell's environment
+        # gets a no-op-close bound view of it, so caches, worker pools and
+        # (vectorized) request batches span circuits instead of being torn
+        # down and rebuilt per cell.
+        shared_evaluator = (self.evaluator_config or EvaluatorConfig()).build()
+        try:
+            for request in requests:
+                key = self.key_for(request)
+                cached = self.store.get(key)
+                if cached is not None:
+                    report.skipped += 1
+                    report.records.append(cached)
+                    if progress is not None:
+                        progress(request, "skipped")
+                    continue
+                interrupting = max_runs is not None and report.executed >= max_runs
+                record = None
+                if not interrupting or max_steps:
+                    record = run_method(
+                        request.method,
+                        request.circuit,
+                        technology=request.technology,
+                        steps=request.steps,
+                        seed=request.seed,
+                        settings=self.settings,
+                        weight_overrides=request.weight_overrides,
+                        apply_spec=request.apply_spec,
+                        evaluator_config=self.evaluator_config,
+                        evaluator=shared_evaluator,
+                        store=self.store,
+                        checkpoint_every=checkpoint_every
+                        or (1 if interrupting else 0),
+                        max_steps=max_steps if interrupting else None,
+                    )
+                if record is not None:
+                    report.executed += 1
+                    report.records.append(record)
+                    if progress is not None:
+                        progress(request, "executed")
+                elif interrupting and max_steps:
+                    report.partial += 1
+                    if progress is not None:
+                        progress(request, "interrupted")
+                if interrupting:
+                    report.interrupted = True
+                    break
+        finally:
+            shared_evaluator.close()
         return report
 
     def _store_location(self) -> tuple:

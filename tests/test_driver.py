@@ -223,12 +223,11 @@ class TestBlackBoxParity:
         assert result.best_reward == reference_env.best_reward
         assert sum(result.step_evaluations) == budget
 
-    def test_run_shim_matches_driver(self):
-        env_a, env_b = make_env(), make_env()
-        shim = EvolutionStrategy(env_a, seed=3).run(25)
-        driven = OptimizationDriver(EvolutionStrategy(env_b, seed=3), budget=25).run()
-        assert shim.rewards == driven.rewards
-        assert shim.step_evaluations == driven.step_evaluations
+    def test_run_shim_removed(self):
+        # The pre-ask/tell Strategy.run(budget) shim is gone; the error must
+        # point straight at the replacement.
+        with pytest.raises(RuntimeError, match="OptimizationDriver"):
+            EvolutionStrategy(make_env(), seed=3).run(25)
 
 
 def tiny_rl_config(warmup=4):

@@ -16,6 +16,7 @@ from repro.eval import (
     build_evaluator,
     sizing_cache_key,
 )
+from repro.experiments.driver import OptimizationDriver
 from repro.optim import EvolutionStrategy, RandomSearch
 
 #: Every conformance backend: name -> evaluator factory.  ``caching+X``
@@ -49,9 +50,9 @@ class CountingEvaluator(LocalEvaluator):
         super().__init__(circuit)
         self.simulated = 0
 
-    def evaluate_batch(self, sizings):
+    def _evaluate_bucket(self, circuit, sizings):
         self.simulated += len(sizings)
-        return super().evaluate_batch(sizings)
+        return super()._evaluate_bucket(circuit, sizings)
 
 
 class TestLocalEvaluator:
@@ -223,7 +224,7 @@ class TestBackendConformance:
             env = SizingEnvironment(
                 two_tia, default_fom_config(two_tia), evaluator=inner
             )
-            return RandomSearch(env, seed=3).run(6)
+            return OptimizationDriver(RandomSearch(env, seed=3), budget=6).run()
 
         reference = run(LocalEvaluator(two_tia))
         result = run(evaluator)
@@ -275,12 +276,6 @@ class TestVectorizedEvaluator:
             )
 
         monkeypatch.setattr(batch_dc, "batch_newton", never_converges)
-        monkeypatch.setattr(
-            "repro.spice.batch.dc.dc_operating_point",
-            lambda circuit, **kwargs: type(
-                "FakeOp", (), {"converged": False, "x": None, "device_ops": {}}
-            )(),
-        )
         rng = np.random.default_rng(1)
         sizing = two_tia.random_sizing(rng)
         result = VectorizedEvaluator(two_tia).evaluate_batch([sizing])[0]
@@ -432,7 +427,7 @@ class TestOptimizersUnderParallelism:
             env = SizingEnvironment(
                 two_tia, default_fom_config(two_tia), evaluator=evaluator
             )
-            return cls(env, seed=0).run(budget)
+            return OptimizationDriver(cls(env, seed=0), budget=budget).run()
 
         local = run(LocalEvaluator(two_tia))
         with ParallelEvaluator(two_tia, max_workers=4, backend="process") as pool:
@@ -448,7 +443,7 @@ class TestOptimizersUnderParallelism:
             env = SizingEnvironment(
                 two_tia, default_fom_config(two_tia), evaluator=evaluator
             )
-            return RandomSearch(env, seed=2).run(6)
+            return OptimizationDriver(RandomSearch(env, seed=2), budget=6).run()
 
         baseline = run(LocalEvaluator(two_tia))
         first = run(cached)
@@ -471,7 +466,7 @@ class TestOptimizationResultSerialization:
         import json
 
         env = SizingEnvironment(two_tia, default_fom_config(two_tia))
-        result = RandomSearch(env, seed=0).run(2)
+        result = OptimizationDriver(RandomSearch(env, seed=0), budget=2).run()
         data = json.loads(json.dumps(result.to_dict()))
         assert data["method"] == "random"
         assert data["num_evaluations"] == 2

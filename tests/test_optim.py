@@ -6,6 +6,7 @@ import pytest
 from repro.circuits import get_circuit
 from repro.env import SizingEnvironment
 from repro.env.environment import StepResult
+from repro.experiments.driver import OptimizationDriver
 from repro.optim import (
     BayesianOptimization,
     EvolutionStrategy,
@@ -13,7 +14,7 @@ from repro.optim import (
     MACE,
     RandomSearch,
     expected_improvement,
-    get_optimizer,
+    get_strategy,
     list_optimizers,
     pareto_front_indices,
     probability_of_improvement,
@@ -60,12 +61,25 @@ class TestRegistry:
             "ng_rl",
         }
 
-    def test_get_optimizer_unknown_raises(self, quadratic_env):
+    def test_get_strategy_unknown_raises(self, quadratic_env):
         with pytest.raises(KeyError):
-            get_optimizer("simulated_annealing", quadratic_env)
+            get_strategy("simulated_annealing", quadratic_env)
 
-    def test_get_optimizer_builds_instance(self, quadratic_env):
-        assert isinstance(get_optimizer("es", quadratic_env), EvolutionStrategy)
+    def test_get_strategy_builds_instance(self, quadratic_env):
+        assert isinstance(get_strategy("es", quadratic_env), EvolutionStrategy)
+
+    def test_removed_aliases_raise_with_replacement(self):
+        import repro.optim
+        import repro.optim.registry
+
+        with pytest.raises(AttributeError, match="get_strategy"):
+            repro.optim.get_optimizer
+        with pytest.raises(AttributeError, match="STRATEGY_CLASSES"):
+            repro.optim.OPTIMIZER_CLASSES
+        with pytest.raises(AttributeError, match="Strategy"):
+            repro.optim.BlackBoxOptimizer
+        with pytest.raises(AttributeError, match="get_strategy"):
+            repro.optim.registry.get_optimizer
 
 
 class TestGaussianProcess:
@@ -152,8 +166,8 @@ class TestOptimizersOnSyntheticTask:
     BUDGET = 40
 
     def _run(self, cls, env, **kwargs):
-        optimizer = cls(env, seed=0, **kwargs)
-        return optimizer.run(self.BUDGET)
+        strategy = cls(env, seed=0, **kwargs)
+        return OptimizationDriver(strategy, budget=self.BUDGET).run()
 
     def test_random_search_budget_respected(self, quadratic_env):
         result = self._run(RandomSearch, quadratic_env)
@@ -163,8 +177,8 @@ class TestOptimizersOnSyntheticTask:
     def test_es_beats_random_on_smooth_quadratic(self):
         env_es = QuadraticEnvironment(get_circuit("two_tia"))
         env_rnd = QuadraticEnvironment(get_circuit("two_tia"))
-        es = EvolutionStrategy(env_es, seed=0).run(80)
-        rnd = RandomSearch(env_rnd, seed=0).run(80)
+        es = OptimizationDriver(EvolutionStrategy(env_es, seed=0), budget=80).run()
+        rnd = OptimizationDriver(RandomSearch(env_rnd, seed=0), budget=80).run()
         assert es.best_reward >= rnd.best_reward - 0.02
 
     def test_bo_improves_over_initial_design(self, quadratic_env):
@@ -184,12 +198,12 @@ class TestOptimizersOnSyntheticTask:
     def test_all_methods_find_reasonable_optimum(self):
         for cls in (RandomSearch, EvolutionStrategy, BayesianOptimization, MACE):
             env = QuadraticEnvironment(get_circuit("two_tia"))
-            result = cls(env, seed=1).run(40)
+            result = OptimizationDriver(cls(env, seed=1), budget=40).run()
             assert result.best_reward > 0.7, cls.name
 
     def test_result_contains_best_metrics_and_sizing_on_real_env(self, two_tia_env):
         two_tia_env.reset_history()
-        result = RandomSearch(two_tia_env, seed=0).run(3)
+        result = OptimizationDriver(RandomSearch(two_tia_env, seed=0), budget=3).run()
         assert result.num_evaluations == 3
         assert result.best_sizing
         assert "gain" in result.best_metrics
