@@ -9,7 +9,9 @@ latest driver checkpoint, so the simulations it already paid for are kept.
 
 The same scan, minus the claiming, powers ``ls --status``
 (:func:`cell_states`): every cell is exactly one of ``done``, ``leased``
-(live), ``expired`` (stealable) or ``pending``.
+(live), ``expired`` (stealable), ``pending`` or ``quarantined`` (its
+execution terminally failed after bounded retries — never handed out
+again until the quarantine is lifted).
 """
 
 from __future__ import annotations
@@ -22,8 +24,8 @@ from repro.cluster.leases import Lease, LeaseStore
 from repro.store.base import RunKey
 from repro.store.campaign import Campaign, RunRequest
 
-#: The four mutually exclusive states of a campaign cell.
-CELL_STATES = ("done", "leased", "expired", "pending")
+#: The mutually exclusive states of a campaign cell.
+CELL_STATES = ("done", "leased", "expired", "pending", "quarantined")
 
 
 @dataclass
@@ -81,6 +83,10 @@ class WorkScheduler:
         for request in self.campaign.requests():
             key = self.campaign.key_for(request)
             if self.campaign.store.get(key) is not None:
+                continue
+            if self.campaign.store.get_quarantine(key) is not None:
+                # Poisoned cell: bounded retries were already spent on it;
+                # handing it out again would livelock the sweep.
                 continue
             lease = self.lease_store.get(key)
             if lease is None or lease.owner == self.owner:
@@ -156,6 +162,11 @@ def cell_states(
         key = campaign.key_for(request)
         if campaign.store.get(key) is not None:
             states.append(CellState(request=request, key=key, state="done"))
+            continue
+        if campaign.store.get_quarantine(key) is not None:
+            states.append(
+                CellState(request=request, key=key, state="quarantined")
+            )
             continue
         lease = lease_store.get(key)
         if lease is None:

@@ -55,6 +55,8 @@ class WorkerReport:
         resumed: Executed/paused cells continued from a driver checkpoint.
         paused: Cells checkpointed and released on a stop request.
         lost: Cells abandoned mid-run because the lease was stolen.
+        quarantined: Cells that terminally failed after bounded retries and
+            were marked poisoned in the store (never handed out again).
         evaluations: Total evaluations recorded by the cells this worker
             completed.  A resumed cell's record includes the evaluations
             its previous owner paid before the last checkpoint, so summing
@@ -70,17 +72,22 @@ class WorkerReport:
     resumed: int = 0
     paused: int = 0
     lost: int = 0
+    quarantined: int = 0
     evaluations: int = 0
     wall_time_s: float = 0.0
     keys: List[RunKey] = field(default_factory=list)
 
     def summary(self) -> str:
-        """Stable one-line form (grep target of the cluster-smoke CI job)."""
+        """Stable one-line form (grep target of the cluster-smoke CI job).
+
+        New counters append at the end so substring greps over the older
+        fields keep matching.
+        """
         return (
             f"worker {self.worker_id} done: executed={self.executed} "
             f"skipped={self.skipped} stolen={self.stolen} "
             f"resumed={self.resumed} paused={self.paused} lost={self.lost} "
-            f"evaluations={self.evaluations}"
+            f"evaluations={self.evaluations} quarantined={self.quarantined}"
         )
 
 
@@ -91,6 +98,13 @@ class LeaseHeartbeat(threading.Thread):
     failed renewal means the lease is gone (stolen after an expiry, or
     released elsewhere) — the thread sets :attr:`lost` and exits, and the
     executing driver aborts at its next ``pause_check`` poll.
+
+    Renew *errors* (store exceptions, as opposed to ``renewed=False``) are
+    tolerated individually — a transient sqlite-busy must not kill a run —
+    but their time is accumulated: once renewals have been failing for a
+    full TTL, the lease has certainly expired on the store and another
+    worker may already own the cell, so the heartbeat declares the lease
+    :attr:`lost` instead of letting both workers compute it.
     """
 
     def __init__(
@@ -109,6 +123,8 @@ class LeaseHeartbeat(threading.Thread):
         # Renew well inside the TTL so one missed beat isn't fatal.
         self.interval = interval if interval is not None else max(ttl / 3.0, 0.05)
         self.lost = False
+        #: Consecutive renew attempts that raised (reset by any success).
+        self.consecutive_errors = 0
         # Note: not "_stop" — threading.Thread has a private method by
         # that name and shadowing it breaks join().
         self._stop_event = threading.Event()
@@ -118,14 +134,27 @@ class LeaseHeartbeat(threading.Thread):
         self.join(timeout=max(self.interval * 4, 1.0))
 
     def run(self) -> None:
+        error_since: Optional[float] = None
         while not self._stop_event.wait(self.interval):
             try:
                 renewed = self.lease_store.renew(self.key, self.owner, self.ttl)
             except Exception:
-                # A transient store error (e.g. sqlite busy beyond the
+                # One transient store error (e.g. sqlite busy beyond the
                 # timeout) must not kill the run; the lease has ttl-worth
-                # of slack and the next beat retries.
+                # of slack and the next beat retries.  But errors that
+                # *persist* past the TTL mean the lease is expired on the
+                # store and stealable — stop computing a cell that may
+                # already belong to someone else.
+                self.consecutive_errors += 1
+                now = time.monotonic()
+                if error_since is None:
+                    error_since = now
+                if now - error_since >= self.ttl:
+                    self.lost = True
+                    return
                 continue
+            self.consecutive_errors = 0
+            error_since = None
             if not renewed:
                 self.lost = True
                 return
@@ -150,10 +179,20 @@ class CampaignWorker:
             the worst-case re-simulation a steal pays.  1 = maximal safety.
         poll_interval: Sleep between scheduler scans when every remaining
             cell is under a live lease.
+        cell_retries: Attempts per cell before it is quarantined.  A cell
+            whose execution raises (anything but a lost lease) is retried
+            in place with exponential backoff; once the budget is spent the
+            cell is marked poisoned in the store so no worker — this one or
+            a future one — livelocks the sweep re-running it.
+        retry_backoff_s: Base backoff between cell attempts; doubles per
+            attempt.  Interruptible by :meth:`request_stop`.
         progress: Optional ``callback(assignment, outcome)`` with outcome
-            in ``{"executed", "skipped", "paused", "lost"}``.
+            in ``{"executed", "skipped", "paused", "lost", "quarantined"}``.
         step_callbacks: Extra per-step driver callbacks, forwarded to
             :func:`run_method` (testing/telemetry).
+        evaluator: Evaluator shared by every cell this worker executes;
+            defaults to one built from the campaign's evaluator config.
+            Injectable so tests can wrap it in a fault injector.
     """
 
     def __init__(
@@ -165,9 +204,14 @@ class CampaignWorker:
         heartbeat_interval: Optional[float] = None,
         checkpoint_every: int = 1,
         poll_interval: float = 0.5,
+        cell_retries: int = 3,
+        retry_backoff_s: float = 0.05,
         progress: Optional[Callable[[Assignment, str], None]] = None,
         step_callbacks: Sequence[Callable] = (),
+        evaluator=None,
     ):
+        if cell_retries < 1:
+            raise ValueError(f"cell_retries must be >= 1, got {cell_retries}")
         self.campaign = campaign
         self.lease_store = (
             lease_store if lease_store is not None else lease_store_for(campaign.store)
@@ -177,13 +221,16 @@ class CampaignWorker:
         self.heartbeat_interval = heartbeat_interval
         self.checkpoint_every = int(checkpoint_every)
         self.poll_interval = float(poll_interval)
+        self.cell_retries = int(cell_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
         self.progress = progress
         self.step_callbacks = list(step_callbacks)
         self.scheduler = WorkScheduler(
             campaign, self.lease_store, owner=self.worker_id, ttl=self.ttl
         )
         self._stop = threading.Event()
-        self._evaluator = None
+        self._evaluator = evaluator
+        self._owns_evaluator = evaluator is None
 
     def _shared_evaluator(self):
         """One evaluator for every cell this worker executes (lazy).
@@ -224,7 +271,7 @@ class CampaignWorker:
                 continue
             visited += 1
             self._execute(assignment, report)
-        if self._evaluator is not None:
+        if self._evaluator is not None and self._owns_evaluator:
             self._evaluator.close()
             self._evaluator = None
         report.wall_time_s = time.perf_counter() - started
@@ -263,31 +310,69 @@ class CampaignWorker:
             return self._stop.is_set()
 
         heartbeat.start()
+        record = None
+        failure: Optional[BaseException] = None
+        attempts = 0
         try:
-            record = run_method(
-                request.method,
-                request.circuit,
-                technology=request.technology,
-                steps=request.steps,
-                seed=request.seed,
-                settings=self.campaign.settings,
-                weight_overrides=request.weight_overrides,
-                apply_spec=request.apply_spec,
-                evaluator_config=self.campaign.evaluator_config,
-                evaluator=self._shared_evaluator(),
-                store=self.campaign.store,
-                checkpoint_every=self.checkpoint_every,
-                callbacks=self.step_callbacks,
-                pause_check=pause_check,
-            )
-        except LeaseLostError:
-            # The cell belongs to the thief now: leave the lease and the
-            # thief's checkpoints strictly alone.
-            report.lost += 1
-            self._notify(assignment, "lost")
-            return
+            for attempt in range(1, self.cell_retries + 1):
+                attempts = attempt
+                try:
+                    record = run_method(
+                        request.method,
+                        request.circuit,
+                        technology=request.technology,
+                        steps=request.steps,
+                        seed=request.seed,
+                        settings=self.campaign.settings,
+                        weight_overrides=request.weight_overrides,
+                        apply_spec=request.apply_spec,
+                        evaluator_config=self.campaign.evaluator_config,
+                        evaluator=self._shared_evaluator(),
+                        store=self.campaign.store,
+                        checkpoint_every=self.checkpoint_every,
+                        callbacks=self.step_callbacks,
+                        pause_check=pause_check,
+                    )
+                    failure = None
+                    break
+                except LeaseLostError:
+                    # The cell belongs to the thief now: leave the lease
+                    # and the thief's checkpoints strictly alone.  Never
+                    # retried — the failure is ours, not the cell's.
+                    report.lost += 1
+                    self._notify(assignment, "lost")
+                    return
+                except Exception as error:
+                    failure = error
+                    if attempt < self.cell_retries:
+                        # Interruptible backoff: request_stop() shortcuts
+                        # the wait and the remaining attempts run (and, if
+                        # the fault is persistent, fail) back to back.
+                        self._stop.wait(
+                            self.retry_backoff_s * (2 ** (attempt - 1))
+                        )
         finally:
             heartbeat.stop()
+
+        if failure is not None:
+            # Retry budget spent: the cell is poisoned.  Record the
+            # taxonomy in the store so schedulers (ours and every other
+            # worker's) stop handing it out, then free the lease.
+            from repro.resilience import classify_exception
+
+            self.campaign.store.put_quarantine(
+                key,
+                {
+                    "kind": classify_exception(failure),
+                    "message": str(failure) or type(failure).__name__,
+                    "attempts": attempts,
+                    "worker": self.worker_id,
+                },
+            )
+            self.lease_store.release(key, self.worker_id)
+            report.quarantined += 1
+            self._notify(assignment, "quarantined")
+            return
 
         if record is None:
             # Paused by request_stop(): checkpoint is on the store; free

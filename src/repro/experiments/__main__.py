@@ -199,6 +199,7 @@ def _worker(settings: ExperimentSettings, store: Optional[RunStore], args) -> No
         ttl=args.ttl,
         checkpoint_every=1 if args.checkpoint_every is None else args.checkpoint_every,
         poll_interval=args.poll,
+        cell_retries=args.cell_retries,
         progress=lambda assignment, outcome: print(
             f"  [{outcome:>8s}] {assignment.request.method} "
             f"{assignment.request.circuit} {assignment.request.technology} "
@@ -237,6 +238,8 @@ def _service_config(settings: ExperimentSettings, args):
         kwargs["checkpoint_every"] = args.checkpoint_every
     if args.linger_ms is not None:
         kwargs["linger_ms"] = args.linger_ms
+    if args.max_pending is not None:
+        kwargs["max_pending"] = args.max_pending
     # The coalescer's dedup substrate is the design cache, so serving with
     # the batch default of 0 would silently disable stored-result dedup.
     cache = settings.eval_cache_size or DEFAULT_CACHE_SIZE
@@ -387,10 +390,12 @@ def _ls_status(settings: ExperimentSettings, store: RunStore, args) -> None:
     counts = {state: 0 for state in CELL_STATES}
     for cell in states:
         counts[cell.state] += 1
+    # New counters append at the end: the cluster-smoke CI job greps the
+    # prefix of this line.
     print(
         f"cells: total={len(states)} done={counts['done']} "
         f"leased={counts['leased']} expired={counts['expired']} "
-        f"pending={counts['pending']}"
+        f"pending={counts['pending']} quarantined={counts['quarantined']}"
     )
 
 
@@ -530,6 +535,25 @@ def main(argv: List[str] = None) -> int:
         type=int,
         default=None,
         help="worker: exit after visiting this many cells (default: run to drain)",
+    )
+    parser.add_argument(
+        "--cell-retries",
+        type=int,
+        default=3,
+        help=(
+            "worker: attempts per cell before it is quarantined as "
+            "poisoned (never handed out again)"
+        ),
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help=(
+            "serve: admission-control bound on queued designs; beyond it "
+            "submissions fail fast with a retryable 'overloaded' error "
+            "(default: REPRO_SERVE_MAX_PENDING or 0 = unbounded)"
+        ),
     )
     parser.add_argument(
         "--status",

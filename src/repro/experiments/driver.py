@@ -18,6 +18,7 @@ parity tests in ``tests/test_driver.py``).
 
 from __future__ import annotations
 
+import logging
 import pickle
 import time
 from dataclasses import dataclass
@@ -157,7 +158,23 @@ class OptimizationDriver:
         blob = self.store.get_checkpoint(self.run_key)
         if blob is None:
             return
-        payload = pickle.loads(blob)
+        try:
+            payload = pickle.loads(blob)
+        except Exception as error:
+            payload = error  # fall through to the corrupt-blob branch
+        if not isinstance(payload, dict):
+            # A torn or corrupt checkpoint (worker killed mid-write on a
+            # backend without atomic blob replace, disk truncation, ...)
+            # must not wedge the cell forever: drop it and restart the run
+            # from step zero.  Only the steps since the last good
+            # checkpoint are re-paid.
+            logging.getLogger(__name__).warning(
+                "discarding corrupt checkpoint for %s: %s",
+                self.run_key.key_id(),
+                payload if isinstance(payload, Exception) else type(payload).__name__,
+            )
+            self.store.delete_checkpoint(self.run_key)
+            return
         version = payload.get("version")
         if version != CHECKPOINT_VERSION:
             raise ValueError(

@@ -1,0 +1,46 @@
+"""Resilience layer: failure taxonomy, retries, chaos, quarantine.
+
+The production failure semantics the rest of the stack builds on: per-
+request :data:`EvalOutcome` resolution instead of batch-wide raising,
+bounded retries with backoff, split-on-failure bisection, per-bucket
+circuit breaking, poison-design quarantine, and a deterministic fault-
+injection harness to prove all of it under chaos.
+"""
+
+from repro.resilience.chaos import (
+    FAULT_TYPES,
+    FaultInjectingEvaluator,
+    InjectedCrash,
+    InjectedFault,
+)
+from repro.resilience.failures import (
+    FAILURE_KINDS,
+    RETRYABLE_KINDS,
+    EvalFailure,
+    EvalFailureError,
+    EvalOutcome,
+    EvalTimeoutError,
+    classify_exception,
+    is_nonconverged,
+)
+from repro.resilience.policy import NO_RETRY, RetryPolicy
+from repro.resilience.resilient import ResilienceStats, ResilientEvaluator
+
+__all__ = [
+    "FAILURE_KINDS",
+    "FAULT_TYPES",
+    "NO_RETRY",
+    "RETRYABLE_KINDS",
+    "EvalFailure",
+    "EvalFailureError",
+    "EvalOutcome",
+    "EvalTimeoutError",
+    "FaultInjectingEvaluator",
+    "InjectedCrash",
+    "InjectedFault",
+    "ResilienceStats",
+    "ResilientEvaluator",
+    "RetryPolicy",
+    "classify_exception",
+    "is_nonconverged",
+]

@@ -1,0 +1,404 @@
+"""The resilient evaluation wrapper: isolate, retry, degrade, quarantine.
+
+:class:`ResilientEvaluator` turns any evaluator's all-or-nothing
+``evaluate_requests`` into per-request :data:`~repro.resilience.failures.EvalOutcome`
+resolution with production failure semantics:
+
+* **Zero fast-path overhead** — a clean batch is exactly one inner call
+  (identical to the unwrapped evaluator) plus a NaN scan; no threads, no
+  copies, no extra bookkeeping on success.
+* **Split-on-failure bisection** — when a batch raises, requests are
+  regrouped by bucket and each bucket bisected: a single poisoned design
+  degrades *its bucket* from vectorized to serial, the other buckets and
+  the other halves keep their stacked solves.
+* **Bounded retries with backoff + jitter** — single-request failures are
+  retried per the :class:`~repro.resilience.policy.RetryPolicy`;
+  deterministic failures (``nonconvergence``) are never retried.
+* **Quarantine** — a request that exhausts its retries is remembered (by
+  canonical design key, LRU-bounded) and fails fast on resubmission,
+  so a poison design can never re-trigger bisection storms.
+* **Per-bucket circuit breaker** — ``breaker_threshold`` consecutive
+  failed *group* attempts trip a bucket to the per-request serial path for
+  ``breaker_cooldown`` bucket-calls, then a half-open probe re-tries the
+  grouped path.  Counts bucket-calls, not wall-clock, so behaviour is
+  deterministic under test.
+* **Per-attempt deadlines** — when the policy sets ``deadline_s``, each
+  inner attempt runs under a watcher thread and is abandoned (classified
+  ``timeout``) past the deadline.
+
+Wrap *outside* any cache (``ResilientEvaluator(CachingEvaluator(...))``)
+so failures are never cached, and outside the chaos harness so injected
+faults exercise the real recovery machinery.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.base import (
+    EvalRequest,
+    EvalResult,
+    Evaluator,
+    EvaluatorStats,
+)
+from repro.eval.caching import request_cache_key
+from repro.resilience.failures import (
+    EvalFailure,
+    EvalFailureError,
+    EvalOutcome,
+    EvalTimeoutError,
+    classify_exception,
+    is_nonconverged,
+)
+from repro.resilience.policy import RetryPolicy
+
+
+@dataclass
+class ResilienceStats:
+    """Counters of the wrapper's recovery activity (all zero on clean runs).
+
+    Attributes:
+        failures: Terminal :class:`EvalFailure` outcomes produced.
+        retries: Extra attempts spent beyond each request's first.
+        bisections: Failed group attempts that were split in half.
+        serial_downgrades: Requests resolved on the per-request serial
+            path (after bisection bottomed out or through an open breaker).
+        breaker_trips: Times a bucket breaker opened.
+        quarantined: Requests added to the quarantine.
+        quarantine_hits: Requests failed fast because their design was
+            already quarantined.
+    """
+
+    failures: int = 0
+    retries: int = 0
+    bisections: int = 0
+    serial_downgrades: int = 0
+    breaker_trips: int = 0
+    quarantined: int = 0
+    quarantine_hits: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "failures": self.failures,
+            "retries": self.retries,
+            "bisections": self.bisections,
+            "serial_downgrades": self.serial_downgrades,
+            "breaker_trips": self.breaker_trips,
+            "quarantined": self.quarantined,
+            "quarantine_hits": self.quarantine_hits,
+        }
+
+
+@dataclass
+class _BucketBreaker:
+    """Count-based circuit breaker for one (circuit, technology) bucket."""
+
+    threshold: int
+    cooldown: int
+    consecutive_failures: int = 0
+    cooldown_remaining: int = 0
+
+    @property
+    def open(self) -> bool:
+        return self.cooldown_remaining > 0
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Record one failed group attempt; True when the breaker trips."""
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self.cooldown_remaining = self.cooldown
+            # Leave the count one short of the threshold: a failed
+            # half-open probe after the cooldown re-trips immediately.
+            self.consecutive_failures = self.threshold - 1
+            return True
+        return False
+
+    def tick(self) -> None:
+        """One bucket-call served while open (cooldown countdown)."""
+        if self.cooldown_remaining > 0:
+            self.cooldown_remaining -= 1
+
+
+class ResilientEvaluator(Evaluator):
+    """Per-request failure isolation around any :class:`Evaluator`.
+
+    Args:
+        inner: The evaluator doing the actual work (wrap caches inside,
+            never outside, so failures are not cached).
+        policy: Retry/backoff/deadline policy (see :class:`RetryPolicy`).
+        breaker_threshold: Consecutive failed group attempts per bucket
+            before the breaker opens.
+        breaker_cooldown: Bucket-calls the breaker stays open (serial
+            path) before a half-open grouped probe.
+        quarantine_size: Max quarantined design keys kept (LRU).
+        seed: Seed for backoff jitter (determinism under test).
+        sleep: Injection point for backoff waits (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        inner: Evaluator,
+        policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 8,
+        quarantine_size: int = 1024,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if quarantine_size < 1:
+            raise ValueError(
+                f"quarantine_size must be >= 1, got {quarantine_size}"
+            )
+        self.inner = inner
+        self._circuit = inner._circuit
+        self._circuits = inner._circuits
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = int(breaker_cooldown)
+        self.quarantine_size = int(quarantine_size)
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self.rstats = ResilienceStats()
+        self._quarantine: "OrderedDict[object, EvalFailure]" = OrderedDict()
+        self._breakers: Dict[Tuple[str, str], _BucketBreaker] = {}
+
+    # --- plumbing -----------------------------------------------------------------
+    @property
+    def stats(self) -> EvaluatorStats:
+        return self.inner.stats
+
+    def peek(self, request: EvalRequest):
+        return self.inner.peek(request)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def describe(self) -> str:
+        return (
+            f"ResilientEvaluator(attempts={self.policy.max_attempts}, "
+            f"inner={self.inner.describe()})"
+        )
+
+    # --- quarantine ---------------------------------------------------------------
+    @property
+    def quarantine(self) -> List[EvalFailure]:
+        """Snapshot of quarantined failures (oldest first)."""
+        return list(self._quarantine.values())
+
+    def clear_quarantine(self) -> None:
+        self._quarantine.clear()
+
+    def _quarantine_put(self, key: object, failure: EvalFailure) -> None:
+        self._quarantine[key] = failure
+        self._quarantine.move_to_end(key)
+        while len(self._quarantine) > self.quarantine_size:
+            self._quarantine.popitem(last=False)
+        self.rstats.quarantined += 1
+
+    # --- breaker ------------------------------------------------------------------
+    def _breaker(self, bucket: Tuple[str, str]) -> _BucketBreaker:
+        breaker = self._breakers.get(bucket)
+        if breaker is None:
+            breaker = _BucketBreaker(
+                self.breaker_threshold, self.breaker_cooldown
+            )
+            self._breakers[bucket] = breaker
+        return breaker
+
+    def breaker_open(self, bucket: Tuple[str, str]) -> bool:
+        """Whether ``bucket`` is currently degraded to the serial path."""
+        breaker = self._breakers.get(bucket)
+        return breaker is not None and breaker.open
+
+    # --- attempts -----------------------------------------------------------------
+    def _attempt(self, requests: Sequence[EvalRequest]) -> List[EvalResult]:
+        """One inner attempt, under the policy deadline when one is set."""
+        deadline = self.policy.deadline_s
+        if deadline is None:
+            return self.inner.evaluate_requests(requests)
+        box: Dict[str, object] = {}
+
+        def target() -> None:
+            try:
+                box["result"] = self.inner.evaluate_requests(requests)
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                box["error"] = error
+
+        watcher = threading.Thread(target=target, daemon=True)
+        watcher.start()
+        watcher.join(deadline)
+        if watcher.is_alive():
+            # The attempt is abandoned, not cancelled: the thread finishes
+            # (or hangs) on its own and its result is discarded.
+            raise EvalTimeoutError(
+                f"evaluation of {len(requests)} request(s) exceeded the "
+                f"{deadline}s deadline"
+            )
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box["result"]  # type: ignore[return-value]
+
+    # --- resolution ---------------------------------------------------------------
+    def evaluate_outcomes(
+        self, requests: Sequence[EvalRequest]
+    ) -> List[EvalOutcome]:
+        """Per-request outcomes for a mixed batch; never raises for a
+        request-level failure (``outcomes[i]`` matches ``requests[i]``)."""
+        requests = list(requests)
+        outcomes: List[Optional[EvalOutcome]] = [None] * len(requests)
+
+        live: List[int] = []
+        for index, request in enumerate(requests):
+            key = request_cache_key(request)
+            known = self._quarantine.get(key)
+            if known is not None:
+                self._quarantine.move_to_end(key)
+                self.rstats.quarantine_hits += 1
+                self.rstats.failures += 1
+                outcomes[index] = EvalFailure(
+                    request=request,
+                    kind=known.kind,
+                    message=f"quarantined: {known.message}",
+                    attempts=0,
+                )
+            else:
+                live.append(index)
+
+        grouped = [
+            i for i in live if not self.breaker_open(requests[i].bucket)
+        ]
+        broken = [i for i in live if self.breaker_open(requests[i].bucket)]
+
+        if grouped:
+            sub = [requests[i] for i in grouped]
+            try:
+                results = self._attempt(sub)
+            except Exception:
+                self._resolve_failed_group(requests, outcomes, grouped)
+            else:
+                for bucket in {r.bucket for r in sub}:
+                    self._breaker(bucket).record_success()
+                for index, result in zip(grouped, results):
+                    outcomes[index] = self._accept(requests[index], result, 1)
+
+        if broken:
+            for bucket in {requests[i].bucket for i in broken}:
+                self._breaker(bucket).tick()
+            for index in broken:
+                self.rstats.serial_downgrades += 1
+                outcomes[index] = self._resolve_single(requests[index])
+
+        return outcomes  # type: ignore[return-value]
+
+    def evaluate_requests(
+        self, requests: Sequence[EvalRequest]
+    ) -> List[EvalResult]:
+        """Strict adapter: resolve outcomes, raise on the first failure."""
+        outcomes = self.evaluate_outcomes(requests)
+        for outcome in outcomes:
+            if isinstance(outcome, EvalFailure):
+                raise EvalFailureError(outcome)
+        return outcomes  # type: ignore[return-value]
+
+    def _accept(
+        self, request: EvalRequest, result: EvalResult, attempts: int
+    ) -> EvalOutcome:
+        """Turn an inner result into an outcome (NaN scan → nonconvergence)."""
+        if is_nonconverged(result.metrics):
+            failure = EvalFailure(
+                request=request,
+                kind="nonconvergence",
+                message="simulation returned non-finite (NaN) metrics",
+                attempts=attempts,
+            )
+            self.rstats.failures += 1
+            self._quarantine_put(request_cache_key(request), failure)
+            return failure
+        return result
+
+    def _resolve_failed_group(
+        self,
+        requests: Sequence[EvalRequest],
+        outcomes: List[Optional[EvalOutcome]],
+        indices: List[int],
+    ) -> None:
+        """A mixed group attempt raised: isolate per bucket, then bisect."""
+        by_bucket: Dict[Tuple[str, str], List[int]] = {}
+        for index in indices:
+            by_bucket.setdefault(requests[index].bucket, []).append(index)
+        for bucket, bucket_indices in by_bucket.items():
+            # One breaker count per bucket per top-level failure — the
+            # log2(n) bisection attempts below are part of the same event.
+            breaker = self._breaker(bucket)
+            if breaker.record_failure():
+                self.rstats.breaker_trips += 1
+            self._resolve_bucket(requests, outcomes, bucket_indices)
+
+    def _resolve_bucket(
+        self,
+        requests: Sequence[EvalRequest],
+        outcomes: List[Optional[EvalOutcome]],
+        indices: List[int],
+    ) -> None:
+        """Bisect one bucket's requests until the poison is isolated."""
+        if len(indices) == 1:
+            self.rstats.serial_downgrades += 1
+            outcomes[indices[0]] = self._resolve_single(requests[indices[0]])
+            return
+        sub = [requests[i] for i in indices]
+        try:
+            results = self._attempt(sub)
+        except Exception:
+            self.rstats.bisections += 1
+            middle = len(indices) // 2
+            self._resolve_bucket(requests, outcomes, indices[:middle])
+            self._resolve_bucket(requests, outcomes, indices[middle:])
+            return
+        for index, result in zip(indices, results):
+            outcomes[index] = self._accept(requests[index], result, 1)
+
+    def _resolve_single(self, request: EvalRequest) -> EvalOutcome:
+        """One request on the serial path: bounded retries with backoff."""
+        attempts = 0
+        failure: Optional[EvalFailure] = None
+        while attempts < self.policy.max_attempts:
+            attempts += 1
+            if attempts > 1:
+                self.rstats.retries += 1
+            try:
+                result = self._attempt([request])[0]
+            except Exception as error:  # noqa: BLE001 - classified below
+                kind = classify_exception(error)
+                if (
+                    self.policy.retryable(kind)
+                    and attempts < self.policy.max_attempts
+                ):
+                    self._sleep(self.policy.backoff_delay(attempts, self._rng))
+                    continue
+                failure = EvalFailure(
+                    request=request,
+                    kind=kind,
+                    message=str(error),
+                    attempts=attempts,
+                )
+                break
+            outcome = self._accept(request, result, attempts)
+            if isinstance(outcome, EvalFailure):
+                return outcome  # _accept already counted and quarantined
+            return outcome
+        assert failure is not None
+        self.rstats.failures += 1
+        self._quarantine_put(request_cache_key(request), failure)
+        return failure

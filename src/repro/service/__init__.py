@@ -18,7 +18,12 @@ checkpointable ask/tell driver into a server any number of clients share:
 """
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.coalescer import BatchCoalescer, CoalescerStats, EvaluationError
+from repro.service.coalescer import (
+    BatchCoalescer,
+    CoalescerStats,
+    EvaluationError,
+    OverloadedError,
+)
 from repro.service.config import DEFAULT_PORT, ServiceConfig
 from repro.service.protocol import (
     ProtocolError,
@@ -42,6 +47,7 @@ __all__ = [
     "BatchCoalescer",
     "CoalescerStats",
     "EvaluationError",
+    "OverloadedError",
     "RunSupervisor",
     "Job",
     "JobSpec",

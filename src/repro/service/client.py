@@ -10,7 +10,9 @@ store instead of each importing the library.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.circuits.parameters import Sizing
@@ -24,7 +26,27 @@ from repro.service.protocol import (
 
 
 class ServiceError(RuntimeError):
-    """The server answered with an ``error`` frame (or closed unexpectedly)."""
+    """The server answered with an ``error`` frame (or closed unexpectedly).
+
+    Attributes:
+        kind: Failure-taxonomy kind from the error frame (``None`` when the
+            server sent none — protocol errors, old servers).
+        retryable: Whether the server marked the failure retryable
+            (``overloaded``, transient simulator faults).
+        attempts: Server-side evaluation attempts spent before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: Optional[str] = None,
+        retryable: bool = False,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = bool(retryable)
+        self.attempts = int(attempts)
 
 
 class ServiceClient:
@@ -35,6 +57,12 @@ class ServiceClient:
         port: Server port.
         timeout: Per-response socket timeout in seconds (``None`` waits
             forever — long optimization runs stream for minutes).
+        retry: Connection-establishment attempts (exponential backoff with
+            jitter between them), so clients tolerate server restarts
+            instead of dying on the first ``ConnectionRefusedError``.
+            1 = the old fail-fast behaviour.
+        retry_base_delay_s: Backoff before the second connection attempt;
+            doubles per retry (capped at ``retry_max_delay_s``).
     """
 
     def __init__(
@@ -42,21 +70,43 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: Optional[float] = 300.0,
+        retry: int = 5,
+        retry_base_delay_s: float = 0.1,
+        retry_max_delay_s: float = 2.0,
     ):
+        if retry < 1:
+            raise ValueError(f"retry must be >= 1, got {retry}")
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.retry = int(retry)
+        self.retry_base_delay_s = float(retry_base_delay_s)
+        self.retry_max_delay_s = float(retry_max_delay_s)
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._next_id = 0
+        self._rng = random.Random()
 
     # --- plumbing -----------------------------------------------------------------
     def _connect(self) -> None:
         if self._sock is not None:
             return
-        self._sock = socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
-        )
+        for attempt in range(1, self.retry + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                break
+            except OSError:
+                if attempt >= self.retry:
+                    raise
+                delay = min(
+                    self.retry_max_delay_s,
+                    self.retry_base_delay_s * (2 ** (attempt - 1)),
+                )
+                # Jitter de-synchronizes clients reconnecting to a server
+                # that just came back — no thundering herd.
+                time.sleep(delay * (1.0 + 0.25 * self._rng.random()))
         self._file = self._sock.makefile("rwb")
 
     def close(self) -> None:
@@ -93,7 +143,12 @@ class ServiceClient:
             raise ServiceError("server closed the connection")
         frame = decode_frame(line)
         if frame.get("type") == "error":
-            raise ServiceError(frame.get("error", "unknown server error"))
+            raise ServiceError(
+                frame.get("error", "unknown server error"),
+                kind=frame.get("kind"),
+                retryable=frame.get("retryable", False),
+                attempts=frame.get("attempts", 0),
+            )
         return frame
 
     def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:

@@ -31,16 +31,49 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.circuits.library import get_circuit
 from repro.circuits.parameters import Sizing
 from repro.eval import EvaluatorConfig, request_cache_key
 from repro.eval.base import EvalRequest, Evaluator
+from repro.resilience import (
+    EvalFailure,
+    FaultInjectingEvaluator,
+    ResilientEvaluator,
+    RetryPolicy,
+)
 
 
 class EvaluationError(RuntimeError):
-    """A coalesced simulator batch failed; carried back to every waiter."""
+    """One design's evaluation terminally failed; carried to *its* waiters.
+
+    Attributes:
+        kind: Failure-taxonomy kind (see
+            :data:`repro.resilience.FAILURE_KINDS`, plus ``overloaded``
+            for admission-control rejections).
+        retryable: Whether resubmitting the same request may succeed.
+        attempts: Evaluation attempts spent server-side before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "simulator_error",
+        retryable: bool = False,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = retryable
+        self.attempts = int(attempts)
+
+
+class OverloadedError(EvaluationError):
+    """The pending queue is full; the client should back off and retry."""
+
+    def __init__(self, message: str):
+        super().__init__(message, kind="overloaded", retryable=True)
 
 
 @dataclass
@@ -55,6 +88,9 @@ class CoalescerStats:
         inflight_hits: Designs that attached to an already-queued/running
             future instead of re-entering a batch.
         peek_hits: Designs served instantly from the shared result cache.
+        failures: Designs resolved with a terminal :class:`EvaluationError`
+            (only their own waiters see it; batchmates are unaffected).
+        rejected: Requests refused by admission control (``overloaded``).
     """
 
     requests: int = 0
@@ -63,6 +99,8 @@ class CoalescerStats:
     batches_issued: int = 0
     inflight_hits: int = 0
     peek_hits: int = 0
+    failures: int = 0
+    rejected: int = 0
 
     @property
     def coalescing_factor(self) -> float:
@@ -79,6 +117,8 @@ class CoalescerStats:
             "batches_issued": self.batches_issued,
             "inflight_hits": self.inflight_hits,
             "peek_hits": self.peek_hits,
+            "failures": self.failures,
+            "rejected": self.rejected,
             "coalescing_factor": round(self.coalescing_factor, 4),
         }
 
@@ -97,6 +137,17 @@ class BatchCoalescer:
         linger_s: Seconds a freshly-armed flush waits for more submissions.
         max_batch: Designs per issued evaluator batch (larger pending sets
             drain over several back-to-back batches).
+        max_pending: Admission-control bound on queued designs; a submit
+            that would overflow it is rejected with a retryable
+            :class:`OverloadedError` (0 = unbounded).
+        retry_policy: Retry/backoff/deadline policy of the resilient
+            wrapper around the shared evaluator (default
+            :class:`~repro.resilience.RetryPolicy`).
+        chaos: Optional :class:`~repro.resilience.FaultInjectingEvaluator`
+            kwargs (``seed``, ``error_rate``, ...).  When given, the chaos
+            harness is wrapped *between* the resilient layer and the
+            evaluator stack, so injected faults exercise the real recovery
+            machinery end-to-end.
     """
 
     def __init__(
@@ -104,12 +155,24 @@ class BatchCoalescer:
         evaluator_config: Optional[EvaluatorConfig] = None,
         linger_s: float = 0.01,
         max_batch: int = 64,
+        max_pending: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        chaos: Optional[Mapping[str, Any]] = None,
     ):
         self.evaluator_config = evaluator_config or EvaluatorConfig(cache_size=4096)
         self.linger_s = float(linger_s)
         self.max_batch = int(max_batch)
+        self.max_pending = int(max_pending)
         self.stats = CoalescerStats()
-        self.evaluator: Evaluator = self.evaluator_config.build()
+        # Resilience wraps *outside* the cache (failures are never cached)
+        # and outside the chaos harness (injected faults must hit the real
+        # retry/bisection/quarantine machinery, not bypass it).
+        inner: Evaluator = self.evaluator_config.build()
+        if chaos:
+            inner = FaultInjectingEvaluator(inner, **dict(chaos))
+        self.evaluator: ResilientEvaluator = ResilientEvaluator(
+            inner, policy=retry_policy
+        )
         #: Deduped designs awaiting the next batch: (key, request, future).
         self._pending: List[Tuple[tuple, EvalRequest, asyncio.Future]] = []
         #: Every queued-or-simulating design, keyed like the result cache.
@@ -135,9 +198,22 @@ class BatchCoalescer:
         Returns one ``{"sizing", "metrics", "cached"}`` dict per input, in
         input order.  ``cached`` is true when the design was served without
         a fresh simulation (result cache, or shared with another waiter).
+
+        A design that terminally fails raises :class:`EvaluationError`
+        (carrying the failure taxonomy) from *this* call only — batchmates
+        sharing the simulator batch resolve normally.
         """
         if self._closed:
             raise EvaluationError("coalescer is closed")
+        if (
+            self.max_pending > 0
+            and len(self._pending) + len(sizings) > self.max_pending
+        ):
+            self.stats.rejected += 1
+            raise OverloadedError(
+                f"server overloaded: {len(self._pending)} design(s) pending "
+                f"(max_pending={self.max_pending}); retry after backoff"
+            )
         loop = asyncio.get_running_loop()
         bucket = (circuit_name.lower(), technology)
         if bucket not in self._seen:
@@ -171,9 +247,17 @@ class BatchCoalescer:
         if self._pending and self._flusher is None:
             self._flusher = asyncio.create_task(self._flush_loop())
 
+        # Gather (never bare-await in sequence) so every waiter's exception
+        # is retrieved even when an earlier design in the same submission
+        # failed — otherwise the loop would warn about unretrieved futures.
+        payloads = await asyncio.gather(
+            *(future for _, future, _ in waiters), return_exceptions=True
+        )
+        for payload in payloads:
+            if isinstance(payload, BaseException):
+                raise payload
         results = []
-        for sizing, future, shared in waiters:
-            payload = await future
+        for (sizing, _, shared), payload in zip(waiters, payloads):
             results.append(
                 {
                     "sizing": sizing,
@@ -200,10 +284,13 @@ class BatchCoalescer:
                 del self._pending[: self.max_batch]
                 requests = [request for _, request, _ in batch]
                 try:
-                    eval_results = await asyncio.to_thread(
-                        self.evaluator.evaluate_requests, requests
+                    outcomes = await asyncio.to_thread(
+                        self.evaluator.evaluate_outcomes, requests
                     )
-                except Exception as error:  # simulator failure: fail the batch
+                except Exception as error:
+                    # Infrastructure failure (evaluator closed, OOM): the
+                    # resilient wrapper already absorbed every per-request
+                    # failure, so this path is catastrophic-only.
                     for key, _, future in batch:
                         self._inflight.pop(key, None)
                         if not future.done():
@@ -213,13 +300,27 @@ class BatchCoalescer:
                     continue
                 self.stats.batches_issued += 1
                 self.stats.designs_flushed += len(batch)
-                for (key, _, future), result in zip(batch, eval_results):
+                for (key, _, future), outcome in zip(batch, outcomes):
                     self._inflight.pop(key, None)
-                    if not future.done():
+                    if future.done():
+                        continue
+                    if isinstance(outcome, EvalFailure):
+                        # Only this design's waiters see the failure; the
+                        # rest of the coalesced batch resolves normally.
+                        self.stats.failures += 1
+                        future.set_exception(
+                            EvaluationError(
+                                f"evaluation failed: {outcome.message}",
+                                kind=outcome.kind,
+                                retryable=outcome.retryable,
+                                attempts=outcome.attempts,
+                            )
+                        )
+                    else:
                         future.set_result(
                             {
-                                "metrics": dict(result.metrics),
-                                "cached": bool(result.cached),
+                                "metrics": dict(outcome.metrics),
+                                "cached": bool(outcome.cached),
                             }
                         )
         finally:
@@ -228,13 +329,18 @@ class BatchCoalescer:
     # --- lifecycle ----------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Stats payload for the ``stats`` endpoint."""
-        return {
+        payload = {
             "coalescer": self.stats.to_dict(),
             "evaluator": self.evaluator_stats(),
+            "resilience": self.evaluator.rstats.to_dict(),
             "buckets": sorted(
                 f"{circuit}/{technology}" for circuit, technology in self._seen
             ),
         }
+        chaos = self.evaluator.inner
+        if isinstance(chaos, FaultInjectingEvaluator):
+            payload["chaos"] = dict(chaos.injected)
+        return payload
 
     def close(self) -> None:
         """Cancel pending work and release the shared evaluator."""

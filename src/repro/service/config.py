@@ -12,14 +12,22 @@ Environment overrides (each beaten by the matching CLI flag):
 * ``REPRO_SERVE_MAX_BATCH`` — designs per coalesced simulator batch.
 * ``REPRO_SERVE_CHECKPOINT_EVERY`` — driver steps between run checkpoints.
 * ``REPRO_SERVE_CACHE`` — per-bucket LRU design-cache capacity.
+* ``REPRO_SERVE_MAX_PENDING`` — admission-control bound on queued designs.
+* ``REPRO_SERVE_EVAL_ATTEMPTS`` / ``REPRO_SERVE_EVAL_DEADLINE`` — retry
+  and per-attempt deadline policy of the resilient evaluation wrapper.
+* ``REPRO_SERVE_CHAOS_RATE`` / ``REPRO_SERVE_CHAOS_SEED`` /
+  ``REPRO_SERVE_CHAOS_TRANSIENT`` — seeded fault injection (chaos testing
+  against a live server; 0 rate = off).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 from repro.eval import BACKENDS, EvaluatorConfig
+from repro.resilience import RetryPolicy
 from repro.store import STORE_BACKENDS
 
 #: Default TCP port of the optimization service.
@@ -73,6 +81,19 @@ class ServiceConfig:
             restarts then replay runs from scratch).
         linger_ms: Coalescing window in milliseconds.
         max_batch: Designs per coalesced evaluator batch.
+        max_pending: Admission-control bound on queued designs; a submit
+            that would overflow it gets a retryable ``overloaded`` error
+            (0 = unbounded).
+        eval_attempts: Evaluation attempts per design before its failure
+            is terminal (1 = no retry).
+        eval_deadline_s: Per-attempt evaluation deadline in seconds
+            (0 = unlimited; the default, because enforcement costs a
+            watcher thread per attempt).
+        chaos_rate: Fraction of designs the chaos harness poisons with
+            injected simulator faults (0 disables injection entirely).
+        chaos_seed: Seed of the deterministic fault-injection decisions.
+        chaos_transient: Attempts each poisoned design fails before
+            recovering (0 = faults are permanent → quarantine).
     """
 
     host: str = field(
@@ -96,6 +117,24 @@ class ServiceConfig:
     )
     max_batch: int = field(
         default_factory=lambda: _env_int("REPRO_SERVE_MAX_BATCH", 64, minimum=1)
+    )
+    max_pending: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_MAX_PENDING", 0)
+    )
+    eval_attempts: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_EVAL_ATTEMPTS", 3, minimum=1)
+    )
+    eval_deadline_s: float = field(
+        default_factory=lambda: _env_float("REPRO_SERVE_EVAL_DEADLINE", 0.0)
+    )
+    chaos_rate: float = field(
+        default_factory=lambda: _env_float("REPRO_SERVE_CHAOS_RATE", 0.0)
+    )
+    chaos_seed: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_CHAOS_SEED", 0)
+    )
+    chaos_transient: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_CHAOS_TRANSIENT", 1)
     )
 
     def __post_init__(self):
@@ -125,6 +164,41 @@ class ServiceConfig:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
+        if self.max_pending < 0:
+            raise ValueError(f"max_pending must be >= 0, got {self.max_pending}")
+        if self.eval_attempts < 1:
+            raise ValueError(
+                f"eval_attempts must be >= 1, got {self.eval_attempts}"
+            )
+        if self.eval_deadline_s < 0:
+            raise ValueError(
+                f"eval_deadline_s must be >= 0, got {self.eval_deadline_s}"
+            )
+        if not (0.0 <= self.chaos_rate <= 1.0):
+            raise ValueError(
+                f"chaos_rate must be in [0, 1], got {self.chaos_rate}"
+            )
+        if self.chaos_transient < 0:
+            raise ValueError(
+                f"chaos_transient must be >= 0, got {self.chaos_transient}"
+            )
+
+    def retry_policy(self) -> RetryPolicy:
+        """The retry/deadline policy of the coalescer's resilient wrapper."""
+        return RetryPolicy(
+            max_attempts=self.eval_attempts,
+            deadline_s=self.eval_deadline_s or None,
+        )
+
+    def chaos_config(self) -> Optional[Dict[str, Any]]:
+        """Fault-injection kwargs for the coalescer (``None`` = chaos off)."""
+        if self.chaos_rate <= 0:
+            return None
+        return {
+            "seed": self.chaos_seed,
+            "error_rate": self.chaos_rate,
+            "transient_attempts": self.chaos_transient,
+        }
 
     def evaluator_config(self) -> EvaluatorConfig:
         """The evaluator stack each coalescer bucket is built with."""
@@ -141,8 +215,13 @@ class ServiceConfig:
             if self.store_dir
             else self.store_backend
         )
+        chaos = (
+            f", chaos={self.chaos_rate}@seed{self.chaos_seed}"
+            if self.chaos_rate > 0
+            else ""
+        )
         return (
             f"ServiceConfig({self.host}:{self.port}, store={store}, "
             f"eval={self.eval_backend}, linger={self.linger_ms}ms, "
-            f"checkpoint_every={self.checkpoint_every})"
+            f"checkpoint_every={self.checkpoint_every}{chaos})"
         )

@@ -150,9 +150,27 @@ def validate_request(frame: Mapping[str, Any]) -> Dict[str, Any]:
 
 
 # --- response frame builders ----------------------------------------------------
-def error_frame(message: str, request_id=None) -> Dict[str, Any]:
-    """An ``error`` response carrying a human-readable message."""
+def error_frame(
+    message: str,
+    request_id=None,
+    kind: Optional[str] = None,
+    retryable: Optional[bool] = None,
+    attempts: Optional[int] = None,
+) -> Dict[str, Any]:
+    """An ``error`` response carrying a message and optional failure taxonomy.
+
+    ``kind`` is one of :data:`repro.resilience.FAILURE_KINDS` (or
+    ``overloaded`` for admission-control rejections); ``retryable`` tells
+    the client whether resubmitting the same request may succeed;
+    ``attempts`` is how many server-side evaluation attempts were spent.
+    """
     frame: Dict[str, Any] = {"type": "error", "error": str(message)}
+    if kind is not None:
+        frame["kind"] = str(kind)
+    if retryable is not None:
+        frame["retryable"] = bool(retryable)
+    if attempts:
+        frame["attempts"] = int(attempts)
     if request_id is not None:
         frame["id"] = request_id
     return frame

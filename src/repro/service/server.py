@@ -29,7 +29,11 @@ from typing import Any, Dict, Optional
 from urllib.parse import urlsplit
 
 from repro.service.config import ServiceConfig
-from repro.service.coalescer import BatchCoalescer, EvaluationError
+from repro.service.coalescer import (
+    BatchCoalescer,
+    EvaluationError,
+    OverloadedError,
+)
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -55,6 +59,9 @@ class OptimizationService:
             evaluator_config=self.config.evaluator_config(),
             linger_s=self.config.linger_ms / 1000.0,
             max_batch=self.config.max_batch,
+            max_pending=self.config.max_pending,
+            retry_policy=self.config.retry_policy(),
+            chaos=self.config.chaos_config(),
         )
         self.supervisor = RunSupervisor(
             store_backend=self.config.store_backend,
@@ -190,7 +197,13 @@ class OptimizationService:
                 response = self._handle_stats()
         except (ProtocolError, EvaluationError, KeyError, ValueError) as error:
             message = error.args[0] if error.args else str(error)
-            response = error_frame(message, request_id)
+            response = error_frame(
+                message,
+                request_id,
+                kind=getattr(error, "kind", None),
+                retryable=getattr(error, "retryable", None),
+                attempts=getattr(error, "attempts", None),
+            )
         if request_id is not None:
             response["id"] = request_id
         await self._send(writer, response)
@@ -252,9 +265,19 @@ class OptimizationService:
         path = urlsplit(target).path
         try:
             status, payload = await self._http_route(method, path, body)
+        except OverloadedError as error:
+            status, payload = 503, {
+                "error": str(error),
+                "kind": "overloaded",
+                "retryable": True,
+            }
         except (ProtocolError, EvaluationError, KeyError, ValueError) as error:
             message = error.args[0] if error.args else str(error)
             status, payload = 400, {"error": message}
+            kind = getattr(error, "kind", None)
+            if kind is not None:
+                payload["kind"] = kind
+                payload["retryable"] = bool(getattr(error, "retryable", False))
         except json.JSONDecodeError as error:
             status, payload = 400, {"error": f"body is not valid JSON: {error}"}
         await self._http_respond(writer, status, payload)
@@ -296,7 +319,8 @@ class OptimizationService:
         self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
     ) -> None:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                   404: "Not Found", 413: "Payload Too Large"}
+                   404: "Not Found", 413: "Payload Too Large",
+                   503: "Service Unavailable"}
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"

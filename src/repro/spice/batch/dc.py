@@ -247,12 +247,13 @@ def batch_newton(
     x = x0.copy()
     batch = template.batch_size
     converged = np.zeros(batch, dtype=bool)
+    diverged = np.zeros(batch, dtype=bool)
     iterations = np.zeros(batch, dtype=int)
     num_nodes = template.num_nodes
     assembler = _DCAssembler(template, gmin, source_scale)
 
     for _ in range(max_iterations):
-        active = np.flatnonzero(~converged)
+        active = np.flatnonzero(~converged & ~diverged)
         if active.size == 0:
             break
         jacobian, residual = assembler.assemble(x[active], active)
@@ -270,7 +271,15 @@ def batch_newton(
         x[active] += step
         iterations[active] += 1
         res_norm = np.max(np.abs(residual), axis=1)
-        converged[active] = (res_norm < abstol) & (step_norm < vtol)
+        # A singular/ill-conditioned design can drive its iterate to
+        # NaN/inf; once non-finite it never recovers (NaN propagates
+        # through assembly), so freeze it as diverged instead of burning
+        # the remaining lockstep iterations on it.  NaN tolerance
+        # comparisons are False, so a diverged design can never be
+        # (mis)marked converged.
+        finite = np.isfinite(x[active]).all(axis=1)
+        diverged[active[~finite]] = True
+        converged[active] = (res_norm < abstol) & (step_norm < vtol) & finite
     return x, converged, iterations
 
 
@@ -400,6 +409,12 @@ def batch_dc_operating_point(
         recovered = hard[ok_s]
         x[recovered] = x_s[ok_s]
         converged[recovered] = True
+
+    # Belt and braces: a non-finite iterate is never a valid operating
+    # point, whatever the tolerance tests said on the way here.  Demote it
+    # so downstream metric code reports non-convergence (finite penalty
+    # metrics) instead of silently propagating NaN device ops.
+    converged &= np.isfinite(x).all(axis=1)
 
     solutions: List[DCSolution] = []
     for index, circuit in enumerate(circuits):

@@ -281,6 +281,41 @@ class RunStore(abc.ABC):
         """Drop every stored checkpoint."""
         self._checkpoint_rows().clear()
 
+    # --- quarantine ---------------------------------------------------------------
+    # A quarantined cell is one whose execution terminally failed after
+    # bounded retries: the worker records the failure here (kind, message,
+    # attempts, worker id) so the scheduler stops handing the cell out, the
+    # sweep drains instead of livelocking, and ``ls --status`` can show the
+    # poison.  Deleting the entry re-queues the cell.  Like checkpoints,
+    # the base keeps entries in process memory; durable backends override.
+
+    def _quarantine_rows(self) -> Dict[str, Dict]:
+        rows = getattr(self, "_quarantine", None)
+        if rows is None:
+            rows = {}
+            self._quarantine = rows
+        return rows
+
+    def put_quarantine(self, key: RunKey, info: Mapping) -> None:
+        """Mark ``key`` quarantined with a JSON-serializable ``info`` dict."""
+        self._quarantine_rows()[key.key_id()] = dict(info)
+
+    def get_quarantine(self, key: RunKey) -> Optional[Dict]:
+        """The quarantine info stored for ``key``, or ``None``."""
+        return self._quarantine_rows().get(key.key_id())
+
+    def delete_quarantine(self, key: RunKey) -> None:
+        """Lift the quarantine for ``key`` (no-op when absent)."""
+        self._quarantine_rows().pop(key.key_id(), None)
+
+    def quarantine_ids(self) -> List[str]:
+        """``key_id`` of every quarantined cell."""
+        return list(self._quarantine_rows().keys())
+
+    def clear_quarantine(self) -> None:
+        """Lift every quarantine."""
+        self._quarantine_rows().clear()
+
     def refresh(self) -> None:
         """Make other handles' writes visible to this one.
 

@@ -163,6 +163,10 @@ class CampaignReport:
         skipped: Cells served from the store without re-execution.
         partial: Cells paused mid-run (their checkpoint is in the store;
             the next sweep resumes them where they stopped).
+        quarantined: Cells marked poisoned in the store (terminally failed
+            after bounded retries; see ``RunStore.put_quarantine``).  They
+            are excluded from ``remaining`` — a drained sweep with
+            quarantined cells counts as complete, with the count surfaced.
         interrupted: ``True`` when ``max_runs`` stopped the sweep early.
         records: One record per *completed* visited cell, in sweep order.
     """
@@ -171,13 +175,14 @@ class CampaignReport:
     executed: int = 0
     skipped: int = 0
     partial: int = 0
+    quarantined: int = 0
     interrupted: bool = False
     records: List[RunRecord] = field(default_factory=list)
 
     @property
     def remaining(self) -> int:
         """Cells the sweep did not finish (0 unless interrupted)."""
-        return self.total - self.executed - self.skipped
+        return self.total - self.executed - self.skipped - self.quarantined
 
     def summary(self) -> str:
         """Stable one-line form (grep target of the CI resume smoke job)."""
@@ -188,6 +193,8 @@ class CampaignReport:
         )
         if self.partial:
             text += f" partial={self.partial}"
+        if self.quarantined:
+            text += f" quarantined={self.quarantined}"
         return text
 
 
@@ -235,18 +242,39 @@ class Campaign:
         return self.spec.expand()
 
     def pending(self) -> List[RunRequest]:
-        """Cells not yet present in the store."""
+        """Cells not yet present in the store and not quarantined.
+
+        Quarantined cells are excluded so a sweep with a poison cell still
+        *drains* — workers exit instead of livelocking on a cell that can
+        never complete.  ``RunStore.delete_quarantine`` re-queues a cell.
+        """
         return [
             request
             for request in self.requests()
             if self.key_for(request) not in self.store
+            and self.store.get_quarantine(self.key_for(request)) is None
+        ]
+
+    def quarantined(self) -> List[RunRequest]:
+        """Cells marked poisoned in the store (no final record, quarantined)."""
+        return [
+            request
+            for request in self.requests()
+            if self.key_for(request) not in self.store
+            and self.store.get_quarantine(self.key_for(request)) is not None
         ]
 
     def status(self) -> Dict[str, int]:
-        """``{"total": ..., "completed": ..., "pending": ...}``."""
+        """``{"total", "completed", "pending", "quarantined"}`` counts."""
         total = len(self.requests())
         pending = len(self.pending())
-        return {"total": total, "completed": total - pending, "pending": pending}
+        quarantined = len(self.quarantined())
+        return {
+            "total": total,
+            "completed": total - pending - quarantined,
+            "pending": pending,
+            "quarantined": quarantined,
+        }
 
     def run(
         self,
@@ -402,6 +430,7 @@ class Campaign:
         done = len(report.records)
         report.skipped = min(skipped_before, done)
         report.executed = done - report.skipped
+        report.quarantined = len(self.quarantined())
         if report.remaining > 0:
             report.interrupted = True
             if not cluster.ok():

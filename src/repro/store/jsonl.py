@@ -27,6 +27,9 @@ LOG_NAME = "runs.jsonl"
 #: Subdirectory holding one mid-run checkpoint blob per in-flight run.
 CHECKPOINT_DIR = "checkpoints"
 
+#: Subdirectory holding one JSON file per quarantined cell.
+QUARANTINE_DIR = "quarantine"
+
 
 class JsonlStore(RunStore):
     """Directory-backed append-only store."""
@@ -160,6 +163,57 @@ class JsonlStore(RunStore):
             return
         for name in os.listdir(folder):
             if name.endswith(".ckpt") or name.endswith(".tmp"):
+                os.remove(os.path.join(folder, name))
+
+    # --- quarantine (one JSON file per poisoned cell) -----------------------------
+    def _quarantine_path(self, key_id: str) -> str:
+        return os.path.join(self.directory, QUARANTINE_DIR, key_id + ".json")
+
+    def put_quarantine(self, key: RunKey, info) -> None:
+        """Atomically write the quarantine marker (write-temp + rename)."""
+        path = self._quarantine_path(key.key_id())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(dict(info), handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def get_quarantine(self, key: RunKey):
+        path = self._quarantine_path(key.key_id())
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            # A torn marker still quarantines (its presence is the signal);
+            # the details are just unavailable.
+            return {}
+
+    def delete_quarantine(self, key: RunKey) -> None:
+        try:
+            os.remove(self._quarantine_path(key.key_id()))
+        except FileNotFoundError:
+            pass
+
+    def quarantine_ids(self):
+        folder = os.path.join(self.directory, QUARANTINE_DIR)
+        if not os.path.isdir(folder):
+            return []
+        return [
+            name[: -len(".json")]
+            for name in sorted(os.listdir(folder))
+            if name.endswith(".json")
+        ]
+
+    def clear_quarantine(self) -> None:
+        folder = os.path.join(self.directory, QUARANTINE_DIR)
+        if not os.path.isdir(folder):
+            return
+        for name in os.listdir(folder):
+            if name.endswith(".json") or name.endswith(".tmp"):
                 os.remove(os.path.join(folder, name))
 
     def describe(self) -> str:

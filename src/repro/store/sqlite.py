@@ -51,6 +51,10 @@ CREATE TABLE IF NOT EXISTS checkpoints (
     key_id  TEXT PRIMARY KEY,
     state   BLOB NOT NULL
 );
+CREATE TABLE IF NOT EXISTS quarantine (
+    key_id     TEXT PRIMARY KEY,
+    info_json  TEXT NOT NULL
+);
 """
 
 #: Lease table used by ``repro.cluster`` to coordinate distributed sweeps
@@ -181,6 +185,7 @@ class SqliteStore(RunStore):
     def clear(self) -> None:
         self._conn.execute("DELETE FROM runs")
         self._conn.execute("DELETE FROM checkpoints")
+        self._conn.execute("DELETE FROM quarantine")
         self._conn.commit()
 
     # --- mid-run checkpoints: a blob row per in-flight run ----------------------
@@ -206,6 +211,45 @@ class SqliteStore(RunStore):
 
     def clear_checkpoints(self) -> None:
         self._conn.execute("DELETE FROM checkpoints")
+        self._conn.commit()
+
+    # --- quarantine: a JSON row per poisoned cell ---------------------------------
+    def put_quarantine(self, key: RunKey, info) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO quarantine (key_id, info_json) VALUES (?, ?)",
+            (
+                key.key_id(),
+                json.dumps(dict(info), sort_keys=True, separators=(",", ":")),
+            ),
+        )
+        self._conn.commit()
+
+    def get_quarantine(self, key: RunKey):
+        cursor = self._conn.execute(
+            "SELECT info_json FROM quarantine WHERE key_id = ?", (key.key_id(),)
+        )
+        row = cursor.fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError:
+            return {}
+
+    def delete_quarantine(self, key: RunKey) -> None:
+        self._conn.execute(
+            "DELETE FROM quarantine WHERE key_id = ?", (key.key_id(),)
+        )
+        self._conn.commit()
+
+    def quarantine_ids(self):
+        cursor = self._conn.execute(
+            "SELECT key_id FROM quarantine ORDER BY key_id"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def clear_quarantine(self) -> None:
+        self._conn.execute("DELETE FROM quarantine")
         self._conn.commit()
 
     def vacuum_leases(self) -> int:

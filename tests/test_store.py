@@ -501,7 +501,12 @@ class TestCampaign:
         assert not report.interrupted and report.remaining == 0
         again = campaign.run()
         assert again.executed == 0 and again.skipped == 3
-        assert campaign.status() == {"total": 3, "completed": 3, "pending": 0}
+        assert campaign.status() == {
+            "total": 3,
+            "completed": 3,
+            "pending": 0,
+            "quarantined": 0,
+        }
         store.close()
 
     def test_interrupted_campaign_resumes_bit_identical(self, tmp_path):
