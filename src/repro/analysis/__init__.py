@@ -1,0 +1,50 @@
+"""Project-invariant static analysis: lint rules as executable specification.
+
+The repo's guarantees — bit-identical reproduction under concurrency and
+faults — rest on conventions no unit test can fully pin down: shared state
+mutated from worker threads must hold a lock, keyed/solver code must never
+consult ambient randomness or wall clocks, raises on evaluation paths must
+carry the failure taxonomy, and ``state_dict()`` must cover every piece of
+mutable state.  This package turns those conventions into AST-based
+checkers gated in CI, the same way ``check_bench_gate.py`` gates
+performance.
+
+Layout:
+
+* :mod:`repro.analysis.framework` — :class:`Finding` records, the rule
+  registry, source parsing with ``# repro-lint: ignore[rule]`` pragmas and
+  ``# guarded-by:`` annotations, and the committed-baseline machinery.
+* :mod:`repro.analysis.checkers` — the four project rules
+  (``lock-discipline``, ``determinism``, ``failure-taxonomy``,
+  ``checkpoint-completeness``).
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis [paths] --strict``.
+
+Run locally from the repo root::
+
+    PYTHONPATH=src python -m repro.analysis src --strict
+"""
+
+from repro.analysis.framework import (
+    Baseline,
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    all_checkers,
+    register_checker,
+    run_analysis,
+)
+
+# Importing the package registers every built-in checker.
+import repro.analysis.checkers  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "Finding",
+    "Project",
+    "SourceFile",
+    "all_checkers",
+    "register_checker",
+    "run_analysis",
+]

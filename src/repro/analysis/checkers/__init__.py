@@ -1,0 +1,6 @@
+"""Project-invariant checkers; importing this package registers them all."""
+
+from repro.analysis.checkers import checkpoint  # noqa: F401
+from repro.analysis.checkers import determinism  # noqa: F401
+from repro.analysis.checkers import locks  # noqa: F401
+from repro.analysis.checkers import taxonomy  # noqa: F401

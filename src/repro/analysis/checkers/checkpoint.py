@@ -1,0 +1,175 @@
+"""``checkpoint-completeness``: ``state_dict()`` must cover mutable state.
+
+The PR 5 resume guarantee — a SIGKILL'd run continues bit-identically from
+its last checkpoint — holds only if every piece of state that evolves
+during a run round-trips through ``state_dict()``.  A field added to a
+strategy but forgotten in its ``state_dict`` doesn't fail any test until a
+resume silently diverges.
+
+Heuristic: for every class defining ``state_dict()``, an attribute is
+*mutable run state* when it is assigned in ``__init__`` **and** mutated
+again outside ``__init__`` (reassigned, augmented, subscript-assigned, or
+hit with a container mutator like ``.append()``).  Every such attribute
+must be referenced somewhere inside the ``state_dict`` method body (reads
+through helpers count via the mention of the helper's attribute).
+
+Escapes, for state that is legitimately rebuilt rather than checkpointed
+(caches, derived workspaces, telemetry):
+
+* ``# repro-lint: ignore[checkpoint-completeness]`` on the ``__init__``
+  assignment line exempts that attribute;
+* the same pragma on the ``def state_dict(...)`` line exempts the whole
+  class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    register_checker,
+)
+
+from repro.analysis.checkers.locks import MUTATOR_METHODS
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.x`` -> "x"; anything else -> None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutation_roots(target: ast.expr) -> Iterable[str]:
+    """Attributes a store-target mutates: ``self.x``, ``self.x[k]``."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _mutation_roots(element)
+        return
+    attr = _self_attr(target)
+    if attr is not None:
+        yield attr
+        return
+    if isinstance(target, ast.Subscript):
+        attr = _self_attr(target.value)
+        if attr is not None:
+            yield attr
+
+
+class _ClassState:
+    def __init__(self, node: ast.ClassDef, source: SourceFile):
+        self.node = node
+        self.source = source
+        #: attr -> line of its (first) __init__ assignment.
+        self.init_attrs: Dict[str, int] = {}
+        #: attrs mutated outside __init__.
+        self.mutated: Set[str] = set()
+        self.state_dict_node: Optional[ast.FunctionDef] = None
+        #: attrs mentioned anywhere inside state_dict's body.
+        self.covered: Set[str] = set()
+        self._scan()
+
+    def _scan(self) -> None:
+        for statement in self.node.body:
+            if not isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if statement.name == "__init__":
+                self._scan_init(statement)
+            elif statement.name == "state_dict":
+                self.state_dict_node = statement
+                for sub in ast.walk(statement):
+                    attr = _self_attr(sub) if isinstance(sub, ast.expr) else None
+                    if attr is not None:
+                        self.covered.add(attr)
+            else:
+                self._scan_mutations(statement)
+
+    def _scan_init(self, node: ast.FunctionDef) -> None:
+        for sub in ast.walk(node):
+            targets: List[ast.expr] = []
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                targets = [sub.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None and attr not in self.init_attrs:
+                    self.init_attrs[attr] = target.lineno
+
+    def _scan_mutations(self, node: ast.FunctionDef) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    self.mutated.update(_mutation_roots(target))
+            elif isinstance(sub, ast.Delete):
+                for target in sub.targets:
+                    self.mutated.update(_mutation_roots(target))
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                ):
+                    attr = _self_attr(func.value)
+                    if attr is not None:
+                        self.mutated.add(attr)
+
+
+@register_checker
+class CheckpointCompletenessChecker(Checker):
+    name = "checkpoint-completeness"
+    description = (
+        "classes defining state_dict() must cover every mutable attribute "
+        "assigned in __init__"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(node, source)
+
+    def _check_class(
+        self, node: ast.ClassDef, source: SourceFile
+    ) -> Iterable[Finding]:
+        state = _ClassState(node, source)
+        if state.state_dict_node is None:
+            return
+        # Class-wide escape: pragma on the ``def state_dict`` line.
+        if source.ignored(self.name, state.state_dict_node.lineno):
+            return
+        for attr, line in sorted(state.init_attrs.items()):
+            if attr not in state.mutated:
+                continue  # config, never reassigned: not run state
+            if attr in state.covered:
+                continue
+            if source.ignored(self.name, line):
+                continue  # per-attribute escape on the __init__ assignment
+            yield Finding(
+                rule=self.name,
+                path=source.path,
+                line=line,
+                message=(
+                    f"self.{attr} is mutable run state (assigned in "
+                    f"__init__ and mutated later) but {node.name}."
+                    "state_dict() never references it; checkpoint it or "
+                    "exempt the assignment with "
+                    "'# repro-lint: ignore[checkpoint-completeness]'"
+                ),
+            )

@@ -1,0 +1,243 @@
+"""``determinism``: no ambient RNG or wall clock in keyed/solver modules.
+
+Bit-identical reproduction keys every run on explicit seeds: cache keys,
+run keys and checkpoints must be pure functions of their inputs, and the
+solver stack must be a pure function of (circuit, sizing, seed).  Ambient
+entropy breaks that silently — ``np.random.rand()`` depends on hidden
+global state, ``time.time()`` smuggles the wall clock into what should be
+a replayable computation.
+
+Inside the scoped modules (cache-key / run-key / checkpoint / solver code,
+see :data:`SCOPED_PATHS`) this rule forbids calls to:
+
+* ``numpy.random`` *module-level* functions (``np.random.rand``,
+  ``np.random.seed``, ...).  Seeded generator factories
+  (``np.random.default_rng``, ``np.random.Generator``, bit generators)
+  are the sanctioned idiom and stay allowed.
+* stdlib ``random`` module functions (``random.random()``, ...); seeded
+  ``random.Random(seed)`` instances stay allowed.
+* wall clocks: ``time.time`` / ``time.time_ns``, ``datetime.now`` /
+  ``utcnow`` / ``today``.  Monotonic telemetry clocks
+  (``time.perf_counter`` / ``time.monotonic``) are allowed — they feed
+  wall-time accounting, which is excluded from bit-identity diffs.
+
+Legitimate exceptions (telemetry counters, backoff jitter) live outside
+the scoped modules or carry a per-line
+``# repro-lint: ignore[determinism]`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    register_checker,
+)
+
+#: Path fragments selecting the keyed/solver modules the rule applies to.
+#: Everything else (service/cluster/resilience coordination layers, CLIs)
+#: may use wall clocks for telemetry and jitter freely.
+SCOPED_PATHS = (
+    "repro/eval/",
+    "repro/store/",
+    "repro/spice/",
+    "repro/nn/",
+    "repro/optim/",
+    "repro/rl/",
+    "repro/circuits/",
+    "repro/technology/",
+    "repro/env/",
+    "repro/experiments/driver",
+)
+
+#: ``numpy.random`` attributes that are explicitly fine: seeded construction.
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+        "RandomState",  # legacy but instance-seeded
+    }
+)
+
+#: stdlib ``random`` attributes that are fine (seeded instances).
+ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
+
+#: Forbidden wall-clock attributes per module.
+WALL_CLOCKS = {
+    "time": frozenset({"time", "time_ns"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
+
+def in_scope(path: str) -> bool:
+    return any(fragment in path for fragment in SCOPED_PATHS)
+
+
+def _attribute_chain(node: ast.expr) -> List[str]:
+    """``np.random.rand`` -> ["np", "random", "rand"]; [] if not a chain."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+class _ImportMap:
+    """Aliases under which the interesting modules are visible in a file."""
+
+    def __init__(self, tree: ast.Module):
+        #: module name -> set of local aliases (``numpy`` -> {"np"}).
+        self.aliases: Dict[str, Set[str]] = {}
+        #: local name -> (module, original) for ``from x import y [as z]``.
+        self.from_imports: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    self.aliases.setdefault(top, set()).add(
+                        (alias.asname or alias.name).split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+    def names_for(self, module: str) -> Set[str]:
+        return self.aliases.get(module, set())
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = (
+        "no global-state RNG or wall clock inside cache-key, run-key, "
+        "checkpoint and solver modules"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project:
+            if not in_scope(source.path):
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterable[Finding]:
+        imports = _ImportMap(source.tree)
+        numpy_names = imports.names_for("numpy")
+        random_names = imports.names_for("random")
+        time_names = imports.names_for("time")
+        datetime_mods = imports.names_for("datetime")
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            finding = None
+            if chain:
+                finding = self._classify_chain(
+                    chain, numpy_names, random_names, time_names, datetime_mods
+                )
+            elif isinstance(node.func, ast.Name):
+                finding = self._classify_bare(node.func.id, imports)
+            if finding is not None:
+                yield Finding(
+                    rule=self.name,
+                    path=source.path,
+                    line=node.lineno,
+                    message=finding,
+                )
+
+    def _classify_chain(
+        self,
+        chain: List[str],
+        numpy_names: Set[str],
+        random_names: Set[str],
+        time_names: Set[str],
+        datetime_mods: Set[str],
+    ) -> Optional[str]:
+        head, tail = chain[0], chain[-1]
+        # np.random.<func>(...) with a module-level function.
+        if (
+            len(chain) >= 3
+            and head in numpy_names
+            and chain[1] == "random"
+            and tail not in ALLOWED_NP_RANDOM
+        ):
+            return (
+                f"np.random.{tail}() draws from numpy's hidden global RNG; "
+                "thread a seeded np.random.Generator through instead"
+            )
+        # random.<func>(...) on the stdlib module.
+        if (
+            len(chain) == 2
+            and head in random_names
+            and tail not in ALLOWED_RANDOM
+        ):
+            return (
+                f"random.{tail}() draws from the process-global RNG; use a "
+                "seeded random.Random(seed) instance"
+            )
+        # time.time() / time.time_ns().
+        if len(chain) == 2 and head in time_names and tail in WALL_CLOCKS["time"]:
+            return (
+                f"time.{tail}() reads the wall clock inside a keyed module; "
+                "keyed computation must not depend on when it runs"
+            )
+        # datetime.datetime.now() / datetime.now() / date.today() ...
+        if tail in WALL_CLOCKS["datetime"] and (
+            head in datetime_mods or "datetime" in chain[:-1] or head == "datetime"
+        ):
+            return (
+                f"datetime {tail}() reads the wall clock inside a keyed "
+                "module; keyed computation must not depend on when it runs"
+            )
+        return None
+
+    def _classify_bare(
+        self, name: str, imports: _ImportMap
+    ) -> Optional[str]:
+        origin = imports.from_imports.get(name)
+        if origin is None:
+            return None
+        module, original = origin
+        if module == "time" and original in WALL_CLOCKS["time"]:
+            return (
+                f"{name}() (time.{original}) reads the wall clock inside a "
+                "keyed module"
+            )
+        if module == "datetime" and original in ("datetime", "date"):
+            return None  # constructor import, not a clock call
+        if module == "random" and original not in ALLOWED_RANDOM:
+            return (
+                f"{name}() (random.{original}) draws from the process-global "
+                "RNG; use a seeded random.Random(seed) instance"
+            )
+        if (
+            module in ("numpy.random", "numpy")
+            and original not in ALLOWED_NP_RANDOM
+            and module == "numpy.random"
+        ):
+            return (
+                f"{name}() (numpy.random.{original}) draws from numpy's "
+                "hidden global RNG; thread a seeded Generator through instead"
+            )
+        return None

@@ -1,0 +1,509 @@
+"""``lock-discipline``: thread-shared attribute mutations must hold a lock.
+
+The invariant (see README "Static analysis"): an instance attribute that is
+*mutated* from code reachable from a thread entry point and *also touched*
+from the main path is a data race unless every thread-side mutation happens
+inside a ``with <lock>:`` block or the attribute carries a
+``# guarded-by: <lock>`` annotation documenting why it is safe (event-loop
+confinement, a handshake Event, a GIL-atomic flag write).
+
+Thread entry points are collected project-wide:
+
+* ``threading.Thread(target=...)`` targets,
+* ``run()`` methods of ``threading.Thread`` subclasses,
+* first arguments of ``executor.submit(...)``,
+* callbacks handed to ``loop.call_soon_threadsafe(...)`` /
+  ``loop.run_in_executor(...)`` / ``asyncio.to_thread(...)`` /
+  ``future.add_done_callback(...)``.
+
+Reachability is a name-based over-approximation (no type inference): a
+method name passed to a spawner taints every same-named method in the
+project, ``self.m()`` calls taint same-named methods (covering subclass
+dispatch), and ``self.attr.m()`` calls from thread-reachable code taint
+``m`` project-wide — that last hop is what lets the checker follow the
+service coalescer's ``asyncio.to_thread(self.evaluator.evaluate_outcomes)``
+into the evaluation stack in a different module.  Common container /
+synchronisation method names are excluded from tainting to keep the
+over-approximation from swallowing the whole codebase.
+
+"Touched from the main path" means: read or written by a non-thread-
+reachable method of the same class (``__init__`` excluded — construction
+happens-before thread start), or accessed as ``<obj>.attr`` anywhere in the
+project (cross-object sharing, e.g. a worker reading ``heartbeat.lost``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    register_checker,
+)
+
+#: Method names whose call on a ``self``-rooted attribute counts as a
+#: mutation of that attribute (container state changes).
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Names never used for cross-object taint propagation: container reads,
+#: synchronisation primitives and future/queue plumbing.  Without this cut
+#: a thread-reachable ``self._map.get(...)`` would taint every ``get()``
+#: method in the project.
+UNTAINTABLE = MUTATOR_METHODS | frozenset(
+    {
+        "get",
+        "keys",
+        "values",
+        "items",
+        "copy",
+        "wait",
+        "set",
+        "join",
+        "close",
+        "result",
+        "cancel",
+        "cancelled",
+        "done",
+        "put",
+        "put_nowait",
+        "get_nowait",
+        "task_done",
+        "acquire",
+        "release",
+        "start",
+    }
+)
+
+#: Substrings of an expression's final name that make a ``with`` block a
+#: lock guard: ``with self._lock:``, ``with self.stats.lock:``,
+#: ``with self._mutex:``, ``with self._flock(path):`` all qualify.
+LOCKISH = ("lock", "mutex")
+
+
+def _final_name(node: ast.expr) -> Optional[str]:
+    """Rightmost identifier of a Name/Attribute/Call expression."""
+    if isinstance(node, ast.Call):
+        return _final_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_lockish(node: ast.expr) -> bool:
+    name = _final_name(node)
+    return name is not None and any(part in name.lower() for part in LOCKISH)
+
+
+def _self_root(node: ast.expr) -> Optional[Tuple[str, int]]:
+    """For an attribute chain rooted at ``self``, the first attribute name
+    and the chain depth (``self.a`` -> ("a", 1); ``self.a.b`` -> ("a", 2))."""
+    chain: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        chain.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name) and current.id == "self" and chain:
+        return chain[-1], len(chain)
+    return None
+
+
+@dataclass
+class Mutation:
+    attr: str
+    line: int
+    guarded: bool
+    function: str
+
+
+@dataclass
+class FunctionInfo:
+    """One analysed function scope (method, nested function or lambda)."""
+
+    module: str
+    cls: Optional[str]
+    name: str
+    self_calls: Set[str] = field(default_factory=set)
+    chain_calls: Set[str] = field(default_factory=set)
+    local_calls: Set[str] = field(default_factory=set)
+    mutations: List[Mutation] = field(default_factory=list)
+    self_touches: Set[str] = field(default_factory=set)
+    reachable: bool = False
+
+
+class _ModuleScan:
+    """All per-module facts the checker needs, gathered in one AST pass."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.functions: List[FunctionInfo] = []
+        #: Names of local functions passed to a spawner in this module.
+        self.local_targets: Set[str] = set()
+        #: Method names passed to a spawner as ``obj.method``.
+        self.method_targets: Set[str] = set()
+        #: Classes subclassing threading.Thread (their ``run`` is an entry).
+        self.thread_subclasses: Set[str] = set()
+        #: attr -> guard text for ``# guarded-by:`` annotated assignments.
+        self.annotations: Dict[Tuple[Optional[str], str], str] = {}
+        #: Final attribute names accessed on non-``self`` objects.
+        self.external_touches: Set[str] = set()
+        self._walk_module(source.tree)
+
+    # --- collection -----------------------------------------------------------
+    def _register_target(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Name):
+            self.local_targets.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            self.method_targets.add(node.attr)
+
+    def _scan_spawner(self, call: ast.Call) -> None:
+        func_name = _final_name(call.func)
+        if func_name == "Thread":
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    self._register_target(keyword.value)
+        elif func_name in ("submit", "call_soon_threadsafe", "to_thread",
+                           "add_done_callback"):
+            if call.args:
+                self._register_target(call.args[0])
+        elif func_name == "run_in_executor" and len(call.args) >= 2:
+            self._register_target(call.args[1])
+
+    def _walk_module(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            self._walk_statement(node, cls=None)
+
+    def _walk_statement(self, node: ast.stmt, cls: Optional[str]) -> None:
+        if isinstance(node, ast.ClassDef):
+            for base in node.bases:
+                if _final_name(base) == "Thread":
+                    self.thread_subclasses.add(node.name)
+            for statement in node.body:
+                if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                    # Class-level attribute with a guarded-by annotation.
+                    guard = self.source.guarded_by.get(statement.lineno)
+                    if guard:
+                        targets = (
+                            statement.targets
+                            if isinstance(statement, ast.Assign)
+                            else [statement.target]
+                        )
+                        for target in targets:
+                            if isinstance(target, ast.Name):
+                                self.annotations[(node.name, target.id)] = guard
+                self._walk_statement(statement, cls=node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._walk_function(node, cls)
+        else:
+            # Module-level spawner calls and external touches still count.
+            self._collect_expressions(node, info=None, cls=cls)
+
+    def _walk_function(
+        self, node: ast.stmt, cls: Optional[str]
+    ) -> FunctionInfo:
+        info = FunctionInfo(module=self.source.path, cls=cls, name=node.name)
+        self.functions.append(info)
+        self._visit_body(node.body, info, cls, guard_depth=0)
+        return info
+
+    # --- per-function traversal ----------------------------------------------
+    def _visit_body(
+        self,
+        statements: Iterable[ast.stmt],
+        info: FunctionInfo,
+        cls: Optional[str],
+        guard_depth: int,
+    ) -> None:
+        for statement in statements:
+            self._visit_statement(statement, info, cls, guard_depth)
+
+    def _visit_statement(
+        self,
+        node: ast.stmt,
+        info: FunctionInfo,
+        cls: Optional[str],
+        guard_depth: int,
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: a separate unit sharing the enclosing class
+            # (it closes over the same ``self``).
+            self._walk_function(node, cls)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            locked = any(_is_lockish(item.context_expr) for item in node.items)
+            for item in node.items:
+                self._collect_expression(item.context_expr, info, guard_depth)
+                if item.optional_vars is not None:
+                    self._collect_expression(item.optional_vars, info, guard_depth)
+            self._visit_body(
+                node.body, info, cls, guard_depth + (1 if locked else 0)
+            )
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                self._record_mutation_target(target, node.lineno, info, guard_depth)
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_mutation_target(target, node.lineno, info, guard_depth)
+        # Generic traversal of child statements/expressions.
+        for child_field, value in ast.iter_fields(node):
+            if child_field == "body" or child_field == "orelse" or child_field == "finalbody":
+                if isinstance(value, list):
+                    self._visit_body(
+                        [v for v in value if isinstance(v, ast.stmt)],
+                        info,
+                        cls,
+                        guard_depth,
+                    )
+                    continue
+            if child_field == "handlers" and isinstance(value, list):
+                for handler in value:
+                    self._visit_body(handler.body, info, cls, guard_depth)
+                continue
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.stmt):
+                        self._visit_statement(item, info, cls, guard_depth)
+                    elif isinstance(item, ast.expr):
+                        self._collect_expression(item, info, guard_depth)
+            elif isinstance(value, ast.expr):
+                self._collect_expression(value, info, guard_depth)
+
+    def _record_mutation_target(
+        self,
+        target: ast.expr,
+        line: int,
+        info: FunctionInfo,
+        guard_depth: int,
+    ) -> None:
+        base: Optional[ast.expr] = None
+        if isinstance(target, ast.Attribute):
+            base = target
+        elif isinstance(target, ast.Subscript):
+            if isinstance(target.value, ast.Attribute):
+                base = target.value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_mutation_target(element, line, info, guard_depth)
+            return
+        if base is None:
+            return
+        root = _self_root(base)
+        if root is None:
+            # Store through a non-self object: record as external touch.
+            name = _final_name(base)
+            if name:
+                self.external_touches.add(name)
+            return
+        attr, _ = root
+        guard = self.source.guarded_by.get(line)
+        if guard:
+            self.annotations[(info.cls, attr)] = guard
+        info.self_touches.add(attr)
+        info.mutations.append(
+            Mutation(attr=attr, line=line, guarded=guard_depth > 0,
+                     function=info.name)
+        )
+
+    def _collect_expression(
+        self, node: ast.expr, info: Optional[FunctionInfo], guard_depth: int
+    ) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._scan_spawner(sub)
+                if info is not None:
+                    self._classify_call(sub, info, guard_depth)
+            elif isinstance(sub, ast.Attribute):
+                root = _self_root(sub)
+                if root is not None:
+                    if info is not None:
+                        info.self_touches.add(root[0])
+                else:
+                    self.external_touches.add(sub.attr)
+
+    def _collect_expressions(
+        self, node: ast.stmt, info: Optional[FunctionInfo], cls: Optional[str]
+    ) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._scan_spawner(sub)
+            elif isinstance(sub, ast.Attribute):
+                if _self_root(sub) is None:
+                    self.external_touches.add(sub.attr)
+
+    def _classify_call(
+        self, call: ast.Call, info: FunctionInfo, guard_depth: int
+    ) -> None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            info.local_calls.add(func.id)
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        root = _self_root(func)
+        if root is None:
+            return
+        _, depth = root  # chain: self.<...>.method()
+        method = func.attr
+        if depth == 1:
+            info.self_calls.add(method)
+        else:
+            info.chain_calls.add(method)
+            # A mutator call on a self attribute mutates that attribute.
+            if method in MUTATOR_METHODS:
+                # The mutated root is the first attribute after self.
+                chain: List[str] = []
+                current: ast.expr = func
+                while isinstance(current, ast.Attribute):
+                    chain.append(current.attr)
+                    current = current.value
+                attr = chain[-1]
+                guard = self.source.guarded_by.get(call.lineno)
+                if guard:
+                    self.annotations[(info.cls, attr)] = guard
+                info.self_touches.add(attr)
+                info.mutations.append(
+                    Mutation(
+                        attr=attr,
+                        line=call.lineno,
+                        guarded=guard_depth > 0,
+                        function=info.name,
+                    )
+                )
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    description = (
+        "attributes mutated from thread-reachable code and touched from the "
+        "main path must be mutated under a lock or carry '# guarded-by:'"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        scans = [_ModuleScan(source) for source in project]
+
+        by_module_name: Dict[Tuple[str, str], List[FunctionInfo]] = {}
+        by_method_name: Dict[str, List[FunctionInfo]] = {}
+        by_class: Dict[Tuple[str, str], List[FunctionInfo]] = {}
+        external: Set[str] = set()
+        annotations: Dict[Tuple[str, Optional[str], str], str] = {}
+        for scan in scans:
+            external |= scan.external_touches
+            for (cls, attr), guard in scan.annotations.items():
+                annotations[(scan.source.path, cls, attr)] = guard
+            for info in scan.functions:
+                by_module_name.setdefault((info.module, info.name), []).append(info)
+                if info.cls is not None:
+                    by_method_name.setdefault(info.name, []).append(info)
+                    by_class.setdefault((info.module, info.cls), []).append(info)
+
+        # --- seed the worklist ----------------------------------------------
+        worklist: List[FunctionInfo] = []
+
+        def mark(info: FunctionInfo) -> None:
+            if not info.reachable and info.name != "__init__":
+                info.reachable = True
+                worklist.append(info)
+
+        def taint_method(name: str) -> None:
+            if name in UNTAINTABLE or name.startswith("__"):
+                return
+            for info in by_method_name.get(name, []):
+                mark(info)
+
+        for scan in scans:
+            for name in scan.local_targets:
+                for info in by_module_name.get((scan.source.path, name), []):
+                    mark(info)
+            for name in scan.method_targets:
+                taint_method(name)
+            for cls in scan.thread_subclasses:
+                for info in by_class.get((scan.source.path, cls), []):
+                    if info.name == "run":
+                        mark(info)
+
+        # --- propagate ------------------------------------------------------
+        while worklist:
+            info = worklist.pop()
+            for name in info.self_calls:
+                # Same-object dispatch: name-matched project-wide so that
+                # subclass overrides (self._evaluate_bucket) are covered.
+                taint_method(name)
+            for name in info.chain_calls:
+                taint_method(name)
+            for name in info.local_calls:
+                for other in by_module_name.get((info.module, name), []):
+                    if other.cls is None or other.cls == info.cls:
+                        mark(other)
+
+        # --- report ---------------------------------------------------------
+        for scan in scans:
+            module = scan.source.path
+            classes: Dict[str, List[FunctionInfo]] = {}
+            for info in scan.functions:
+                if info.cls is not None:
+                    classes.setdefault(info.cls, []).append(info)
+            for cls, infos in sorted(classes.items()):
+                main_touched: Set[str] = set()
+                for info in infos:
+                    if not info.reachable and info.name != "__init__":
+                        main_touched |= info.self_touches
+                for info in infos:
+                    if not info.reachable:
+                        continue
+                    for mutation in info.mutations:
+                        if mutation.guarded:
+                            continue
+                        if (module, cls, mutation.attr) in annotations:
+                            continue
+                        if annotations.get((module, None, mutation.attr)):
+                            continue
+                        if (
+                            mutation.attr not in main_touched
+                            and mutation.attr not in external
+                        ):
+                            continue
+                        yield Finding(
+                            rule=self.name,
+                            path=module,
+                            line=mutation.line,
+                            message=(
+                                f"self.{mutation.attr} is mutated in "
+                                f"thread-reachable {cls}.{mutation.function}() "
+                                "without holding a lock, but is also touched "
+                                "from the main path; wrap the mutation in "
+                                "'with <lock>:' or annotate the attribute "
+                                "with '# guarded-by: <lock>'"
+                            ),
+                        )

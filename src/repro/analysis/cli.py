@@ -1,0 +1,140 @@
+"""``python -m repro.analysis [paths] [--strict]`` — the CI entry point.
+
+Exit codes:
+
+* ``0`` — no findings outside the baseline (or not ``--strict``).
+* ``1`` — ``--strict`` and at least one new (non-baselined) finding.
+* ``2`` — usage / IO error (bad path, unknown rule, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.framework import Baseline, checker_names, run_analysis
+from repro.analysis.reporting import render_json, render_rules, render_text
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Project-invariant static analysis: lock discipline, "
+            "determinism, failure taxonomy, checkpoint completeness."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any finding is not covered by the baseline",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE}; missing file = empty baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined findings in text output",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        render_rules(sys.stdout)
+        return 0
+
+    known = set(checker_names())
+    select: Optional[List[str]] = args.select
+    if select:
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        findings, _project = run_analysis(args.paths, select=select)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = Baseline()
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except FileNotFoundError:
+            pass
+        except (ValueError, KeyError) as error:
+            print(
+                f"unreadable baseline {args.baseline}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+
+    new, baselined, stale = baseline.split(findings)
+
+    if args.format == "json":
+        render_json(new, baselined, stale, sys.stdout)
+    else:
+        render_text(new, baselined, stale, sys.stdout, verbose=args.verbose)
+
+    if args.strict and new:
+        return 1
+    return 0

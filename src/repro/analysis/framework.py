@@ -1,0 +1,339 @@
+"""Checker framework: findings, source model, registry, pragmas, baseline.
+
+The framework is deliberately small — plain ``ast`` visitors over a parsed
+:class:`Project`, no third-party dependencies — so checkers read like the
+invariants they enforce.  Three escape hatches keep the gate honest without
+blocking work:
+
+* **Per-line pragma** — ``# repro-lint: ignore[rule-a,rule-b]`` (or a bare
+  ``# repro-lint: ignore``) on the offending line suppresses findings
+  there.  Use it for call sites that are individually justified (telemetry
+  clocks, backoff jitter).
+* **``# guarded-by: <lock>`` annotation** — consumed by the
+  ``lock-discipline`` rule: a comment on an attribute assignment declares
+  which lock (or single-threadedness argument) protects it, for cases the
+  with-block heuristic cannot see (event-loop confinement, handshake
+  ordering).
+* **Committed baseline** — a JSON file of grandfathered findings; the CLI
+  fails only on findings *not* in the baseline, so the gate can land
+  before every historical violation is fixed.  Baseline entries are keyed
+  by ``(rule, path, message)`` — not line numbers — so unrelated edits
+  don't churn the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+#: ``# repro-lint: ignore`` or ``# repro-lint: ignore[rule-a, rule-b]``.
+PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?"
+)
+
+#: ``# guarded-by: <lock or justification>``.
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>\S[^#]*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Registered rule id (e.g. ``"lock-discipline"``).
+        path: File path as reported (posix separators, relative to the
+            invocation directory when possible).
+        line: 1-based source line of the violation.
+        message: Human-readable description; deterministic, so it doubles
+            as the baseline key.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """One parsed module: AST plus the comment channels checkers consume.
+
+    Attributes:
+        path: Normalized (posix, relative-if-possible) display path.
+        text: Raw source.
+        tree: Parsed ``ast.Module``.
+        ignores: line -> ``None`` (ignore all rules) or a frozenset of
+            rule ids ignored on that line.
+        guarded_by: line -> the declared guard text of a
+            ``# guarded-by:`` annotation on that line.
+    """
+
+    def __init__(self, path: str, text: str, tree: ast.Module):
+        self.path = path
+        self.text = text
+        self.tree = tree
+        self.ignores: Dict[int, Optional[frozenset]] = {}
+        self.guarded_by: Dict[int, str] = {}
+        self._scan_comments()
+
+    @classmethod
+    def parse(cls, path: str, display_path: str) -> "SourceFile":
+        """Parse ``path``; raises ``SyntaxError`` on unparsable source."""
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        tree = ast.parse(text, filename=display_path)
+        return cls(display_path, text, tree)
+
+    def _scan_comments(self) -> None:
+        """Extract pragma/guarded-by comments via ``tokenize`` (not regex
+        over raw lines, so string literals containing ``#`` never match)."""
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                line = token.start[0]
+                pragma = PRAGMA_RE.search(token.string)
+                if pragma:
+                    rules = pragma.group("rules")
+                    if rules is None:
+                        self.ignores[line] = None
+                    else:
+                        names = frozenset(
+                            name.strip() for name in rules.split(",") if name.strip()
+                        )
+                        existing = self.ignores.get(line, frozenset())
+                        if existing is None:
+                            pass  # already ignore-all
+                        else:
+                            self.ignores[line] = existing | names
+                guarded = GUARDED_BY_RE.search(token.string)
+                if guarded:
+                    self.guarded_by[line] = guarded.group("lock").strip()
+        except tokenize.TokenError:  # pragma: no cover - ast.parse succeeded
+            pass
+
+    def ignored(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` findings on ``line`` are pragma-suppressed."""
+        if line not in self.ignores:
+            return False
+        rules = self.ignores[line]
+        return rules is None or rule in rules
+
+
+class Project:
+    """The full set of parsed files one analysis run covers."""
+
+    def __init__(self, files: Sequence[SourceFile]):
+        self.files = list(files)
+
+    def __iter__(self):
+        return iter(self.files)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+
+class Checker:
+    """Base class for project rules.
+
+    Subclasses set :attr:`name` / :attr:`description` and implement
+    :meth:`check` over the whole project (single-file rules just loop; the
+    project handle is what lets ``lock-discipline`` see cross-module thread
+    entry points).  Pragma filtering happens in the framework — checkers
+    emit every finding they believe in.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_CHECKERS: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a rule name")
+    if cls.name in _CHECKERS:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _CHECKERS[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, sorted by rule id."""
+    return [_CHECKERS[name]() for name in sorted(_CHECKERS)]
+
+
+def checker_names() -> List[str]:
+    return sorted(_CHECKERS)
+
+
+def _iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            found.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return found
+
+
+def display_path(path: str) -> str:
+    """Posix path, relative to the CWD when the file lives under it."""
+    absolute = os.path.abspath(path)
+    cwd = os.getcwd()
+    if absolute.startswith(cwd + os.sep):
+        absolute = os.path.relpath(absolute, cwd)
+    return absolute.replace(os.sep, "/")
+
+
+def load_project(paths: Sequence[str]) -> Tuple[Project, List[Finding]]:
+    """Parse every python file under ``paths``.
+
+    Unparsable files become ``parse-error`` findings (they still fail a
+    strict run) instead of aborting the whole analysis.
+    """
+    files: List[SourceFile] = []
+    errors: List[Finding] = []
+    for path in _iter_python_files(paths):
+        shown = display_path(path)
+        try:
+            files.append(SourceFile.parse(path, shown))
+        except SyntaxError as error:
+            errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=shown,
+                    line=error.lineno or 1,
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+    return Project(files), errors
+
+
+def run_analysis(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], Project]:
+    """Run (selected) checkers over ``paths``; pragma-suppressed findings
+    are dropped here so no checker needs to re-implement the filter."""
+    project, findings = load_project(paths)
+    by_path = {file.path: file for file in project}
+    wanted = set(select) if select else None
+    for checker in all_checkers():
+        if wanted is not None and checker.name not in wanted:
+            continue
+        for finding in checker.check(project):
+            source = by_path.get(finding.path)
+            if source is not None and source.ignored(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings, project
+
+
+class Baseline:
+    """Grandfathered findings, keyed by ``(rule, path, message)``.
+
+    Multiplicity matters: two identical violations in one file need two
+    baseline entries, so fixing one (or adding a second) is visible.
+    """
+
+    def __init__(self, counts: Optional[Counter] = None):
+        self.counts: Counter = counts or Counter()
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        counts: Counter = Counter()
+        for row in data.get("findings", []):
+            counts[(row["rule"], row["path"], row["message"])] += 1
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: Counter = Counter(f.baseline_key for f in findings)
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        rows = []
+        for (rule, file_path, message), count in sorted(self.counts.items()):
+            rows.extend(
+                {"rule": rule, "path": file_path, "message": message}
+                for _ in range(count)
+            )
+        payload = {
+            "comment": (
+                "Grandfathered repro.analysis findings; regenerate with "
+                "python -m repro.analysis --update-baseline. New code must "
+                "be clean — entries here only ever disappear."
+            ),
+            "findings": rows,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Tuple[str, str, str]]]:
+        """Partition findings into (new, baselined) and list stale entries.
+
+        Stale entries — baselined findings that no longer occur — are
+        reported so the baseline can be re-tightened, but they never fail
+        the run (line drift must not flake CI).
+        """
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if remaining.get(finding.baseline_key, 0) > 0:
+                remaining[finding.baseline_key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(
+            key for key, count in remaining.items() for _ in range(count)
+        )
+        return new, baselined, stale

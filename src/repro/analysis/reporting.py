@@ -1,0 +1,65 @@
+"""Render analysis results as text (human/CI logs) or JSON (tooling)."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, TextIO, Tuple
+
+from repro.analysis.framework import Finding
+
+
+def render_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[Tuple[str, str, str]],
+    stream: TextIO,
+    verbose: bool = False,
+) -> None:
+    for finding in new:
+        stream.write(finding.render() + "\n")
+    if verbose:
+        for finding in baselined:
+            stream.write(f"{finding.render()}  (baselined)\n")
+    for rule, path, message in stale:
+        stream.write(
+            f"stale baseline entry: {path}: [{rule}] {message}\n"
+        )
+    summary = (
+        f"{len(new)} new finding(s), {len(baselined)} baselined, "
+        f"{len(stale)} stale baseline entr(y/ies)"
+    )
+    stream.write(summary + "\n")
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[Tuple[str, str, str]],
+    stream: TextIO,
+) -> None:
+    payload = {
+        "new": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in stale
+        ],
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "stale_baseline": len(stale),
+        },
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def render_rules(stream: TextIO) -> None:
+    from repro.analysis.framework import all_checkers
+
+    rows: List[Tuple[str, str]] = [
+        (checker.name, checker.description) for checker in all_checkers()
+    ]
+    width = max(len(name) for name, _ in rows)
+    for name, description in rows:
+        stream.write(f"{name.ljust(width)}  {description}\n")

@@ -122,9 +122,11 @@ class LeaseHeartbeat(threading.Thread):
         self.ttl = float(ttl)
         # Renew well inside the TTL so one missed beat isn't fatal.
         self.interval = interval if interval is not None else max(ttl / 3.0, 0.05)
-        self.lost = False
+        # guarded-by: single-writer — only run() assigns; GIL-atomic
+        # bool/int flags read by the executing worker's pause polls.
+        self.lost = False  # guarded-by: single-writer (heartbeat thread)
         #: Consecutive renew attempts that raised (reset by any success).
-        self.consecutive_errors = 0
+        self.consecutive_errors = 0  # guarded-by: single-writer (heartbeat thread)
         # Note: not "_stop" — threading.Thread has a private method by
         # that name and shadowing it breaks join().
         self._stop_event = threading.Event()
@@ -229,7 +231,10 @@ class CampaignWorker:
             campaign, self.lease_store, owner=self.worker_id, ttl=self.ttl
         )
         self._stop = threading.Event()
-        self._evaluator = evaluator
+        # guarded-by: worker-thread confinement — each CampaignWorker is
+        # driven by exactly one thread (launcher spawns one per worker);
+        # lazy construction in _shared_evaluator never races itself.
+        self._evaluator = evaluator  # guarded-by: worker-thread confinement
         self._owns_evaluator = evaluator is None
 
     def _shared_evaluator(self):

@@ -118,7 +118,8 @@ class SizingEnvironment:
         self.best_reward: float = -np.inf
         self.best_sizing: Optional[Sizing] = None
         self.best_metrics: Optional[Dict[str, float]] = None
-        self._normalized: Optional["NormalizedEnv"] = None
+        # Lazily-built derived view, reconstructed on demand after resume.
+        self._normalized: Optional["NormalizedEnv"] = None  # repro-lint: ignore[checkpoint-completeness]
 
     @property
     def normalized(self) -> "NormalizedEnv":

@@ -29,12 +29,43 @@ happens underneath, so optimization histories are reproducible bit-for-bit.
 from __future__ import annotations
 
 import abc
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.base import CircuitDesign
 from repro.circuits.parameters import Sizing
+
+
+class ThreadSafeCounters:
+    """Mixin giving a stats dataclass a mutation lock.
+
+    Stats objects are shared across threads — the coalescer flushes batches
+    via ``asyncio.to_thread``, resilient evaluation runs attempts under
+    deadline-watcher threads, campaign workers share one evaluator — so
+    read-modify-write counter updates (``stats.x += 1``) race without a
+    guard.  Mutation sites hold ``with stats.lock:``; snapshot methods
+    (``to_dict``) take the same lock so a reader never sees a torn batch of
+    updates.
+
+    The lock is created in ``__post_init__`` rather than as a dataclass
+    field, so generated ``__eq__``/``__repr__`` and ``to_dict`` payloads are
+    unaffected; ``__getstate__``/``__setstate__`` drop and recreate it so
+    stats embedded in driver checkpoints still pickle.
+    """
+
+    def __post_init__(self) -> None:
+        self.lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state.pop("lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self.lock = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -79,7 +110,7 @@ class EvalResult:
 
 
 @dataclass
-class EvaluatorStats:
+class EvaluatorStats(ThreadSafeCounters):
     """Running counters of an evaluator's activity.
 
     Attributes:
@@ -110,17 +141,18 @@ class EvaluatorStats:
         return self.cache_hits / self.num_designs
 
     def to_dict(self) -> Dict[str, float]:
-        """Plain-dict view for logging and reports."""
-        return {
-            "num_batches": self.num_batches,
-            "num_designs": self.num_designs,
-            "num_simulations": self.num_simulations,
-            "cache_hits": self.cache_hits,
-            "cache_evictions": self.cache_evictions,
-            "scalar_fallbacks": self.scalar_fallbacks,
-            "total_time": self.total_time,
-            "hit_rate": self.hit_rate,
-        }
+        """Consistent snapshot for logging and reports."""
+        with self.lock:
+            return {
+                "num_batches": self.num_batches,
+                "num_designs": self.num_designs,
+                "num_simulations": self.num_simulations,
+                "cache_hits": self.cache_hits,
+                "cache_evictions": self.cache_evictions,
+                "scalar_fallbacks": self.scalar_fallbacks,
+                "total_time": self.total_time,
+                "hit_rate": self.hit_rate,
+            }
 
 
 class Evaluator(abc.ABC):
@@ -140,6 +172,7 @@ class Evaluator(abc.ABC):
     def __init__(self, circuit: Optional[CircuitDesign] = None):
         self._circuit = circuit
         self._circuits: Dict[Tuple[str, str], CircuitDesign] = {}
+        self._circuits_lock = threading.Lock()
         if circuit is not None:
             key = (circuit.name.lower(), circuit.technology.name)
             self._circuits[key] = circuit
@@ -149,7 +182,8 @@ class Evaluator(abc.ABC):
     def circuit(self) -> CircuitDesign:
         """The bound circuit design; raises when the evaluator is unbound."""
         if self._circuit is None:
-            raise RuntimeError(
+            # API misuse, not an evaluation failure: nothing was simulated.
+            raise RuntimeError(  # repro-lint: ignore[failure-taxonomy]
                 f"{type(self).__name__} is not bound to a circuit; use "
                 "evaluate_requests() with explicit EvalRequests, or bind() "
                 "a per-circuit view"
@@ -174,14 +208,15 @@ class Evaluator(abc.ABC):
     def _resolve_circuit(self, name: str, technology: str) -> CircuitDesign:
         """Circuit design for a request bucket, resolved once and cached."""
         key = (name.lower(), technology)
-        circuit = self._circuits.get(key)
-        if circuit is None:
-            # Lazy import: the circuit registry must stay importable without
-            # pulling the evaluation stack in, and vice versa.
-            from repro.circuits.library import get_circuit
+        with self._circuits_lock:
+            circuit = self._circuits.get(key)
+            if circuit is None:
+                # Lazy import: the circuit registry must stay importable
+                # without pulling the evaluation stack in, and vice versa.
+                from repro.circuits.library import get_circuit
 
-            circuit = get_circuit(name, technology)
-            self._circuits[key] = circuit
+                circuit = get_circuit(name, technology)
+                self._circuits[key] = circuit
         return circuit
 
     def _legacy_batch_only(self) -> bool:
@@ -230,7 +265,9 @@ class Evaluator(abc.ABC):
                 }
             )
             if foreign:
-                raise ValueError(
+                # API misuse (mixed batch sent to a legacy bound evaluator)
+                # raised before anything is simulated, so no failure kind.
+                raise ValueError(  # repro-lint: ignore[failure-taxonomy]
                     f"{type(self).__name__} overrides evaluate_batch() only "
                     f"and is bound to {circuit.name!r}/"
                     f"{circuit.technology.name}; cannot serve requests for "
@@ -250,10 +287,11 @@ class Evaluator(abc.ABC):
             )
             for index, result in zip(indices, bucket_results):
                 results[index] = result
-        self.stats.num_batches += 1
-        self.stats.num_designs += len(requests)
-        self.stats.num_simulations += len(requests)
-        self.stats.total_time += time.perf_counter() - start
+        with self.stats.lock:
+            self.stats.num_batches += 1
+            self.stats.num_designs += len(requests)
+            self.stats.num_simulations += len(requests)
+            self.stats.total_time += time.perf_counter() - start
         return results
 
     def evaluate_batch(self, sizings: Sequence[Sizing]) -> List[EvalResult]:

@@ -17,6 +17,7 @@ requests are "the same design".
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -86,13 +87,18 @@ class CachingEvaluator(Evaluator):
         self.max_size = max_size
         self.key_digits = key_digits
         self._cache: "OrderedDict[RequestKey, Dict[str, float]]" = OrderedDict()
+        # Protects ``_cache``: the coalescer peeks from the event loop while
+        # flush batches mutate the LRU from ``asyncio.to_thread`` workers.
+        self._cache_lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._cache_lock:
+            return len(self._cache)
 
     def clear(self) -> None:
         """Drop every cached result (statistics are kept)."""
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
     def peek(self, request: EvalRequest) -> Optional[Dict[str, float]]:
         """Cached metrics for ``request`` without touching stats or LRU order.
@@ -102,17 +108,25 @@ class CachingEvaluator(Evaluator):
         copy, so callers can never mutate the cache.  Wrapped evaluators are
         consulted too (a deeper cache may know the design).
         """
-        metrics = self._cache.get(request_cache_key(request, self.key_digits))
-        if metrics is not None:
-            return dict(metrics)
+        with self._cache_lock:
+            metrics = self._cache.get(
+                request_cache_key(request, self.key_digits)
+            )
+            if metrics is not None:
+                return dict(metrics)
         return self.inner.peek(request)
 
     def _store(self, key: RequestKey, metrics: Dict[str, float]) -> None:
-        self._cache[key] = dict(metrics)
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.max_size:
-            self._cache.popitem(last=False)
-            self.stats.cache_evictions += 1
+        with self._cache_lock:
+            self._cache[key] = dict(metrics)
+            self._cache.move_to_end(key)
+            evictions = 0
+            while len(self._cache) > self.max_size:
+                self._cache.popitem(last=False)
+                evictions += 1
+        if evictions:
+            with self.stats.lock:
+                self.stats.cache_evictions += evictions
 
     def evaluate_requests(
         self, requests: Sequence[EvalRequest]
@@ -131,15 +145,16 @@ class CachingEvaluator(Evaluator):
         miss_keys: List[RequestKey] = []
         miss_requests: List[EvalRequest] = []
         first_miss: Dict[RequestKey, int] = {}
-        for index, (key, request) in enumerate(zip(keys, requests)):
-            if key in self._cache:
-                if key not in resolved:
-                    resolved[key] = self._cache[key]
-                self._cache.move_to_end(key)
-            elif key not in first_miss:
-                first_miss[key] = index
-                miss_keys.append(key)
-                miss_requests.append(request)
+        with self._cache_lock:
+            for index, (key, request) in enumerate(zip(keys, requests)):
+                if key in self._cache:
+                    if key not in resolved:
+                        resolved[key] = self._cache[key]
+                    self._cache.move_to_end(key)
+                elif key not in first_miss:
+                    first_miss[key] = index
+                    miss_keys.append(key)
+                    miss_requests.append(request)
 
         if miss_requests:
             inner_results = self.inner.evaluate_requests(miss_requests)
@@ -148,10 +163,11 @@ class CachingEvaluator(Evaluator):
                 self._store(key, result.metrics)
 
         results = []
+        hits = 0
         for index, (key, request) in enumerate(zip(keys, requests)):
             cached = first_miss.get(key) != index
             if cached:
-                self.stats.cache_hits += 1
+                hits += 1
             # Copy metrics so callers can never mutate a cached entry.
             results.append(
                 EvalResult(
@@ -160,10 +176,12 @@ class CachingEvaluator(Evaluator):
                     cached=cached,
                 )
             )
-        self.stats.num_batches += 1
-        self.stats.num_designs += len(results)
-        self.stats.num_simulations += len(miss_requests)
-        self.stats.total_time += time.perf_counter() - start
+        with self.stats.lock:
+            self.stats.cache_hits += hits
+            self.stats.num_batches += 1
+            self.stats.num_designs += len(results)
+            self.stats.num_simulations += len(miss_requests)
+            self.stats.total_time += time.perf_counter() - start
         return results
 
     def close(self) -> None:

@@ -14,6 +14,7 @@ regardless of worker scheduling.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from concurrent.futures import (
     BrokenExecutor,
@@ -89,31 +90,36 @@ class ParallelEvaluator(Evaluator):
         self.backend = backend
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         self._executor: Optional[Executor] = None
-        self._degraded = False
+        # Mutated only in *_locked helpers whose callers hold the pool lock.
+        self._degraded = False  # guarded-by: self._pool_lock
+        # Serializes pool construction/teardown: evaluation may run inside
+        # coalescer flush threads while close()/degrade happen elsewhere.
+        self._pool_lock = threading.Lock()
 
     # --- pool management ---------------------------------------------------------------
     def _get_executor(self) -> Optional[Executor]:
-        if self._degraded:
-            return None
-        if self._executor is None:
-            try:
-                if self.backend == "process":
-                    self._executor = ProcessPoolExecutor(
-                        max_workers=self.max_workers,
-                        initializer=_init_worker,
-                        initargs=(self._circuit,),
+        with self._pool_lock:
+            if self._degraded:
+                return None
+            if self._executor is None:
+                try:
+                    if self.backend == "process":
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self.max_workers,
+                            initializer=_init_worker,
+                            initargs=(self._circuit,),
+                        )
+                    else:
+                        self._executor = ThreadPoolExecutor(
+                            max_workers=self.max_workers
+                        )
+                except (OSError, ValueError) as error:
+                    warnings.warn(
+                        f"could not start {self.backend} pool ({error}); "
+                        "falling back to serial evaluation"
                     )
-                else:
-                    self._executor = ThreadPoolExecutor(
-                        max_workers=self.max_workers
-                    )
-            except (OSError, ValueError) as error:
-                warnings.warn(
-                    f"could not start {self.backend} pool ({error}); "
-                    "falling back to serial evaluation"
-                )
-                self._degrade()
-        return self._executor
+                    self._degrade_locked()
+            return self._executor
 
     @property
     def degraded(self) -> bool:
@@ -121,21 +127,26 @@ class ParallelEvaluator(Evaluator):
         return self._degraded
 
     def _degrade(self) -> None:
-        self._degraded = True
-        self._shutdown()
+        with self._pool_lock:
+            self._degrade_locked()
 
-    def _shutdown(self) -> None:
+    def _degrade_locked(self) -> None:
+        self._degraded = True
+        self._shutdown_locked()
+
+    def _shutdown_locked(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
 
     def close(self) -> None:
         """Shut the worker pool down; the evaluator stays usable (lazy restart)."""
-        self._shutdown()
+        with self._pool_lock:
+            self._shutdown_locked()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
-            self._shutdown()
+            self.close()
         except Exception:
             pass
 

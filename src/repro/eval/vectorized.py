@@ -79,7 +79,8 @@ class VectorizedEvaluator(Evaluator):
                 reason,
             )
             self._warned_serial.add(key)
-        self.stats.scalar_fallbacks += len(sizings)
+        with self.stats.lock:
+            self.stats.scalar_fallbacks += len(sizings)
         return [
             EvalResult(sizing=sizing, metrics=circuit.evaluate(sizing))
             for sizing in sizings

@@ -128,7 +128,7 @@ def _open_store(settings: ExperimentSettings) -> Optional[RunStore]:
 
 
 def _emit_figures(figures) -> None:
-    for key, figure in figures.items():
+    for figure in figures.values():
         print(figure.render_ascii())
         print()
 

@@ -71,7 +71,7 @@ class EvolutionStrategy(Strategy):
         self._done = False
         # Cholesky factor used to sample the pending generation; transient
         # between ask and tell (checkpoints only happen at step boundaries).
-        self._chol: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None  # repro-lint: ignore[checkpoint-completeness]
 
     def ask(self) -> List[Proposal]:
         """Sample one generation of offspring from N(mean, sigma^2 C)."""

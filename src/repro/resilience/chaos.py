@@ -20,6 +20,7 @@ it usable as a *test oracle* rather than just noise:
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -110,6 +111,9 @@ class FaultInjectingEvaluator(Evaluator):
         self._attempts: Dict[object, int] = {}
         #: Injection counters by fault type.
         self.injected: Dict[str, int] = {name: 0 for name in FAULT_TYPES}
+        # Guards attempt/injection accounting: faults fire inside whatever
+        # thread runs the evaluation (retry watchers, coalescer flushes).
+        self._chaos_lock = threading.Lock()
 
     @property
     def stats(self) -> EvaluatorStats:
@@ -125,7 +129,8 @@ class FaultInjectingEvaluator(Evaluator):
             fault = self.predicate(request)
             if fault is not None:
                 if fault not in FAULT_TYPES:
-                    raise ValueError(
+                    # Misconfigured test predicate — a bug, not a failure.
+                    raise ValueError(  # repro-lint: ignore[failure-taxonomy]
                         f"predicate returned unknown fault {fault!r} "
                         f"(expected one of {FAULT_TYPES})"
                     )
@@ -158,16 +163,17 @@ class FaultInjectingEvaluator(Evaluator):
             return None
         if self.transient_attempts > 0:
             key = request_cache_key(request)
-            if self._attempts.get(key, 0) >= self.transient_attempts:
-                return None
+            with self._chaos_lock:
+                if self._attempts.get(key, 0) >= self.transient_attempts:
+                    return None
         return fault
 
     def _fire(self, request: EvalRequest, fault: str) -> None:
         """Record one faulted attempt and raise if the fault is a raiser."""
-        self._attempts[request_cache_key(request)] = (
-            self._attempts.get(request_cache_key(request), 0) + 1
-        )
-        self.injected[fault] += 1
+        key = request_cache_key(request)
+        with self._chaos_lock:
+            self._attempts[key] = self._attempts.get(key, 0) + 1
+            self.injected[fault] += 1
         if fault == "error":
             raise InjectedFault(
                 f"injected simulator fault for {request.circuit}/"

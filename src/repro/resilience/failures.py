@@ -108,6 +108,10 @@ class EvalFailureError(RuntimeError):
             f"{failure.attempts} attempt(s)): {failure.message}"
         )
         self.failure = failure
+        # Self-classify so an EvalFailureError re-entering
+        # classify_exception() keeps its kind (a nonconvergence must not
+        # degrade to the retryable catch-all ``simulator_error``).
+        self.failure_kind = failure.kind
 
 
 def classify_exception(error: BaseException) -> str:

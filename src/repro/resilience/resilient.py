@@ -45,6 +45,7 @@ from repro.eval.base import (
     EvalResult,
     Evaluator,
     EvaluatorStats,
+    ThreadSafeCounters,
 )
 from repro.eval.caching import request_cache_key
 from repro.resilience.failures import (
@@ -59,7 +60,7 @@ from repro.resilience.policy import RetryPolicy
 
 
 @dataclass
-class ResilienceStats:
+class ResilienceStats(ThreadSafeCounters):
     """Counters of the wrapper's recovery activity (all zero on clean runs).
 
     Attributes:
@@ -83,15 +84,16 @@ class ResilienceStats:
     quarantine_hits: int = 0
 
     def to_dict(self) -> Dict[str, int]:
-        return {
-            "failures": self.failures,
-            "retries": self.retries,
-            "bisections": self.bisections,
-            "serial_downgrades": self.serial_downgrades,
-            "breaker_trips": self.breaker_trips,
-            "quarantined": self.quarantined,
-            "quarantine_hits": self.quarantine_hits,
-        }
+        with self.lock:
+            return {
+                "failures": self.failures,
+                "retries": self.retries,
+                "bisections": self.bisections,
+                "serial_downgrades": self.serial_downgrades,
+                "breaker_trips": self.breaker_trips,
+                "quarantined": self.quarantined,
+                "quarantine_hits": self.quarantine_hits,
+            }
 
 
 @dataclass
@@ -172,6 +174,9 @@ class ResilientEvaluator(Evaluator):
         self._rng = random.Random(seed)
         self.rstats = ResilienceStats()
         self._quarantine: "OrderedDict[object, EvalFailure]" = OrderedDict()
+        # Protects the quarantine LRU: evaluate paths run inside coalescer
+        # flush threads while snapshots/clears arrive from other threads.
+        self._quarantine_lock = threading.Lock()
         self._breakers: Dict[Tuple[str, str], _BucketBreaker] = {}
 
     # --- plumbing -----------------------------------------------------------------
@@ -195,17 +200,21 @@ class ResilientEvaluator(Evaluator):
     @property
     def quarantine(self) -> List[EvalFailure]:
         """Snapshot of quarantined failures (oldest first)."""
-        return list(self._quarantine.values())
+        with self._quarantine_lock:
+            return list(self._quarantine.values())
 
     def clear_quarantine(self) -> None:
-        self._quarantine.clear()
+        with self._quarantine_lock:
+            self._quarantine.clear()
 
     def _quarantine_put(self, key: object, failure: EvalFailure) -> None:
-        self._quarantine[key] = failure
-        self._quarantine.move_to_end(key)
-        while len(self._quarantine) > self.quarantine_size:
-            self._quarantine.popitem(last=False)
-        self.rstats.quarantined += 1
+        with self._quarantine_lock:
+            self._quarantine[key] = failure
+            self._quarantine.move_to_end(key)
+            while len(self._quarantine) > self.quarantine_size:
+                self._quarantine.popitem(last=False)
+        with self.rstats.lock:
+            self.rstats.quarantined += 1
 
     # --- breaker ------------------------------------------------------------------
     def _breaker(self, bucket: Tuple[str, str]) -> _BucketBreaker:
@@ -262,11 +271,14 @@ class ResilientEvaluator(Evaluator):
         live: List[int] = []
         for index, request in enumerate(requests):
             key = request_cache_key(request)
-            known = self._quarantine.get(key)
+            with self._quarantine_lock:
+                known = self._quarantine.get(key)
+                if known is not None:
+                    self._quarantine.move_to_end(key)
             if known is not None:
-                self._quarantine.move_to_end(key)
-                self.rstats.quarantine_hits += 1
-                self.rstats.failures += 1
+                with self.rstats.lock:
+                    self.rstats.quarantine_hits += 1
+                    self.rstats.failures += 1
                 outcomes[index] = EvalFailure(
                     request=request,
                     kind=known.kind,
@@ -297,7 +309,8 @@ class ResilientEvaluator(Evaluator):
             for bucket in {requests[i].bucket for i in broken}:
                 self._breaker(bucket).tick()
             for index in broken:
-                self.rstats.serial_downgrades += 1
+                with self.rstats.lock:
+                    self.rstats.serial_downgrades += 1
                 outcomes[index] = self._resolve_single(requests[index])
 
         return outcomes  # type: ignore[return-value]
@@ -323,7 +336,8 @@ class ResilientEvaluator(Evaluator):
                 message="simulation returned non-finite (NaN) metrics",
                 attempts=attempts,
             )
-            self.rstats.failures += 1
+            with self.rstats.lock:
+                self.rstats.failures += 1
             self._quarantine_put(request_cache_key(request), failure)
             return failure
         return result
@@ -343,7 +357,8 @@ class ResilientEvaluator(Evaluator):
             # log2(n) bisection attempts below are part of the same event.
             breaker = self._breaker(bucket)
             if breaker.record_failure():
-                self.rstats.breaker_trips += 1
+                with self.rstats.lock:
+                    self.rstats.breaker_trips += 1
             self._resolve_bucket(requests, outcomes, bucket_indices)
 
     def _resolve_bucket(
@@ -354,14 +369,16 @@ class ResilientEvaluator(Evaluator):
     ) -> None:
         """Bisect one bucket's requests until the poison is isolated."""
         if len(indices) == 1:
-            self.rstats.serial_downgrades += 1
+            with self.rstats.lock:
+                self.rstats.serial_downgrades += 1
             outcomes[indices[0]] = self._resolve_single(requests[indices[0]])
             return
         sub = [requests[i] for i in indices]
         try:
             results = self._attempt(sub)
         except Exception:
-            self.rstats.bisections += 1
+            with self.rstats.lock:
+                self.rstats.bisections += 1
             middle = len(indices) // 2
             self._resolve_bucket(requests, outcomes, indices[:middle])
             self._resolve_bucket(requests, outcomes, indices[middle:])
@@ -376,7 +393,8 @@ class ResilientEvaluator(Evaluator):
         while attempts < self.policy.max_attempts:
             attempts += 1
             if attempts > 1:
-                self.rstats.retries += 1
+                with self.rstats.lock:
+                    self.rstats.retries += 1
             try:
                 result = self._attempt([request])[0]
             except Exception as error:  # noqa: BLE001 - classified below
@@ -399,6 +417,7 @@ class ResilientEvaluator(Evaluator):
                 return outcome  # _accept already counted and quarantined
             return outcome
         assert failure is not None
-        self.rstats.failures += 1
+        with self.rstats.lock:
+            self.rstats.failures += 1
         self._quarantine_put(request_cache_key(request), failure)
         return failure

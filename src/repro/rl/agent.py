@@ -372,7 +372,9 @@ class GCNRLAgent:
         """Best sizing found so far in the attached environment."""
         return self.environment.best_sizing
 
-    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+    # Deliberately weights-only (the unit of knowledge transfer); the
+    # complete mid-run state is training_state_dict() below.
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:  # repro-lint: ignore[checkpoint-completeness]
         """Weights of both networks (used for knowledge transfer)."""
         return {"actor": self.actor.state_dict(), "critic": self.critic.state_dict()}
 

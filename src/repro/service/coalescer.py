@@ -36,7 +36,7 @@ from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 from repro.circuits.library import get_circuit
 from repro.circuits.parameters import Sizing
 from repro.eval import EvaluatorConfig, request_cache_key
-from repro.eval.base import EvalRequest, Evaluator
+from repro.eval.base import EvalRequest, Evaluator, ThreadSafeCounters
 from repro.resilience import (
     EvalFailure,
     FaultInjectingEvaluator,
@@ -77,8 +77,13 @@ class OverloadedError(EvaluationError):
 
 
 @dataclass
-class CoalescerStats:
+class CoalescerStats(ThreadSafeCounters):
     """Counters describing how well cross-client batching is working.
+
+    All mutation happens on the event loop today, but the counters inherit
+    :class:`ThreadSafeCounters` like every other stats object so snapshot
+    reads (the ``stats`` RPC, checkpoint encoding) are torn-read-free even
+    if a future flush path moves off-loop.
 
     Attributes:
         requests: Evaluate requests served.
@@ -110,17 +115,18 @@ class CoalescerStats:
         return self.designs_flushed / self.batches_issued
 
     def to_dict(self) -> Dict[str, float]:
-        return {
-            "requests": self.requests,
-            "designs_submitted": self.designs_submitted,
-            "designs_flushed": self.designs_flushed,
-            "batches_issued": self.batches_issued,
-            "inflight_hits": self.inflight_hits,
-            "peek_hits": self.peek_hits,
-            "failures": self.failures,
-            "rejected": self.rejected,
-            "coalescing_factor": round(self.coalescing_factor, 4),
-        }
+        with self.lock:
+            return {
+                "requests": self.requests,
+                "designs_submitted": self.designs_submitted,
+                "designs_flushed": self.designs_flushed,
+                "batches_issued": self.batches_issued,
+                "inflight_hits": self.inflight_hits,
+                "peek_hits": self.peek_hits,
+                "failures": self.failures,
+                "rejected": self.rejected,
+                "coalescing_factor": round(self.coalescing_factor, 4),
+            }
 
 
 class BatchCoalescer:
@@ -209,7 +215,8 @@ class BatchCoalescer:
             self.max_pending > 0
             and len(self._pending) + len(sizings) > self.max_pending
         ):
-            self.stats.rejected += 1
+            with self.stats.lock:
+                self.stats.rejected += 1
             raise OverloadedError(
                 f"server overloaded: {len(self._pending)} design(s) pending "
                 f"(max_pending={self.max_pending}); retry after backoff"
@@ -220,8 +227,9 @@ class BatchCoalescer:
             # Fail unknown circuit/technology pairs fast, before they queue.
             get_circuit(circuit_name, technology)
             self._seen.add(bucket)
-        self.stats.requests += 1
-        self.stats.designs_submitted += len(sizings)
+        with self.stats.lock:
+            self.stats.requests += 1
+            self.stats.designs_submitted += len(sizings)
 
         waiters: List[Tuple[Sizing, asyncio.Future, bool]] = []
         for sizing in sizings:
@@ -229,12 +237,14 @@ class BatchCoalescer:
             key = request_cache_key(request)
             future = self._inflight.get(key)
             if future is not None:
-                self.stats.inflight_hits += 1
+                with self.stats.lock:
+                    self.stats.inflight_hits += 1
                 waiters.append((sizing, future, True))
                 continue
             cached_metrics = self.evaluator.peek(request)
             if cached_metrics is not None:
-                self.stats.peek_hits += 1
+                with self.stats.lock:
+                    self.stats.peek_hits += 1
                 future = loop.create_future()
                 future.set_result({"metrics": cached_metrics, "cached": True})
                 waiters.append((sizing, future, True))
@@ -298,8 +308,9 @@ class BatchCoalescer:
                                 EvaluationError(f"evaluation failed: {error}")
                             )
                     continue
-                self.stats.batches_issued += 1
-                self.stats.designs_flushed += len(batch)
+                with self.stats.lock:
+                    self.stats.batches_issued += 1
+                    self.stats.designs_flushed += len(batch)
                 for (key, _, future), outcome in zip(batch, outcomes):
                     self._inflight.pop(key, None)
                     if future.done():
@@ -307,7 +318,8 @@ class BatchCoalescer:
                     if isinstance(outcome, EvalFailure):
                         # Only this design's waiters see the failure; the
                         # rest of the coalesced batch resolves normally.
-                        self.stats.failures += 1
+                        with self.stats.lock:
+                            self.stats.failures += 1
                         future.set_exception(
                             EvaluationError(
                                 f"evaluation failed: {outcome.message}",

@@ -220,7 +220,7 @@ class OptimizationService:
             request["seed"],
             checkpoint_every=request.get("checkpoint_every"),
         )
-        job = self.supervisor.submit(spec)
+        self.supervisor.submit(spec)
         accepted = {"type": "accepted", "job_id": spec.job_id}
         if request.get("id") is not None:
             accepted["id"] = request["id"]
@@ -370,20 +370,28 @@ class ServerThread:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig(port=0)
-        self.service: Optional[OptimizationService] = None
-        self.port: Optional[int] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # The attributes below are written only by the server thread before
+        # it sets ``_ready``; readers block on ``_ready.wait()`` first, so
+        # the Event's memory ordering is the synchronization.
+        self.service: Optional[OptimizationService] = None  # guarded-by: self._ready handshake
+        self.port: Optional[int] = None  # guarded-by: self._ready handshake
+        self._loop: Optional[asyncio.AbstractEventLoop] = None  # guarded-by: self._ready handshake
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
-        self._startup_error: Optional[BaseException] = None
+        self._startup_error: Optional[BaseException] = None  # guarded-by: self._ready handshake
 
     def start(self) -> "ServerThread":
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
         if not self._ready.wait(timeout=30):
-            raise RuntimeError("service thread failed to start within 30s")
+            # Harness startup failure, not an evaluation failure.
+            raise RuntimeError(  # repro-lint: ignore[failure-taxonomy]
+                "service thread failed to start within 30s"
+            )
         if self._startup_error is not None:
-            raise RuntimeError("service failed to start") from self._startup_error
+            raise RuntimeError(  # repro-lint: ignore[failure-taxonomy]
+                "service failed to start"
+            ) from self._startup_error
         return self
 
     def _run(self) -> None:

@@ -421,7 +421,11 @@ class RunSupervisor:
     def _require(self, job_id: str) -> Job:
         job = self.jobs.get(job_id)
         if job is None:
-            raise KeyError(f"unknown job {job_id!r}")
+            # Bad client-supplied id, rejected before any evaluation runs;
+            # the RPC layer encodes it as a request error.
+            raise KeyError(  # repro-lint: ignore[failure-taxonomy]
+                f"unknown job {job_id!r}"
+            )
         return job
 
     async def result(self, job_id: str, wait: bool = True) -> Dict[str, Any]:

@@ -34,7 +34,13 @@ AC_GMIN = 1e-12
 
 class BatchIncompatibleError(ValueError):
     """The circuits of a batch do not share one topology (or use elements
-    the batched engine has no stamps for)."""
+    the batched engine has no stamps for).
+
+    Normally caught by the vectorized evaluator (serial fallback); if one
+    ever escapes the stack it classifies as a ``simulator_error``.
+    """
+
+    failure_kind = "simulator_error"
 
 
 @dataclass

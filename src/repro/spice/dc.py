@@ -13,7 +13,13 @@ from repro.technology.mosfet_model import OperatingPoint
 
 
 class ConvergenceError(RuntimeError):
-    """Raised when the DC operating point cannot be found."""
+    """Raised when the DC operating point cannot be found.
+
+    Self-classifies as ``nonconvergence`` so the resilience layer never
+    retries it: re-solving the same design reproduces the failure.
+    """
+
+    failure_kind = "nonconvergence"
 
 
 @dataclass

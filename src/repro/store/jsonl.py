@@ -38,7 +38,10 @@ class JsonlStore(RunStore):
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.path = os.path.join(self.directory, LOG_NAME)
-        self._rows: Dict[str, Tuple[RunKey, RunRecord]] = {}
+        # Store handles are deliberately NOT shared across threads: every
+        # supervisor job / campaign worker opens its own handle against the
+        # shared directory (the append-only log is the coordination point).
+        self._rows: Dict[str, Tuple[RunKey, RunRecord]] = {}  # guarded-by: handle-per-thread ownership
         self._replay()
         self._log = open(self.path, "a", encoding="utf-8")
         self._closed = False

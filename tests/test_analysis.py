@@ -1,0 +1,573 @@
+"""Tests for the ``repro.analysis`` static analyzer.
+
+Each rule gets inline-source fixtures: a positive case (the violation is
+found), a negative case (the sanctioned idiom is clean), a pragma case
+(per-line suppression works) and a baseline case (grandfathered findings
+don't fail strict runs).  The integration tests assert the real tree is
+clean under ``--strict`` and that re-seeding one violation of each rule
+flips the exit code — the property CI actually relies on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import Baseline, run_analysis
+from repro.analysis.cli import main
+from repro.analysis.framework import Finding, SourceFile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_module(root, relpath, source):
+    """Write dedented ``source`` at ``root/relpath`` and return its dir."""
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def findings_for(root, rule, relpath, source):
+    write_module(root, relpath, source)
+    findings, _ = run_analysis([str(root)], select=[rule])
+    return [f for f in findings if f.rule == rule]
+
+
+# --- framework ---------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_pragma_parsing_specific_and_bare(self):
+        source = SourceFile(
+            "x.py",
+            "a = 1  # repro-lint: ignore[rule-a, rule-b]\n"
+            "b = 2  # repro-lint: ignore\n"
+            "c = '# repro-lint: ignore'\n",
+            tree=__import__("ast").parse("a = 1\nb = 2\nc = 'x'\n"),
+        )
+        assert source.ignored("rule-a", 1)
+        assert source.ignored("rule-b", 1)
+        assert not source.ignored("rule-c", 1)
+        assert source.ignored("anything", 2)
+        # Pragma text inside a string literal is not a pragma.
+        assert not source.ignored("rule-a", 3)
+
+    def test_guarded_by_annotation_extraction(self):
+        import ast
+
+        source = SourceFile(
+            "x.py",
+            "a = 1  # guarded-by: self._lock\n",
+            tree=ast.parse("a = 1\n"),
+        )
+        assert source.guarded_by[1] == "self._lock"
+
+    def test_finding_render_and_baseline_key(self):
+        finding = Finding(rule="r", path="p.py", line=3, message="m")
+        assert finding.render() == "p.py:3: [r] m"
+        assert finding.baseline_key == ("r", "p.py", "m")
+
+    def test_baseline_split_with_multiplicity_and_stale(self, tmp_path):
+        f1 = Finding(rule="r", path="p.py", line=1, message="m")
+        f2 = Finding(rule="r", path="p.py", line=9, message="m")  # same key
+        baseline = Baseline.from_findings([f1])
+        new, baselined, stale = baseline.split([f1, f2])
+        # One entry covers one occurrence; the duplicate is new.
+        assert len(baselined) == 1 and len(new) == 1
+        # Round-trips through disk.
+        path = tmp_path / "baseline.json"
+        baseline.save(str(path))
+        reloaded = Baseline.load(str(path))
+        assert reloaded.counts == baseline.counts
+        # A baselined finding that disappeared is reported stale.
+        _, _, stale = reloaded.split([])
+        assert stale == [("r", "p.py", "m")]
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        write_module(tmp_path, "bad.py", "def broken(:\n")
+        findings, _ = run_analysis([str(tmp_path)])
+        assert [f.rule for f in findings] == ["parse-error"]
+
+
+# --- lock-discipline ---------------------------------------------------------------
+
+THREADED_COUNTER = """
+    import threading
+
+    class Worker:
+        def __init__(self):
+            self.count = 0
+            self._lock = threading.Lock()
+
+        def start(self):
+            threading.Thread(target=self._work).start()
+
+        def _work(self):
+            {mutation}
+
+        def snapshot(self):
+            return self.count
+"""
+
+
+class TestLockDiscipline:
+    def test_unguarded_thread_mutation_found(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "lock-discipline", "mod.py",
+            THREADED_COUNTER.format(mutation="self.count += 1"),
+        )
+        assert len(findings) == 1
+        assert "self.count" in findings[0].message
+
+    def test_with_lock_is_clean(self, tmp_path):
+        mutation = "with self._lock:\n                self.count += 1"
+        findings = findings_for(
+            tmp_path, "lock-discipline", "mod.py",
+            THREADED_COUNTER.format(mutation=mutation),
+        )
+        assert findings == []
+
+    def test_guarded_by_annotation_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "lock-discipline", "mod.py",
+            THREADED_COUNTER.format(
+                mutation="self.count += 1  # guarded-by: single-writer"
+            ),
+        )
+        assert findings == []
+
+    def test_executor_submit_is_an_entry_point(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "lock-discipline", "mod.py",
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Pooled:
+                def __init__(self):
+                    self.done = 0
+
+                def kick(self, pool: ThreadPoolExecutor):
+                    pool.submit(self._job)
+
+                def _job(self):
+                    self.done += 1
+
+                def report(self):
+                    return self.done
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_thread_subclass_run_is_an_entry_point(self, tmp_path):
+        write_module(
+            tmp_path, "mod.py",
+            """
+            import threading
+
+            class Beat(threading.Thread):
+                def __init__(self):
+                    super().__init__()
+                    self.lost = False
+
+                def run(self):
+                    self.lost = True
+            """,
+        )
+        # Nobody on the main path touches ``lost``: thread-private, clean.
+        findings, _ = run_analysis([str(tmp_path)], select=["lock-discipline"])
+        assert findings == []
+        # A cross-module reader makes it shared state.
+        write_module(
+            tmp_path, "mod2.py",
+            """
+            def watch(beat):
+                return beat.lost
+            """,
+        )
+        findings, _ = run_analysis([str(tmp_path)], select=["lock-discipline"])
+        assert len(findings) == 1
+        assert "self.lost" in findings[0].message
+
+    def test_main_only_mutation_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "lock-discipline", "mod.py",
+            """
+            class Plain:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+            """,
+        )
+        assert findings == []
+
+
+# --- determinism -------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_global_np_random_in_scoped_module_found(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "determinism", "repro/store/keys.py",
+            """
+            import numpy as np
+
+            def jitter():
+                return np.random.rand()
+            """,
+        )
+        assert len(findings) == 1
+        assert "np.random.rand" in findings[0].message
+
+    def test_seeded_generator_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "determinism", "repro/store/keys.py",
+            """
+            import numpy as np
+            import time
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                started = time.perf_counter()
+                return rng.standard_normal(), started
+            """,
+        )
+        assert findings == []
+
+    def test_wall_clock_in_scoped_module_found(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "determinism", "repro/eval/keys.py",
+            """
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now()
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "determinism", "repro/cluster/jitterer.py",
+            """
+            import random
+
+            def backoff():
+                return random.random()
+            """,
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "determinism", "repro/eval/keys.py",
+            """
+            import time
+
+            def telemetry():
+                return time.time()  # repro-lint: ignore[determinism]
+            """,
+        )
+        assert findings == []
+
+
+# --- failure-taxonomy --------------------------------------------------------------
+
+
+class TestFailureTaxonomy:
+    def test_unclassified_raise_on_eval_path_found(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "failure-taxonomy", "repro/eval/backend.py",
+            """
+            def simulate():
+                raise RuntimeError("solver exploded")
+            """,
+        )
+        assert len(findings) == 1
+        assert "RuntimeError" in findings[0].message
+
+    def test_classified_exception_is_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "failure-taxonomy", "repro/eval/backend.py",
+            """
+            class SolverError(RuntimeError):
+                failure_kind = "simulator_error"
+
+            class DeepError(SolverError):
+                pass
+
+            def simulate():
+                raise SolverError("np")
+
+            def simulate_deep():
+                raise DeepError("inherited kind still counts")
+            """,
+        )
+        assert findings == []
+
+    def test_reraise_and_validation_in_init_are_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "failure-taxonomy", "repro/eval/backend.py",
+            """
+            class Config:
+                def __init__(self, n):
+                    if n < 0:
+                        raise ValueError("n must be >= 0")
+
+            def forward():
+                try:
+                    return 1
+                except Exception as error:
+                    raise
+            """,
+        )
+        assert findings == []
+
+    def test_validation_outside_constructor_found(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "failure-taxonomy", "repro/eval/backend.py",
+            """
+            def evaluate(x):
+                raise ValueError("mid-evaluation validation")
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_out_of_scope_path_ignored(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "failure-taxonomy", "repro/optim/search.py",
+            """
+            def step():
+                raise RuntimeError("optimizer internals may raise freely")
+            """,
+        )
+        assert findings == []
+
+
+# --- checkpoint-completeness -------------------------------------------------------
+
+
+class TestCheckpointCompleteness:
+    def test_uncovered_mutable_attr_found(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "checkpoint-completeness", "mod.py",
+            """
+            class Strategy:
+                def __init__(self):
+                    self.step = 0
+                    self.history = []
+
+                def tell(self, r):
+                    self.step += 1
+                    self.history.append(r)
+
+                def state_dict(self):
+                    return {"step": self.step}
+            """,
+        )
+        assert len(findings) == 1
+        assert "self.history" in findings[0].message
+
+    def test_covered_and_config_attrs_are_clean(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "checkpoint-completeness", "mod.py",
+            """
+            class Strategy:
+                def __init__(self, budget):
+                    self.budget = budget      # never mutated: config
+                    self.step = 0
+
+                def tell(self, r):
+                    self.step += 1
+
+                def state_dict(self):
+                    return {"step": self.step}
+            """,
+        )
+        assert findings == []
+
+    def test_pragma_on_assignment_exempts_attr(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "checkpoint-completeness", "mod.py",
+            """
+            class Strategy:
+                def __init__(self):
+                    self.step = 0
+                    self._cache = {}  # repro-lint: ignore[checkpoint-completeness]
+
+                def tell(self, r):
+                    self.step += 1
+                    self._cache[r] = r
+
+                def state_dict(self):
+                    return {"step": self.step}
+            """,
+        )
+        assert findings == []
+
+    def test_pragma_on_state_dict_exempts_class(self, tmp_path):
+        findings = findings_for(
+            tmp_path, "checkpoint-completeness", "mod.py",
+            """
+            class WeightsOnly:
+                def __init__(self):
+                    self.weights = {}
+                    self.log = []
+
+                def train(self):
+                    self.log.append(1)
+
+                def state_dict(self):  # repro-lint: ignore[checkpoint-completeness]
+                    return {"weights": self.weights}
+            """,
+        )
+        assert findings == []
+
+
+# --- CLI ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_strict_fails_on_new_finding_and_baseline_absorbs(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write_module(
+            tmp_path, "repro/eval/backend.py",
+            """
+            def simulate():
+                raise RuntimeError("boom")
+            """,
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main([str(tmp_path), "--strict"]) == 1
+        # Grandfather it, then the same tree passes.
+        assert main([str(tmp_path), "--update-baseline"]) == 0
+        assert main([str(tmp_path), "--strict"]) == 0
+
+    def test_json_report_shape(self, tmp_path, monkeypatch, capsys):
+        write_module(
+            tmp_path, "repro/eval/backend.py",
+            """
+            def simulate():
+                raise RuntimeError("boom")
+            """,
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main([str(tmp_path), "--no-baseline", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+        assert payload["new"][0]["rule"] == "failure-taxonomy"
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select", "no-such-rule", "src"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "lock-discipline",
+            "determinism",
+            "failure-taxonomy",
+            "checkpoint-completeness",
+        ):
+            assert rule in out
+
+
+# --- integration against the real tree ---------------------------------------------
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestRealTree:
+    def test_src_is_strict_clean(self):
+        result = run_cli("src", "--strict")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    @pytest.mark.parametrize(
+        "relpath,source,rule",
+        [
+            (
+                "src/repro/eval/_seeded_lock_violation.py",
+                """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self.hits = 0
+
+                    def go(self):
+                        threading.Thread(target=self._work).start()
+
+                    def _work(self):
+                        self.hits += 1
+
+                    def read(self):
+                        return self.hits
+                """,
+                "lock-discipline",
+            ),
+            (
+                "src/repro/eval/_seeded_determinism_violation.py",
+                """
+                import numpy as np
+
+                def key():
+                    return np.random.rand()
+                """,
+                "determinism",
+            ),
+            (
+                "src/repro/eval/_seeded_taxonomy_violation.py",
+                """
+                def evaluate():
+                    raise RuntimeError("kindless")
+                """,
+                "failure-taxonomy",
+            ),
+            (
+                "src/repro/eval/_seeded_checkpoint_violation.py",
+                """
+                class S:
+                    def __init__(self):
+                        self.step = 0
+                        self.trace = []
+
+                    def tell(self):
+                        self.step += 1
+                        self.trace.append(1)
+
+                    def state_dict(self):
+                        return {"step": self.step}
+                """,
+                "checkpoint-completeness",
+            ),
+        ],
+        ids=["lock", "determinism", "taxonomy", "checkpoint"],
+    )
+    def test_seeded_violation_fails_strict(self, relpath, source, rule):
+        """Re-introducing one violation of each rule flips --strict to 1."""
+        path = os.path.join(REPO_ROOT, relpath)
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(textwrap.dedent(source))
+            result = run_cli("src", "--strict")
+            assert result.returncode == 1, result.stdout + result.stderr
+            assert rule in result.stdout
+        finally:
+            os.remove(path)
